@@ -1,0 +1,55 @@
+// Command butterflybench regenerates the tables and figures of "Large-Scale
+// Parallel Programming: Experience with the BBN Butterfly Parallel
+// Processor" (LeBlanc, Scott & Brown, 1988) on the simulated machine.
+//
+// Usage:
+//
+//	butterflybench -list
+//	butterflybench -experiment fig5
+//	butterflybench -all [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"butterfly/internal/core"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list available experiments")
+		expID = flag.String("experiment", "", "run one experiment by id")
+		all   = flag.Bool("all", false, "run every experiment")
+		quick = flag.Bool("quick", false, "reduced-scale run (fast smoke test)")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		fmt.Printf("%-10s %s\n", "ID", "TITLE")
+		for _, e := range core.Experiments() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+	case *expID != "":
+		e, ok := core.Lookup(*expID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "butterflybench: unknown experiment %q (try -list)\n", *expID)
+			os.Exit(1)
+		}
+		fmt.Printf("===== %s: %s =====\npaper: %s\n\n", e.ID, e.Title, e.Paper)
+		if err := e.Run(os.Stdout, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "butterflybench: %v\n", err)
+			os.Exit(1)
+		}
+	case *all:
+		if err := core.RunAll(os.Stdout, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "butterflybench: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

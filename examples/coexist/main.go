@@ -1,0 +1,134 @@
+// Multi-model coexistence — the paper's central thesis in one program:
+// "truly general-purpose parallel computing demands an operating system that
+// supports these models as well, and that allows program fragments written
+// under different models to coexist and interact."
+//
+// One machine hosts, at the same time:
+//   - a Uniform System phase (shared-memory tasks) that squares a vector,
+//   - an SMP family (message passing) that computes partial sums of the
+//     squares in a ring,
+//   - a Lynx server (RPC) that verifies the grand total on demand,
+//
+// with the hand-offs between models happening through the shared data the
+// Butterfly makes globally addressable.
+//
+//	go run ./examples/coexist
+package main
+
+import (
+	"fmt"
+
+	"butterfly/internal/antfarm"
+	"butterfly/internal/core"
+	"butterfly/internal/lynx"
+	"butterfly/internal/smp"
+	"butterfly/internal/us"
+)
+
+func main() {
+	const (
+		procs = 8
+		n     = 1 << 12
+	)
+	m, os := core.Boot(core.ButterflyI(procs))
+
+	// Shared data: the vector, its squares, and the ring's partial sums.
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i%97) / 7
+	}
+	squares := make([]float64, n)
+	partial := make([]float64, procs)
+
+	// Phase 3 (started first, runs last): a Lynx verification server.
+	verifier, err := lynx.Spawn(os, "verifier", procs-1, lynx.DefaultConfig(), nil)
+	if err != nil {
+		panic(err)
+	}
+	verifier.Bind("check", func(ht *antfarm.Thread, args any, words int) (any, int, error) {
+		claimed := args.(float64)
+		want := 0.0
+		for _, v := range xs {
+			want += v * v
+		}
+		os.M.Flops(ht.P(), 2*n)
+		// The ring sums in a different order than this linear pass, so
+		// compare within floating-point slack.
+		diff := claimed - want
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 1e-9*want, 1, nil
+	})
+
+	// Phase 1: Uniform System tasks square the vector in shared memory.
+	if _, err := us.Initialize(os, us.DefaultConfig(procs), func(w *us.Worker) {
+		w.U.GenOnIndex(w, procs, func(tw *us.Worker, band int) {
+			lo, hi := band*n/procs, (band+1)*n/procs
+			m.BlockCopy(tw.P, band%procs, tw.P.Node, hi-lo)
+			m.Flops(tw.P, hi-lo)
+			for i := lo; i < hi; i++ {
+				squares[i] = xs[i] * xs[i]
+			}
+			m.BlockCopy(tw.P, tw.P.Node, band%procs, hi-lo)
+		})
+		fmt.Println("phase 1 (Uniform System): vector squared in shared memory")
+
+		// Phase 2: an SMP ring accumulates the partial sums by message
+		// passing over the same shared data.
+		nodes := make([]int, procs)
+		for i := range nodes {
+			nodes[i] = i
+		}
+		var ringTotal float64
+		fam, err := smp.NewFamily(os, nil, "ring", nodes, smp.Ring{}, smp.DefaultConfig(), func(mem *smp.Member) {
+			lo, hi := mem.ID*n/procs, (mem.ID+1)*n/procs
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += squares[i]
+			}
+			m.Flops(mem.P, hi-lo)
+			partial[mem.ID] = s
+			if mem.ID == 0 {
+				if err := mem.Send(1, 0, 2, s); err != nil {
+					panic(err)
+				}
+				msg := mem.Recv() // the token returns around the ring
+				ringTotal = msg.Payload.(float64)
+			} else {
+				msg := mem.Recv()
+				acc := msg.Payload.(float64) + s
+				if err := mem.Send((mem.ID+1)%procs, 0, 2, acc); err != nil {
+					panic(err)
+				}
+			}
+		})
+		if err != nil {
+			panic(err)
+		}
+		_ = fam
+
+		// Phase 4: a Lynx client asks the RPC server to verify the total.
+		if _, err := lynx.Spawn(os, "client", 0, lynx.DefaultConfig(), func(self *lynx.Proc, th *antfarm.Thread) {
+			th.P().Advance(2_000_000_000) // wait out the ring (virtual time)
+			fmt.Printf("phase 2 (SMP ring): total of squares = %.4f\n", ringTotal)
+			l := lynx.NewLink(self, verifier)
+			ok, err := self.Call(th, l, "check", ringTotal, 2)
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("phase 3 (Lynx RPC): verifier says correct = %v\n", ok.(bool))
+			verifier.Shutdown(th)
+		}); err != nil {
+			panic(err)
+		}
+	}); err != nil {
+		panic(err)
+	}
+
+	if err := m.E.Run(); err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nthree programming models shared one machine and one data set;\n")
+	fmt.Printf("total simulated time: %.3f s\n", float64(m.E.Now())/1e9)
+}

@@ -1,0 +1,165 @@
+package antfarm
+
+import (
+	"butterfly/internal/chrysalis"
+	"butterfly/internal/sim"
+)
+
+// Channel carries typed values between threads "without regard to location":
+// same-farm communication costs a coroutine switch; cross-farm communication
+// pays remote references and a block copy of the payload, and wakes the
+// receiving farm through its Chrysalis event. Channels live in the global
+// heap on the node of their creating farm.
+type Channel struct {
+	// Node is the home node of the channel descriptor.
+	Node int
+	// Cap is the buffer capacity in messages; 0 means rendezvous.
+	Cap int
+
+	os       osRef
+	buf      []chanMsg
+	sendersQ []*Thread
+	recvQ    []*Thread
+	// handoff carries a message directly to a woken receiver.
+	handoff map[*Thread]chanMsg
+	// sendersW counts words pending from blocked senders (rendezvous).
+	pendingSend map[*Thread]chanMsg
+}
+
+type chanMsg struct {
+	payload any
+	words   int
+	from    int // sender's node, for copy accounting on late receive
+}
+
+// osRef is the subset of the OS the channel needs; it avoids holding a farm
+// pointer (channels outlive and span farms).
+type osRef interface {
+	Atomic(p *sim.Proc, node int)
+	BlockCopy(p *sim.Proc, src, dst, words int)
+}
+
+// NewChannel creates a channel homed on the creating farm's node.
+func (f *Farm) NewChannel(capacity int) *Channel {
+	return NewChannelOn(f.OS, f.P.Node, capacity)
+}
+
+// NewChannelOn creates a channel homed on an arbitrary node, usable before
+// any farm exists (higher layers such as Lynx allocate request channels at
+// process-creation time).
+func NewChannelOn(os *chrysalis.OS, node, capacity int) *Channel {
+	return &Channel{
+		Node:        node,
+		Cap:         capacity,
+		os:          os.M,
+		handoff:     map[*Thread]chanMsg{},
+		pendingSend: map[*Thread]chanMsg{},
+	}
+}
+
+// chargeTouch charges the running thread for touching the channel
+// descriptor (atomic on its home node).
+func (c *Channel) chargeTouch(t *Thread) {
+	c.os.Atomic(t.P(), c.Node)
+}
+
+// Send transmits payload (charged as words 32-bit words) on the channel,
+// blocking while the buffer is full (or, for a rendezvous channel, until a
+// receiver arrives).
+func (c *Channel) Send(t *Thread, payload any, words int) {
+	t.mustBeCurrent("Channel.Send")
+	c.chargeTouch(t)
+	msg := chanMsg{payload: payload, words: words, from: t.P().Node}
+	// Direct handoff to a waiting receiver.
+	if len(c.recvQ) > 0 {
+		r := c.recvQ[0]
+		c.recvQ = c.recvQ[:copy(c.recvQ, c.recvQ[1:])]
+		c.deliver(t.P(), r, msg)
+		return
+	}
+	if len(c.buf) < c.Cap {
+		c.buf = append(c.buf, msg)
+		return
+	}
+	// Buffer full (or rendezvous): block until a receiver takes it.
+	c.pendingSend[t] = msg
+	c.sendersQ = append(c.sendersQ, t)
+	t.BlockThread("antfarm channel send")
+}
+
+// deliver hands msg to receiver thread r, paying the payload copy if the
+// farms live on different nodes, and wakes r.
+func (c *Channel) deliver(sender *sim.Proc, r *Thread, msg chanMsg) {
+	if msg.words > 0 && msg.from != r.Farm.P.Node {
+		c.os.BlockCopy(sender, msg.from, r.Farm.P.Node, msg.words)
+	}
+	c.handoff[r] = msg
+	r.Unblock(sender)
+}
+
+// Recv blocks until a message is available and returns it with its charged
+// word count.
+func (c *Channel) Recv(t *Thread) (payload any, words int) {
+	t.mustBeCurrent("Channel.Recv")
+	c.chargeTouch(t)
+	if len(c.buf) > 0 {
+		msg := c.buf[0]
+		c.buf = c.buf[:copy(c.buf, c.buf[1:])]
+		if msg.words > 0 && msg.from != t.Farm.P.Node {
+			c.os.BlockCopy(t.P(), msg.from, t.Farm.P.Node, msg.words)
+		}
+		// A blocked sender can now slot its message into the buffer.
+		c.admitSender(t.P())
+		return msg.payload, msg.words
+	}
+	if len(c.sendersQ) > 0 {
+		// Rendezvous with a blocked sender.
+		s := c.sendersQ[0]
+		c.sendersQ = c.sendersQ[:copy(c.sendersQ, c.sendersQ[1:])]
+		msg := c.pendingSend[s]
+		delete(c.pendingSend, s)
+		if msg.words > 0 && msg.from != t.Farm.P.Node {
+			c.os.BlockCopy(t.P(), msg.from, t.Farm.P.Node, msg.words)
+		}
+		s.Unblock(t.P())
+		return msg.payload, msg.words
+	}
+	// Nothing available: block.
+	c.recvQ = append(c.recvQ, t)
+	t.BlockThread("antfarm channel recv")
+	msg := c.handoff[t]
+	delete(c.handoff, t)
+	return msg.payload, msg.words
+}
+
+// TryRecv returns immediately; ok is false when no buffered message exists.
+func (c *Channel) TryRecv(t *Thread) (payload any, words int, ok bool) {
+	t.mustBeCurrent("Channel.TryRecv")
+	c.chargeTouch(t)
+	if len(c.buf) == 0 {
+		return nil, 0, false
+	}
+	msg := c.buf[0]
+	c.buf = c.buf[:copy(c.buf, c.buf[1:])]
+	if msg.words > 0 && msg.from != t.Farm.P.Node {
+		c.os.BlockCopy(t.P(), msg.from, t.Farm.P.Node, msg.words)
+	}
+	c.admitSender(t.P())
+	return msg.payload, msg.words, true
+}
+
+// admitSender moves the longest-blocked sender's message into the freed
+// buffer slot.
+func (c *Channel) admitSender(waker *sim.Proc) {
+	if len(c.sendersQ) == 0 || len(c.buf) >= c.Cap {
+		return
+	}
+	s := c.sendersQ[0]
+	c.sendersQ = c.sendersQ[:copy(c.sendersQ, c.sendersQ[1:])]
+	c.buf = append(c.buf, c.pendingSend[s])
+	delete(c.pendingSend, s)
+	s.Unblock(waker)
+}
+
+// Len reports buffered messages.
+func (c *Channel) Len() int { return len(c.buf) }

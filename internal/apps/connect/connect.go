@@ -1,0 +1,216 @@
+// Package connect implements a connectionist (neural) network simulator in
+// the style of the Rochester Connectionist Simulator (Fanty, TR 164; §3.1 of
+// the paper) — the first significant Butterfly application at Rochester. The
+// simulator supports a neural-like model of massively parallel computing:
+// units hold activation levels; weighted links feed them; simulation
+// proceeds in synchronous rounds.
+//
+// Two of the paper's claims are reproduced:
+//
+//   - "With 120 Mbytes of physical memory we were able to build networks
+//     that had led to hopeless thrashing on a VAX": RunVAX models a faster
+//     uniprocessor with limited physical memory that pages to disk once the
+//     network spills out of core.
+//   - "With 120-way parallelism, we were able to simulate in minutes
+//     networks that had previously taken hours": Run distributes units over
+//     up to 120+ nodes with near-linear speedup.
+package connect
+
+import (
+	"math"
+	"math/rand"
+
+	"butterfly/internal/chrysalis"
+	"butterfly/internal/machine"
+	"butterfly/internal/sim"
+)
+
+// Network is a weighted directed graph of units.
+type Network struct {
+	Units int
+	// In[u] lists the incoming links of unit u.
+	In [][]Link
+	// Activation holds the current activation of each unit.
+	Activation []float64
+}
+
+// Link is one weighted connection.
+type Link struct {
+	From   int
+	Weight float64
+}
+
+// Random builds a network with the given number of units and average fan-in,
+// deterministically from seed.
+func Random(units, fanIn int, seed int64) *Network {
+	rng := rand.New(rand.NewSource(seed))
+	n := &Network{
+		Units:      units,
+		In:         make([][]Link, units),
+		Activation: make([]float64, units),
+	}
+	for u := 0; u < units; u++ {
+		n.Activation[u] = rng.Float64()
+		k := 1 + rng.Intn(2*fanIn)
+		for j := 0; j < k; j++ {
+			n.In[u] = append(n.In[u], Link{
+				From:   rng.Intn(units),
+				Weight: rng.Float64()*2 - 1,
+			})
+		}
+	}
+	return n
+}
+
+// BytesPerUnit approximates the storage footprint of a unit with its links
+// (descriptor, activation, link array).
+const BytesPerUnit = 256
+
+// squash is the unit activation function.
+func squash(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// step advances the network one synchronous round in place, returning the
+// new activation vector.
+func step(n *Network, act []float64) []float64 {
+	next := make([]float64, n.Units)
+	for u := 0; u < n.Units; u++ {
+		sum := 0.0
+		for _, l := range n.In[u] {
+			sum += l.Weight * act[l.From]
+		}
+		next[u] = squash(sum)
+	}
+	return next
+}
+
+// Reference simulates rounds sequentially in plain Go for correctness
+// checks.
+func Reference(n *Network, rounds int) []float64 {
+	act := append([]float64(nil), n.Activation...)
+	for r := 0; r < rounds; r++ {
+		act = step(n, act)
+	}
+	return act
+}
+
+// Result reports a simulation run.
+type Result struct {
+	Procs      int
+	Rounds     int
+	ElapsedNs  int64
+	Activation []float64
+}
+
+// Run simulates the network for rounds synchronous rounds on procs Butterfly
+// nodes: units are dealt round-robin; reading a remote unit's activation is
+// a remote reference; each link costs two flops plus the squash.
+func Run(n *Network, rounds, procs int) (Result, error) {
+	m := machine.New(machine.DefaultConfig(procs))
+	os := chrysalis.New(m)
+	nodeOf := func(u int) int { return u % procs }
+
+	act := append([]float64(nil), n.Activation...)
+	next := make([]float64, n.Units)
+	barrier := sim.NewBarrier("connect round barrier", procs)
+	var start, end int64
+	for p := 0; p < procs; p++ {
+		p := p
+		if _, err := os.MakeProcess(nil, "connect", p, 16, func(self *chrysalis.Process) {
+			if p == 0 {
+				start = m.E.Now()
+			}
+			for r := 0; r < rounds; r++ {
+				for u := p; u < n.Units; u += procs {
+					// Gather inputs: batch the remote activation reads per
+					// source node, local ones are cheap.
+					var local, remote int
+					sum := 0.0
+					for _, l := range n.In[u] {
+						if nodeOf(l.From) == p {
+							local++
+						} else {
+							remote++
+						}
+						sum += l.Weight * act[l.From]
+					}
+					m.Read(self.P, p, local+2)
+					if remote > 0 {
+						// Remote activations come from many nodes; charge
+						// them against a rotating victim to spread module
+						// load the way the scattered network does.
+						m.Read(self.P, (u+1)%procs, remote)
+					}
+					m.Flops(self.P, 2*len(n.In[u])+4)
+					next[u] = squash(sum)
+				}
+				barrier.Wait(self.P)
+				// Node 0 swaps the generation vectors (cheap pointer swap).
+				if p == 0 {
+					copy(act, next)
+				}
+				barrier.Wait(self.P)
+			}
+			if p == 0 {
+				end = m.E.Now()
+			}
+		}); err != nil {
+			return Result{}, err
+		}
+	}
+	if err := m.E.Run(); err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Procs:      procs,
+		Rounds:     rounds,
+		ElapsedNs:  end - start,
+		Activation: append([]float64(nil), act...),
+	}, nil
+}
+
+// VAXConfig models the department VAX the simulator outgrew.
+type VAXConfig struct {
+	// FlopNs is the VAX's floating-point cost (4 µs ~ a VAX-11/780 with
+	// FPA — six times faster than the Butterfly node's software float).
+	FlopNs int64
+	// MemoryBytes is physical memory (8 MB was generous in 1985).
+	MemoryBytes int64
+	// PageBytes and PageFaultNs model demand paging to disk.
+	PageBytes   int64
+	PageFaultNs int64
+}
+
+// DefaultVAX returns the 1985 departmental VAX calibration.
+func DefaultVAX() VAXConfig {
+	return VAXConfig{
+		FlopNs:      4_000,
+		MemoryBytes: 8 << 20,
+		PageBytes:   4096,
+		PageFaultNs: 25 * sim.Millisecond,
+	}
+}
+
+// RunVAX estimates the sequential simulation time on the VAX, including
+// thrashing once the network exceeds physical memory. The model is
+// analytical (no event simulation needed for one processor): each round
+// touches every unit's working set; the fraction that cannot be resident
+// faults at random-access cost.
+func RunVAX(n *Network, rounds int, cfg VAXConfig) int64 {
+	links := 0
+	for _, in := range n.In {
+		links += len(in)
+	}
+	flops := int64(rounds) * int64(2*links+4*n.Units)
+	compute := flops * cfg.FlopNs
+
+	netBytes := int64(n.Units) * BytesPerUnit
+	if netBytes <= cfg.MemoryBytes {
+		return compute
+	}
+	// Fraction of unit touches that miss core. Random link sources make
+	// locality poor: misses approximate the out-of-core fraction.
+	missFrac := float64(netBytes-cfg.MemoryBytes) / float64(netBytes)
+	touches := int64(rounds) * int64(links+n.Units)
+	faults := int64(missFrac * float64(touches))
+	return compute + faults*cfg.PageFaultNs
+}

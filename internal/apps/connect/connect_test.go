@@ -1,0 +1,92 @@
+package connect
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMatchesReference(t *testing.T) {
+	n := Random(200, 4, 1)
+	ref := Reference(n, 5)
+	r, err := Run(n, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range ref {
+		if math.Abs(ref[u]-r.Activation[u]) > 1e-12 {
+			t.Fatalf("unit %d: %g vs %g", u, ref[u], r.Activation[u])
+		}
+	}
+}
+
+func TestSingleProcessor(t *testing.T) {
+	n := Random(50, 3, 2)
+	ref := Reference(n, 3)
+	r, err := Run(n, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range ref {
+		if math.Abs(ref[u]-r.Activation[u]) > 1e-12 {
+			t.Fatalf("unit %d differs", u)
+		}
+	}
+}
+
+func TestNearLinearSpeedup(t *testing.T) {
+	// §3.1/§4.1: significant, often almost linear speedups.
+	n := Random(2048, 6, 3)
+	t1, err := Run(n, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t32, err := Run(n, 2, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := float64(t1.ElapsedNs) / float64(t32.ElapsedNs)
+	if speedup < 20 {
+		t.Errorf("speedup on 32 procs = %.1f, want near-linear (>20)", speedup)
+	}
+}
+
+func TestVAXThrashing(t *testing.T) {
+	// A network that fits in VAX memory runs fine; one that does not
+	// thrashes hopelessly.
+	small := Random(1000, 4, 4) // ~256 KB
+	big := Random(100_000, 4, 4)
+	cfg := DefaultVAX()
+	smallNs := RunVAX(small, 1, cfg)
+	bigNs := RunVAX(big, 1, cfg)
+	// Per-unit cost must explode for the big network.
+	perSmall := float64(smallNs) / 1000
+	perBig := float64(bigNs) / 100_000
+	if perBig < 20*perSmall {
+		t.Errorf("no thrashing: per-unit %f vs %f", perBig, perSmall)
+	}
+}
+
+func TestButterflyBeatsThrashingVAX(t *testing.T) {
+	// "simulate in minutes networks that had previously taken hours":
+	// a network larger than VAX core, on many Butterfly nodes.
+	n := Random(60_000, 4, 5)
+	vax := RunVAX(n, 1, DefaultVAX())
+	bf, err := Run(n, 1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(vax) / float64(bf.ElapsedNs)
+	if ratio < 10 {
+		t.Errorf("Butterfly/VAX ratio = %.1f, want order-of-magnitude win", ratio)
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(100, 4, 9)
+	b := Random(100, 4, 9)
+	for u := range a.In {
+		if len(a.In[u]) != len(b.In[u]) || a.Activation[u] != b.Activation[u] {
+			t.Fatal("networks differ for same seed")
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package gauss
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUSCorrectness(t *testing.T) {
+	r, err := RunUS(USConfig{N: 48, Procs: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MaxResidue > 1e-9 {
+		t.Errorf("US residue = %g", r.MaxResidue)
+	}
+	if r.ElapsedNs <= 0 {
+		t.Error("no elapsed time")
+	}
+}
+
+func TestSMPCorrectness(t *testing.T) {
+	r, err := RunSMP(SMPConfig{N: 48, Procs: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MaxResidue > 1e-9 {
+		t.Errorf("SMP residue = %g", r.MaxResidue)
+	}
+}
+
+func TestBothSolveSameSystem(t *testing.T) {
+	a, err := RunUS(USConfig{N: 32, Procs: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSMP(SMPConfig{N: 32, Procs: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.X {
+		d := a.X[i] - b.X[i]
+		if d < -1e-9 || d > 1e-9 {
+			t.Fatalf("solutions differ at %d: %g vs %g", i, a.X[i], b.X[i])
+		}
+	}
+}
+
+func TestCorrectnessProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		r, err := RunSMP(SMPConfig{N: 24, Procs: 3, Seed: seed})
+		if err != nil || r.MaxResidue > 1e-9 {
+			return false
+		}
+		u, err := RunUS(USConfig{N: 24, Procs: 3, Seed: seed})
+		return err == nil && u.MaxResidue < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSingleProcessorWorks(t *testing.T) {
+	r, err := RunSMP(SMPConfig{N: 16, Procs: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MaxResidue > 1e-9 {
+		t.Errorf("residue = %g", r.MaxResidue)
+	}
+	u, err := RunUS(USConfig{N: 16, Procs: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.MaxResidue > 1e-9 {
+		t.Errorf("US residue = %g", u.MaxResidue)
+	}
+}
+
+func TestMessageCountFormula(t *testing.T) {
+	// §4.1: "The number of messages sent in the SMP implementation is P*N"
+	// (we count the dominant broadcast term exactly).
+	r, err := RunSMP(SMPConfig{N: 32, Procs: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ExpectedMessagesSMP(4, 32)
+	if r.Messages != want {
+		t.Errorf("messages = %d, want %d", r.Messages, want)
+	}
+}
+
+func TestCommOpsGrowth(t *testing.T) {
+	// Doubling parallelism must double SMP communication but barely move
+	// the US count — the structural cause of Figure 5.
+	m4 := ExpectedMessagesSMP(4, 256)
+	m8 := ExpectedMessagesSMP(8, 256)
+	if m8 < 2*m4-256 {
+		t.Errorf("SMP messages did not double: %d -> %d", m4, m8)
+	}
+	u4 := ExpectedCommOpsUS(4, 256)
+	u8 := ExpectedCommOpsUS(8, 256)
+	growth := float64(u8) / float64(u4)
+	if growth > 1.05 {
+		t.Errorf("US comm ops grew %.2fx when doubling P; should be ~flat", growth)
+	}
+}
+
+func TestDataSpreadReducesContention(t *testing.T) {
+	// E4 at test scale: spreading rows over more memories speeds up the
+	// shared-memory run.
+	narrow, err := RunUS(USConfig{N: 64, Procs: 16, Seed: 2, SpreadK: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := RunUS(USConfig{N: 64, Procs: 16, Seed: 2, SpreadK: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.ElapsedNs >= narrow.ElapsedNs {
+		t.Errorf("spreading did not help: narrow %d, wide %d", narrow.ElapsedNs, wide.ElapsedNs)
+	}
+}
+
+func TestResidualDetectsWrongAnswer(t *testing.T) {
+	a, b := RandomMatrix(8, 1)
+	x := make([]float64, 8) // all zeros: wrong
+	if Residual(a, b, x) < 1e-3 {
+		t.Error("residual failed to flag a wrong solution")
+	}
+}

@@ -1,0 +1,313 @@
+// Package geometry implements two of the DARPA benchmark study's geometric
+// constructions (§3.1 of the paper): convex hull and minimal spanning tree.
+// Both run under the Uniform System with band decomposition and are verified
+// against sequential references.
+package geometry
+
+import (
+	"math/rand"
+	"sort"
+
+	"butterfly/internal/chrysalis"
+	"butterfly/internal/machine"
+	"butterfly/internal/us"
+)
+
+// Point is a 2-D point with integer coordinates (exact orientation tests).
+type Point struct{ X, Y int64 }
+
+// RandomPoints generates n distinct-ish points in a square.
+func RandomPoints(n int, seed int64) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{X: int64(rng.Intn(1 << 20)), Y: int64(rng.Intn(1 << 20))}
+	}
+	return pts
+}
+
+// cross computes the z of (b-a) x (c-a).
+func cross(a, b, c Point) int64 {
+	return (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+}
+
+// HullSequential computes the convex hull (Andrew's monotone chain),
+// counterclockwise, without interior collinear points.
+func HullSequential(pts []Point) []Point {
+	p := append([]Point(nil), pts...)
+	sort.Slice(p, func(i, j int) bool {
+		if p[i].X != p[j].X {
+			return p[i].X < p[j].X
+		}
+		return p[i].Y < p[j].Y
+	})
+	// Dedup.
+	uniq := p[:0]
+	for i, q := range p {
+		if i == 0 || q != p[i-1] {
+			uniq = append(uniq, q)
+		}
+	}
+	p = uniq
+	if len(p) < 3 {
+		return append([]Point(nil), p...)
+	}
+	var lower, upper []Point
+	for _, q := range p {
+		for len(lower) >= 2 && cross(lower[len(lower)-2], lower[len(lower)-1], q) <= 0 {
+			lower = lower[:len(lower)-1]
+		}
+		lower = append(lower, q)
+	}
+	for i := len(p) - 1; i >= 0; i-- {
+		q := p[i]
+		for len(upper) >= 2 && cross(upper[len(upper)-2], upper[len(upper)-1], q) <= 0 {
+			upper = upper[:len(upper)-1]
+		}
+		upper = append(upper, q)
+	}
+	return append(lower[:len(lower)-1], upper[:len(upper)-1]...)
+}
+
+// Result carries a parallel run's timing.
+type Result struct {
+	Procs     int
+	ElapsedNs int64
+	Rounds    int
+}
+
+// Hull computes the convex hull in parallel: each Uniform System task hulls
+// one band of the (x-sorted) points, and the generator hulls the
+// concatenation of the band hulls — correct because the hull of a union is
+// the hull of the union of hulls.
+func Hull(pts []Point, procs int) ([]Point, Result, error) {
+	m := machine.New(machine.DefaultConfig(procs))
+	os := chrysalis.New(m)
+	sorted := append([]Point(nil), pts...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].X != sorted[j].X {
+			return sorted[i].X < sorted[j].X
+		}
+		return sorted[i].Y < sorted[j].Y
+	})
+	bands := 4 * procs
+	if bands > len(sorted) {
+		bands = len(sorted)
+	}
+	partial := make([][]Point, bands)
+	var res Result
+	ucfg := us.DefaultConfig(procs)
+	ucfg.ParallelAlloc = true
+	_, err := us.Initialize(os, ucfg, func(w *us.Worker) {
+		start := m.E.Now()
+		w.U.GenOnIndex(w, bands, func(tw *us.Worker, band int) {
+			lo := band * len(sorted) / bands
+			hi := (band + 1) * len(sorted) / bands
+			if hi <= lo {
+				return
+			}
+			// Fetch the band (block copy) and hull it locally; the n log n
+			// sort is already done (points arrive x-sorted), so the chain
+			// scan is linear.
+			m.BlockCopy(tw.P, band%procs, tw.P.Node, 2*(hi-lo))
+			m.IntOps(tw.P, 12*(hi-lo))
+			partial[band] = HullSequential(sorted[lo:hi])
+			m.BlockCopy(tw.P, tw.P.Node, band%procs, 2*len(partial[band]))
+		})
+		// Merge: hull of the band hulls (small).
+		var all []Point
+		for _, h := range partial {
+			all = append(all, h...)
+		}
+		m.BlockCopy(w.P, 1%procs, w.P.Node, 2*len(all))
+		m.IntOps(w.P, 14*len(all))
+		partial[0] = HullSequential(all)
+		res.ElapsedNs = m.E.Now() - start
+	})
+	if err != nil {
+		return nil, Result{}, err
+	}
+	if err := m.E.Run(); err != nil {
+		return nil, Result{}, err
+	}
+	res.Procs = procs
+	return partial[0], res, nil
+}
+
+// SameHull compares hulls as point sets.
+func SameHull(a, b []Point) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	key := func(p Point) [2]int64 { return [2]int64{p.X, p.Y} }
+	set := map[[2]int64]bool{}
+	for _, p := range a {
+		set[key(p)] = true
+	}
+	for _, p := range b {
+		if !set[key(p)] {
+			return false
+		}
+	}
+	return true
+}
+
+// WEdge is a weighted undirected edge.
+type WEdge struct {
+	A, B   int
+	Weight int64
+}
+
+// RandomGraph builds a connected weighted graph: a spanning path plus extra
+// random edges with distinct weights (so the MST is unique).
+func RandomGraph(n, extra int, seed int64) []WEdge {
+	rng := rand.New(rand.NewSource(seed))
+	var edges []WEdge
+	w := int64(1)
+	next := func() int64 { w += 1 + int64(rng.Intn(7)); return w }
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		edges = append(edges, WEdge{A: perm[i-1], B: perm[i], Weight: next()})
+	}
+	for e := 0; e < extra; e++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a != b {
+			edges = append(edges, WEdge{A: a, B: b, Weight: next()})
+		}
+	}
+	// Shuffle so weight is uncorrelated with position.
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	return edges
+}
+
+// MSTSequential computes the minimum spanning tree weight with Kruskal.
+func MSTSequential(n int, edges []WEdge) int64 {
+	es := append([]WEdge(nil), edges...)
+	sort.Slice(es, func(i, j int) bool { return es[i].Weight < es[j].Weight })
+	uf := newUnionFind(n)
+	var total int64
+	for _, e := range es {
+		if uf.union(e.A, e.B) {
+			total += e.Weight
+		}
+	}
+	return total
+}
+
+// MST computes the minimum spanning tree weight with parallel Boruvka: each
+// round, Uniform System tasks scan edge bands to find every component's
+// minimum outgoing edge; the generator merges components and the rounds
+// repeat until one component remains.
+func MST(n int, edges []WEdge, procs int) (int64, Result, error) {
+	m := machine.New(machine.DefaultConfig(procs))
+	os := chrysalis.New(m)
+	bands := 4 * procs
+	if bands > len(edges) {
+		bands = len(edges)
+	}
+	var total int64
+	var res Result
+	ucfg := us.DefaultConfig(procs)
+	ucfg.ParallelAlloc = true
+	_, err := us.Initialize(os, ucfg, func(w *us.Worker) {
+		start := m.E.Now()
+		uf := newUnionFind(n)
+		components := n
+		for components > 1 {
+			// bestAll[comp] is the shared minimum-outgoing-edge table,
+			// scattered over the memories by component id. Tasks first
+			// reduce their own band locally, then fold their candidates
+			// into the shared table with locked compare-and-swap updates
+			// (charged per entry), so the reduction parallelizes instead of
+			// funnelling through the generator.
+			bestAll := map[int]WEdge{}
+			w.U.GenOnIndex(w, bands, func(tw *us.Worker, band int) {
+				lo := band * len(edges) / bands
+				hi := (band + 1) * len(edges) / bands
+				mine := map[int]WEdge{}
+				for _, e := range edges[lo:hi] {
+					ra, rb := uf.find(e.A), uf.find(e.B)
+					if ra == rb {
+						continue
+					}
+					if b, ok := mine[ra]; !ok || e.Weight < b.Weight {
+						mine[ra] = e
+					}
+					if b, ok := mine[rb]; !ok || e.Weight < b.Weight {
+						mine[rb] = e
+					}
+				}
+				// Edge scan: reads from the edge array's home memories,
+				// plus union-find root chasing.
+				m.Sweep(tw.P, hi-lo, 8*m.Cfg.IntOpNs, []machine.Ref{{Node: band % procs, Words: 3}})
+				// Fold candidates into the shared table: one locked
+				// read-modify-write per entry at the component's home node.
+				perNode := make([]int, procs)
+				for comp, e := range mine {
+					perNode[comp%procs]++
+					if b, ok := bestAll[comp]; !ok || e.Weight < b.Weight {
+						bestAll[comp] = e
+					}
+				}
+				for j := 0; j < procs; j++ {
+					node := (band + j) % procs
+					if cnt := perNode[node]; cnt > 0 {
+						m.Sweep(tw.P, cnt, 2*m.Cfg.IntOpNs, []machine.Ref{{Node: node, Words: 3}})
+					}
+				}
+			})
+			// Contract (cheap: one pass over the surviving minima).
+			m.IntOps(w.P, 4*len(bestAll))
+			for _, e := range bestAll {
+				if uf.union(e.A, e.B) {
+					total += e.Weight
+					components--
+				}
+			}
+			res.Rounds++
+		}
+		res.ElapsedNs = m.E.Now() - start
+	})
+	if err != nil {
+		return 0, Result{}, err
+	}
+	if err := m.E.Run(); err != nil {
+		return 0, Result{}, err
+	}
+	res.Procs = procs
+	return total, res, nil
+}
+
+// unionFind is a standard disjoint-set forest.
+type unionFind struct{ parent, rank []int }
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), rank: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) bool {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return false
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+	return true
+}

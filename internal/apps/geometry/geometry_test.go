@@ -1,0 +1,108 @@
+package geometry
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHullMatchesReference(t *testing.T) {
+	pts := RandomPoints(2000, 1)
+	want := HullSequential(pts)
+	got, res, err := Hull(pts, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SameHull(want, got) {
+		t.Errorf("hulls differ: %d vs %d points", len(got), len(want))
+	}
+	if res.ElapsedNs <= 0 {
+		t.Error("no time recorded")
+	}
+}
+
+func TestHullProperty(t *testing.T) {
+	// Property: every input point lies inside or on the parallel hull.
+	check := func(seed int64) bool {
+		pts := RandomPoints(300, seed)
+		hull, _, err := Hull(pts, 4)
+		if err != nil || len(hull) < 3 {
+			return false
+		}
+		for _, p := range pts {
+			for i := range hull {
+				a, b := hull[i], hull[(i+1)%len(hull)]
+				if cross(a, b, p) < 0 {
+					return false // point outside a hull edge
+				}
+			}
+		}
+		return SameHull(hull, HullSequential(pts))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHullTinyInputs(t *testing.T) {
+	pts := []Point{{0, 0}, {5, 5}}
+	h := HullSequential(pts)
+	if len(h) != 2 {
+		t.Errorf("2-point hull = %v", h)
+	}
+	one := HullSequential([]Point{{3, 3}})
+	if len(one) != 1 {
+		t.Errorf("1-point hull = %v", one)
+	}
+}
+
+func TestMSTMatchesKruskal(t *testing.T) {
+	edges := RandomGraph(500, 2000, 2)
+	want := MSTSequential(500, edges)
+	got, res, err := MST(500, edges, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("MST weight = %d, want %d", got, want)
+	}
+	if res.Rounds == 0 {
+		t.Error("no Boruvka rounds recorded")
+	}
+}
+
+func TestMSTProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		edges := RandomGraph(120, 400, seed)
+		want := MSTSequential(120, edges)
+		got, _, err := MST(120, edges, 4)
+		return err == nil && got == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMSTSpeedup(t *testing.T) {
+	edges := RandomGraph(4000, 30000, 3)
+	_, r1, err := MST(4000, edges, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, r16, err := MST(4000, edges, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := float64(r1.ElapsedNs) / float64(r16.ElapsedNs); s < 2.5 {
+		t.Errorf("MST speedup on 16 procs = %.1f", s)
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	uf := newUnionFind(4)
+	if !uf.union(0, 1) || uf.union(0, 1) {
+		t.Error("union semantics wrong")
+	}
+	if uf.find(0) != uf.find(1) || uf.find(2) == uf.find(3) {
+		t.Error("find wrong")
+	}
+}

@@ -1,0 +1,120 @@
+package graphs
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestComponentsMatchReference(t *testing.T) {
+	g := Random(300, 3, 1)
+	ref := ComponentsRef(g)
+	got, res, err := Components(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SameComponents(ref, got) {
+		t.Error("component labelings disagree")
+	}
+	if res.Rounds == 0 || res.ElapsedNs <= 0 {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestComponentsProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		g := Random(120, 2, seed)
+		ref := ComponentsRef(g)
+		got, _, err := Components(g, 4)
+		return err == nil && SameComponents(ref, got)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 6}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComponentsFindsFourBlocks(t *testing.T) {
+	g := Random(400, 3, 2)
+	labels := ComponentsRef(g)
+	distinct := map[int]bool{}
+	for _, l := range labels {
+		distinct[l] = true
+	}
+	if len(distinct) != 4 {
+		t.Errorf("components = %d, want 4 (test graph is 4 blocks)", len(distinct))
+	}
+}
+
+func TestShortestPathsMatchReference(t *testing.T) {
+	g := Random(200, 3, 3)
+	ref := ShortestPathsRef(g, 0)
+	got, res, err := ShortestPaths(g, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range ref {
+		if got[v] != ref[v] {
+			t.Fatalf("dist[%d] = %d, want %d", v, got[v], ref[v])
+		}
+	}
+	if res.Rounds == 0 {
+		t.Error("no rounds recorded")
+	}
+}
+
+func TestShortestPathsUnreachable(t *testing.T) {
+	g := Random(100, 2, 4) // 4 disjoint blocks; most vertices unreachable from 0
+	got, _, err := ShortestPaths(g, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[len(got)-1] != Infinity {
+		t.Error("vertex in another component reachable")
+	}
+	if got[0] != 0 {
+		t.Errorf("dist[src] = %d", got[0])
+	}
+}
+
+func TestTransitiveClosureMatchesReference(t *testing.T) {
+	g := Random(80, 2, 5)
+	ref := TransitiveClosureRef(g)
+	got, _, err := TransitiveClosure(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		for j := range ref[i] {
+			if ref[i][j] != got[i][j] {
+				t.Fatalf("reach[%d][%d] differs", i, j)
+			}
+		}
+	}
+}
+
+func TestComponentSpeedup(t *testing.T) {
+	g := Random(3000, 6, 6)
+	_, r1, err := Components(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, r16, err := Components(g, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := float64(r1.ElapsedNs) / float64(r16.ElapsedNs)
+	if speedup < 7 {
+		t.Errorf("speedup on 16 procs = %.1f, want substantial", speedup)
+	}
+}
+
+func TestSameComponentsRejectsMismatch(t *testing.T) {
+	if SameComponents([]int{0, 0, 1}, []int{0, 1, 1}) {
+		t.Error("mismatched labelings accepted")
+	}
+	if SameComponents([]int{0}, []int{0, 1}) {
+		t.Error("length mismatch accepted")
+	}
+	if !SameComponents([]int{5, 5, 9}, []int{1, 1, 0}) {
+		t.Error("renamed labeling rejected")
+	}
+}

@@ -1,0 +1,328 @@
+// Package hough implements the Hough-transform line finder of the DARPA
+// benchmark suite (Olson, BPR 10), the paper's showcase for the Uniform
+// System caching idiom (§4.1): copying blocks of data from the (logically)
+// global shared memory into local memory improved performance by 42% on 64
+// processors, and keeping lookup tables for transcendental functions in
+// local memory improved it by a further 22%.
+//
+// Three variants reproduce the progression:
+//
+//   - VariantShared: the naive port. Tasks read image rows from shared
+//     memory word by word, fetch sine/cosine values from the shared trig
+//     table (two remote references per angle), and cast votes directly into
+//     the shared accumulator under per-angle spin locks.
+//   - VariantCached: + block-copy caching. Image rows are block-copied to
+//     local memory and votes accumulate into a local array merged at the
+//     end of the run; the trig table is still read remotely.
+//   - VariantLocalTables: + per-processor trig tables, built once per
+//     worker with software floating point and kept in local memory across
+//     tasks, so the per-angle fetches become local references.
+package hough
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"butterfly/internal/chrysalis"
+	"butterfly/internal/machine"
+	"butterfly/internal/us"
+)
+
+// Variant selects the implementation style.
+type Variant int
+
+// Variants, in the order the Rochester vision group improved the code.
+const (
+	VariantShared Variant = iota
+	VariantCached
+	VariantLocalTables
+)
+
+func (v Variant) String() string {
+	switch v {
+	case VariantShared:
+		return "shared (no caching)"
+	case VariantCached:
+		return "block-copy caching"
+	case VariantLocalTables:
+		return "caching + local tables"
+	}
+	return "unknown"
+}
+
+// Image is a binary edge image.
+type Image struct {
+	W, H   int
+	Pixels []bool
+}
+
+// At reports the pixel at (x, y).
+func (im *Image) At(x, y int) bool { return im.Pixels[y*im.W+x] }
+
+// SyntheticImage builds a W x H edge image containing strong lines plus
+// salt noise — the workload shape that makes Hough peaks (and their lock
+// convoys) realistic.
+func SyntheticImage(w, h, lines int, noise float64, seed int64) *Image {
+	rng := rand.New(rand.NewSource(seed))
+	im := &Image{W: w, H: h, Pixels: make([]bool, w*h)}
+	for l := 0; l < lines; l++ {
+		theta := rng.Float64() * math.Pi
+		rho := (rng.Float64() - 0.5) * float64(w+h) / 2
+		c, s := math.Cos(theta), math.Sin(theta)
+		for t := -w - h; t < w+h; t++ {
+			x := int(rho*c - float64(t)*s + float64(w)/2)
+			y := int(rho*s + float64(t)*c + float64(h)/2)
+			if x >= 0 && x < w && y >= 0 && y < h {
+				im.Pixels[y*w+x] = true
+			}
+		}
+	}
+	for i := range im.Pixels {
+		if rng.Float64() < noise {
+			im.Pixels[i] = true
+		}
+	}
+	return im
+}
+
+// Config parameterizes a run.
+type Config struct {
+	Image   *Image
+	Angles  int // theta resolution (the benchmark used 180)
+	Procs   int
+	Variant Variant
+}
+
+// Result reports one run.
+type Result struct {
+	Variant   Variant
+	Procs     int
+	ElapsedNs int64
+	// Votes is the accumulator, Angles x NRho.
+	Votes [][]int
+	NRho  int
+}
+
+// trigFlops is the software-floating-point cost of evaluating one
+// sine/cosine pair (a polynomial approximation on the MC68000).
+const trigFlops = 10
+
+// NRhoFor returns the rho resolution used for a given image (rho is
+// quantized to two-pixel buckets, halving the accumulator).
+func NRhoFor(im *Image) int { return im.W + im.H }
+
+// Reference computes the transform sequentially in plain Go (no simulation)
+// for correctness checks.
+func Reference(im *Image, angles int) [][]int {
+	nrho := NRhoFor(im)
+	votes := make([][]int, angles)
+	for a := range votes {
+		votes[a] = make([]int, nrho)
+	}
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			if !im.At(x, y) {
+				continue
+			}
+			for a := 0; a < angles; a++ {
+				th := float64(a) * math.Pi / float64(angles)
+				rho := float64(x)*math.Cos(th) + float64(y)*math.Sin(th)
+				votes[a][(int(rho)+im.W+im.H)/2]++
+			}
+		}
+	}
+	return votes
+}
+
+// Run executes the parallel transform on a simulated machine and returns the
+// timing plus the (verified-identical) accumulator.
+func Run(cfg Config) (Result, error) {
+	im := cfg.Image
+	nrho := NRhoFor(im)
+	m := machine.New(machine.DefaultConfig(cfg.Procs))
+	os := chrysalis.New(m)
+
+	votes := make([][]int, cfg.Angles)
+	for a := range votes {
+		votes[a] = make([]int, nrho)
+	}
+	// Per-worker local accumulators for the cached variants.
+	local := make([][][]int, cfg.Procs)
+
+	// Vote-cell spin locks for the shared variant: one lock per theta row,
+	// co-located with that row of the accumulator (scattered round-robin).
+	locks := make([]*chrysalis.SpinLock, cfg.Angles)
+	for a := range locks {
+		locks[a] = os.NewSpinLock(a % cfg.Procs)
+	}
+
+	// tablesReady[w] marks that worker w has built its local trig tables.
+	tablesReady := make([]bool, cfg.Procs)
+
+	var start, end int64
+	ucfg := us.DefaultConfig(cfg.Procs)
+	ucfg.ParallelAlloc = true
+	_, err := us.Initialize(os, ucfg, func(w *us.Worker) {
+		start = m.E.Now()
+		w.U.GenOnIndex(w, im.H, func(tw *us.Worker, row int) {
+			p := tw.P
+			// --- fetch the image row ---
+			if cfg.Variant == VariantShared {
+				m.Read(p, row%cfg.Procs, im.W/32+1) // bitmap words, word at a time
+			} else {
+				m.BlockCopy(p, row%cfg.Procs, p.Node, im.W/32+1)
+			}
+			// --- trig tables ---
+			if cfg.Variant == VariantLocalTables && !tablesReady[tw.ID] {
+				// Once per worker: build the table into local memory with
+				// software floating point.
+				m.Flops(p, cfg.Angles*trigFlops)
+				m.Write(p, p.Node, 2*cfg.Angles)
+				tablesReady[tw.ID] = true
+			}
+			if cfg.Variant != VariantShared && local[tw.ID] == nil {
+				acc := make([][]int, cfg.Angles)
+				for a := range acc {
+					acc[a] = make([]int, nrho)
+				}
+				local[tw.ID] = acc
+			}
+			// --- accumulate ---
+			for x := 0; x < im.W; x++ {
+				if !im.At(x, row) {
+					continue
+				}
+				// Per-angle compute: rho = x*cos(theta) + y*sin(theta) plus
+				// a local vote for the cached variants; charged in one event
+				// for the whole angle sweep. Remote operations (shared table
+				// fetches, locked shared votes) are charged per angle below.
+				costPerAngle := 2 * m.Cfg.FlopNs
+				if cfg.Variant == VariantLocalTables {
+					// Three local table references per angle (coarse table
+					// plus two-point interpolation).
+					costPerAngle += 3 * (m.Cfg.LocalOverheadNs + m.Cfg.MemCycleNs)
+				}
+				if cfg.Variant != VariantShared {
+					costPerAngle += m.Cfg.LocalOverheadNs + m.Cfg.MemCycleNs // local vote
+				}
+				p.Advance(int64(cfg.Angles) * costPerAngle)
+				for a := 0; a < cfg.Angles; a++ {
+					th := float64(a) * math.Pi / float64(cfg.Angles)
+					rho := float64(x)*math.Cos(th) + float64(row)*math.Sin(th)
+					cell := (int(rho) + im.W + im.H) / 2
+					switch cfg.Variant {
+					case VariantShared, VariantCached:
+						// Fetch cos/sin from the shared scattered table
+						// (coarse table plus two-point interpolation).
+						m.Read(p, a%cfg.Procs, 3)
+					default:
+						// Local table: already charged in costPerAngle.
+					}
+					if cfg.Variant == VariantShared {
+						// Locked vote straight into shared memory: load the
+						// cell, increment, store it back — all under the
+						// per-angle spin lock.
+						locks[a].Lock(p)
+						m.Read(p, a%cfg.Procs, 1)
+						m.Write(p, a%cfg.Procs, 1)
+						votes[a][cell]++
+						locks[a].Unlock(p)
+					} else {
+						local[tw.ID][a][cell]++
+					}
+				}
+			}
+		})
+		// --- merge local accumulators (cached variants) ---
+		// Each worker merges one theta band from every local accumulator,
+		// so the merge itself is parallel (a serial merge would dwarf the
+		// kernel at 64 processors).
+		if cfg.Variant != VariantShared {
+			w.U.GenOnIndex(w, cfg.Procs, func(tw *us.Worker, band int) {
+				lo := band * cfg.Angles / cfg.Procs
+				hi := (band + 1) * cfg.Angles / cfg.Procs
+				bandWords := (hi - lo) * nrho
+				if bandWords == 0 {
+					return
+				}
+				// Bands start at different source accumulators so the copies
+				// do not march across the memories in lockstep.
+				for j := 0; j < cfg.Procs; j++ {
+					id := (band + j) % cfg.Procs
+					if local[id] == nil {
+						continue
+					}
+					m.BlockCopy(tw.P, id, tw.P.Node, bandWords)
+					m.IntOps(tw.P, bandWords/2)
+					for a := lo; a < hi; a++ {
+						for r := 0; r < nrho; r++ {
+							votes[a][r] += local[id][a][r]
+						}
+					}
+				}
+			})
+		}
+		end = m.E.Now()
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	if err := m.E.Run(); err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Variant:   cfg.Variant,
+		Procs:     cfg.Procs,
+		ElapsedNs: end - start,
+		Votes:     votes,
+		NRho:      nrho,
+	}, nil
+}
+
+// Peaks returns the k highest-vote (theta, rho) cells — the detected lines.
+func (r Result) Peaks(k int) [][2]int {
+	type cell struct{ a, rho, v int }
+	var best []cell
+	for a := range r.Votes {
+		for rho, v := range r.Votes[a] {
+			if v == 0 {
+				continue
+			}
+			best = append(best, cell{a, rho, v})
+		}
+	}
+	// Partial selection sort: k is small.
+	out := make([][2]int, 0, k)
+	for len(out) < k && len(best) > 0 {
+		m := 0
+		for i := range best {
+			if best[i].v > best[m].v {
+				m = i
+			}
+		}
+		out = append(out, [2]int{best[m].a, best[m].rho})
+		best = append(best[:m], best[m+1:]...)
+	}
+	return out
+}
+
+// Equal reports whether two accumulators match exactly.
+func Equal(a, b [][]int) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("hough: angle counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return fmt.Errorf("hough: votes differ at (%d,%d): %d vs %d", i, j, a[i][j], b[i][j])
+			}
+		}
+	}
+	return nil
+}
+
+// Speedup is a convenience for experiment tables.
+func Speedup(base, improved int64) float64 {
+	return float64(base-improved) / float64(base) * 100
+}

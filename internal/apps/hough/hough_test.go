@@ -1,0 +1,105 @@
+package hough
+
+import (
+	"testing"
+)
+
+func smallImage() *Image {
+	return SyntheticImage(64, 64, 5, 0.08, 1)
+}
+
+func TestMatchesReference(t *testing.T) {
+	im := smallImage()
+	ref := Reference(im, 45)
+	for _, v := range []Variant{VariantShared, VariantCached, VariantLocalTables} {
+		r, err := Run(Config{Image: im, Angles: 45, Procs: 4, Variant: v})
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if err := Equal(ref, r.Votes); err != nil {
+			t.Errorf("%v: %v", v, err)
+		}
+	}
+}
+
+func TestCachingHelps(t *testing.T) {
+	im := smallImage()
+	shared, err := Run(Config{Image: im, Angles: 45, Procs: 8, Variant: VariantShared})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := Run(Config{Image: im, Angles: 45, Procs: 8, Variant: VariantCached})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.ElapsedNs >= shared.ElapsedNs {
+		t.Errorf("caching did not help: %d vs %d", cached.ElapsedNs, shared.ElapsedNs)
+	}
+}
+
+func TestLocalTablesHelp(t *testing.T) {
+	im := smallImage()
+	cached, err := Run(Config{Image: im, Angles: 45, Procs: 8, Variant: VariantCached})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := Run(Config{Image: im, Angles: 45, Procs: 8, Variant: VariantLocalTables})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tables.ElapsedNs >= cached.ElapsedNs {
+		t.Errorf("local tables did not help: %d vs %d", tables.ElapsedNs, cached.ElapsedNs)
+	}
+}
+
+func TestPeaksFindPlantedLines(t *testing.T) {
+	// An image with 2 strong lines must put them among the top peaks.
+	im := SyntheticImage(96, 96, 2, 0.0, 7)
+	r, err := Run(Config{Image: im, Angles: 60, Procs: 4, Variant: VariantLocalTables})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peaks := r.Peaks(4)
+	if len(peaks) == 0 {
+		t.Fatal("no peaks found")
+	}
+	// The strongest peak must collect a line's worth of votes.
+	best := r.Votes[peaks[0][0]][peaks[0][1]]
+	if best < 40 {
+		t.Errorf("top peak only %d votes; line not detected", best)
+	}
+}
+
+func TestSyntheticImageDeterministic(t *testing.T) {
+	a := SyntheticImage(32, 32, 2, 0.05, 3)
+	b := SyntheticImage(32, 32, 2, 0.05, 3)
+	for i := range a.Pixels {
+		if a.Pixels[i] != b.Pixels[i] {
+			t.Fatal("images differ for same seed")
+		}
+	}
+	c := SyntheticImage(32, 32, 2, 0.05, 4)
+	same := true
+	for i := range a.Pixels {
+		if a.Pixels[i] != c.Pixels[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds gave identical images")
+	}
+}
+
+func TestVariantStrings(t *testing.T) {
+	if VariantShared.String() == "" || VariantCached.String() == "" ||
+		VariantLocalTables.String() == "" || Variant(9).String() != "unknown" {
+		t.Error("bad variant strings")
+	}
+}
+
+func TestSpeedupHelper(t *testing.T) {
+	if Speedup(100, 58) != 42 {
+		t.Errorf("Speedup = %v", Speedup(100, 58))
+	}
+}

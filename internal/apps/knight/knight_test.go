@@ -1,0 +1,108 @@
+package knight
+
+import (
+	"testing"
+
+	"butterfly/internal/replay"
+	"butterfly/internal/sim"
+)
+
+func TestFindsValidTour(t *testing.T) {
+	r, err := Run(Config{N: 6, Procs: 4, Start: 0, MaxPool: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Tour.complete() {
+		t.Fatalf("tour incomplete: %d/%d", len(r.Tour.Path), 36)
+	}
+	if err := r.Tour.Valid(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Grabs == 0 {
+		t.Error("no pool activity")
+	}
+}
+
+func TestValidCatchesBadTours(t *testing.T) {
+	bad := Tour{N: 5, Path: []int{0, 1}} // not a knight move
+	if bad.Valid() == nil {
+		t.Error("illegal move accepted")
+	}
+	dup := Tour{N: 5, Path: []int{0, 7, 0}}
+	if dup.Valid() == nil {
+		t.Error("revisit accepted")
+	}
+	oob := Tour{N: 5, Path: []int{99}}
+	if oob.Valid() == nil {
+		t.Error("out-of-range square accepted")
+	}
+}
+
+func TestNondeterminismAcrossJitter(t *testing.T) {
+	// Different worker timings may find different tours (the program is
+	// genuinely racy). We only require both to be valid; if they happen to
+	// be equal that's fine too, but the access logs must both be non-empty.
+	a, err := Run(Config{N: 6, Procs: 4, Start: 0, MaxPool: 64, Mode: replay.ModeRecord})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{N: 6, Procs: 4, Start: 0, MaxPool: 64, Mode: replay.ModeRecord,
+		Jitter: []int64{900 * sim.Microsecond, 100, 40 * sim.Microsecond, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Tour.Valid(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Tour.Valid(); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Log) == 0 || len(b.Log) == 0 {
+		t.Error("empty access logs")
+	}
+}
+
+func TestInstantReplayReproducesTour(t *testing.T) {
+	// Record a run, then replay its log under very different worker timing:
+	// the same tour must come out, with the same pool-access count.
+	rec, err := Run(Config{N: 6, Procs: 4, Start: 0, MaxPool: 64, Mode: replay.ModeRecord})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(Config{N: 6, Procs: 4, Start: 0, MaxPool: 64,
+		Mode: replay.ModeReplay, Log: rec.Log,
+		Jitter: []int64{2 * sim.Millisecond, 0, 700 * sim.Microsecond, 90 * sim.Microsecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tour.Path) != len(rec.Tour.Path) {
+		t.Fatalf("tour lengths differ: %d vs %d", len(rep.Tour.Path), len(rec.Tour.Path))
+	}
+	for i := range rec.Tour.Path {
+		if rep.Tour.Path[i] != rec.Tour.Path[i] {
+			t.Fatalf("replayed tour diverges at move %d", i)
+		}
+	}
+	if rep.Grabs != rec.Grabs {
+		t.Errorf("pool accesses differ: %d vs %d", rep.Grabs, rec.Grabs)
+	}
+}
+
+func TestTooSmallBoard(t *testing.T) {
+	if _, err := Run(Config{N: 4, Procs: 2, Start: 0}); err == nil {
+		t.Error("4x4 board accepted (no tours exist)")
+	}
+}
+
+func TestSingleWorker(t *testing.T) {
+	r, err := Run(Config{N: 5, Procs: 1, Start: 0, MaxPool: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Tour.Valid(); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Tour.complete() {
+		t.Error("incomplete tour")
+	}
+}

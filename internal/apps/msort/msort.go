@@ -1,0 +1,215 @@
+// Package msort implements the odd-even merge sort studied with Instant
+// Replay and Moviola (§3.3 of the paper; Figure 6 is Moviola's graphical
+// view of a deadlock in this very program). P processes each hold a block of
+// keys; rounds of partner exchanges sort the whole sequence (odd-even
+// transposition at block granularity). The Buggy flag reintroduces the
+// message-ordering bug of Figure 6: in odd rounds both partners wait to
+// receive before sending, so the program deadlocks — and the recorded
+// partial order shows exactly who was waiting for whom.
+package msort
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"butterfly/internal/chrysalis"
+	"butterfly/internal/machine"
+	"butterfly/internal/replay"
+	"butterfly/internal/smp"
+)
+
+// Config parameterizes a sort run.
+type Config struct {
+	Procs int
+	// Buggy selects the deadlocking message protocol of Figure 6.
+	Buggy bool
+	// Record instruments the exchanges with Instant Replay shared objects
+	// and returns the access log in Result.Log (even after a deadlock).
+	Record bool
+}
+
+// Result reports a sort run.
+type Result struct {
+	Sorted    []uint32
+	ElapsedNs int64
+	Rounds    int
+	// Log is the Instant Replay record when Config.Record was set; it is
+	// populated even when the run deadlocks (that partial order is what
+	// Figure 6 visualizes).
+	Log []replay.Entry
+}
+
+// ErrDeadlock wraps the engine's deadlock report.
+var ErrDeadlock = errors.New("msort: deadlock")
+
+// Run sorts keys across cfg.Procs processes. With cfg.Buggy it returns
+// ErrDeadlock (wrapping the *sim.DeadlockError detail) and whatever the
+// monitor recorded up to the hang.
+func Run(keys []uint32, cfg Config) (Result, error) {
+	p := cfg.Procs
+	if p < 2 {
+		return Result{}, errors.New("msort: need at least 2 processes")
+	}
+	m := machine.New(machine.DefaultConfig(p))
+	os := chrysalis.New(m)
+
+	// Deal keys into blocks.
+	blocks := make([][]uint32, p)
+	for i, k := range keys {
+		blocks[i%p] = append(blocks[i%p], k)
+	}
+	for i := range blocks {
+		sort.Slice(blocks[i], func(a, b int) bool { return blocks[i][a] < blocks[i][b] })
+	}
+
+	// Instant Replay objects: one per member's inbox.
+	var mon *replay.Monitor
+	var objs []*replay.Object
+	if cfg.Record {
+		mon = replay.NewMonitor(os, replay.ModeRecord)
+		for i := 0; i < p; i++ {
+			objs = append(objs, mon.NewObject(fmt.Sprintf("inbox%d", i), i))
+		}
+	}
+
+	nodes := make([]int, p)
+	for i := range nodes {
+		nodes[i] = i
+	}
+	rounds := p
+	var elapsed int64
+	_, err := smp.NewFamily(os, nil, "msort", nodes, smp.Full{}, smp.DefaultConfig(), func(mem *smp.Member) {
+		me := mem.ID
+		mine := blocks[me]
+		// Members without a partner skip rounds and may run ahead, so
+		// messages can arrive early; stash them by round tag.
+		pending := map[int][]uint32{}
+		for r := 0; r < rounds; r++ {
+			// Partner for this round (odd-even transposition).
+			var partner int
+			if r%2 == 0 {
+				if me%2 == 0 {
+					partner = me + 1
+				} else {
+					partner = me - 1
+				}
+			} else {
+				if me%2 == 1 {
+					partner = me + 1
+				} else {
+					partner = me - 1
+				}
+			}
+			if partner < 0 || partner >= p {
+				continue // no partner this round; idle
+			}
+			words := len(mine)
+			send := func() {
+				if mon != nil {
+					objs[partner].Write(mem.P, func() {
+						if err := mem.Send(partner, r, words, append([]uint32(nil), mine...)); err != nil {
+							panic(err)
+						}
+					})
+				} else if err := mem.Send(partner, r, words, append([]uint32(nil), mine...)); err != nil {
+					panic(err)
+				}
+			}
+			var other []uint32
+			recv := func() {
+				get := func() {
+					if stash, ok := pending[r]; ok {
+						delete(pending, r)
+						other = stash
+						return
+					}
+					for {
+						msg := mem.Recv()
+						payload := msg.Payload.([]uint32)
+						if msg.Tag == r {
+							other = payload
+							return
+						}
+						pending[msg.Tag] = payload
+					}
+				}
+				if mon != nil {
+					objs[me].Read(mem.P, get)
+				} else {
+					get()
+				}
+			}
+			buggyRound := cfg.Buggy && r%2 == 1
+			if buggyRound {
+				// Figure 6's bug: both partners receive before sending.
+				recv()
+				send()
+			} else if me < partner {
+				send()
+				recv()
+			} else {
+				recv()
+				send()
+			}
+			// Merge and keep my half; charge the comparison work.
+			merged := mergeSorted(mine, other)
+			m.IntOps(mem.P, 2*len(merged))
+			if me < partner {
+				mine = merged[:len(mine)]
+			} else {
+				mine = merged[len(merged)-len(mine):]
+			}
+		}
+		blocks[me] = mine
+		if t := m.E.Now(); t > elapsed {
+			elapsed = t
+		}
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	if err := m.E.Run(); err != nil {
+		res := Result{}
+		if mon != nil {
+			res.Log = mon.Log()
+		}
+		return res, fmt.Errorf("%w: %v", ErrDeadlock, err)
+	}
+	var out []uint32
+	for _, b := range blocks {
+		out = append(out, b...)
+	}
+	res := Result{Sorted: out, ElapsedNs: elapsed, Rounds: rounds}
+	if mon != nil {
+		res.Log = mon.Log()
+	}
+	return res, nil
+}
+
+// mergeSorted merges two sorted slices.
+func mergeSorted(a, b []uint32) []uint32 {
+	out := make([]uint32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// IsSorted reports whether xs is non-decreasing.
+func IsSorted(xs []uint32) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i-1] > xs[i] {
+			return false
+		}
+	}
+	return true
+}

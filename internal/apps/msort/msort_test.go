@@ -1,0 +1,120 @@
+package msort
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"butterfly/internal/replay"
+)
+
+func randomKeys(n int, seed int64) []uint32 {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]uint32, n)
+	for i := range keys {
+		keys[i] = rng.Uint32() % 10000
+	}
+	return keys
+}
+
+func TestSortsCorrectly(t *testing.T) {
+	keys := randomKeys(256, 1)
+	r, err := Run(keys, Config{Procs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsSorted(r.Sorted) {
+		t.Error("output not sorted")
+	}
+	want := append([]uint32(nil), keys...)
+	sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+	for i := range want {
+		if r.Sorted[i] != want[i] {
+			t.Fatalf("not a permutation at %d", i)
+		}
+	}
+}
+
+func TestSortProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		keys := randomKeys(96+int(seed%64+64)%64, seed)
+		r, err := Run(keys, Config{Procs: 6})
+		if err != nil || !IsSorted(r.Sorted) || len(r.Sorted) != len(keys) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuggyVersionDeadlocks(t *testing.T) {
+	keys := randomKeys(64, 2)
+	_, err := Run(keys, Config{Procs: 8, Buggy: true})
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want deadlock", err)
+	}
+	if !strings.Contains(err.Error(), "deadlock") {
+		t.Errorf("error text: %v", err)
+	}
+}
+
+func TestFigure6MoviolaView(t *testing.T) {
+	// Record the buggy run with Instant Replay and render the partial
+	// order — the reproduction of Figure 6.
+	keys := randomKeys(64, 3)
+	res, err := Run(keys, Config{Procs: 4, Buggy: true, Record: true})
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(res.Log) == 0 {
+		t.Fatal("no events recorded before the deadlock")
+	}
+	out := replay.BuildGraph(res.Log).RenderASCII()
+	if !strings.Contains(out, "msort[0]") {
+		t.Errorf("render missing process column:\n%s", out)
+	}
+}
+
+func TestMonitoredRunStillSorts(t *testing.T) {
+	keys := randomKeys(128, 4)
+	r, err := Run(keys, Config{Procs: 4, Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsSorted(r.Sorted) {
+		t.Error("monitored run not sorted")
+	}
+	if len(r.Log) == 0 {
+		t.Error("monitor recorded nothing")
+	}
+}
+
+func TestTooFewProcs(t *testing.T) {
+	if _, err := Run(randomKeys(8, 5), Config{Procs: 1}); err == nil {
+		t.Error("1-proc sort accepted")
+	}
+}
+
+func TestMergeSorted(t *testing.T) {
+	got := mergeSorted([]uint32{1, 3, 5}, []uint32{2, 3, 6})
+	want := []uint32{1, 2, 3, 3, 5, 6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merge = %v", got)
+		}
+	}
+	if len(mergeSorted(nil, nil)) != 0 {
+		t.Error("empty merge")
+	}
+}
+
+func TestIsSorted(t *testing.T) {
+	if !IsSorted([]uint32{1, 1, 2}) || IsSorted([]uint32{2, 1}) {
+		t.Error("IsSorted wrong")
+	}
+}

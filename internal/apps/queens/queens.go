@@ -1,0 +1,111 @@
+// Package queens implements the 8-queens class project of §3.1 under the
+// Uniform System: the first two queen placements define independent subtrees
+// that become run-to-completion tasks, and each task backtracks over the
+// remaining rows in local memory. Counting all solutions for n=8 must give
+// the textbook 92.
+package queens
+
+import (
+	"butterfly/internal/chrysalis"
+	"butterfly/internal/machine"
+	"butterfly/internal/us"
+)
+
+// CountSequential backtracks in plain Go (the reference).
+func CountSequential(n int) int {
+	cols := make([]int, n)
+	return place(cols, 0, n)
+}
+
+func place(cols []int, row, n int) int {
+	if row == n {
+		return 1
+	}
+	count := 0
+	for c := 0; c < n; c++ {
+		if legal(cols, row, c) {
+			cols[row] = c
+			count += place(cols, row+1, n)
+		}
+	}
+	return count
+}
+
+func legal(cols []int, row, c int) bool {
+	for r := 0; r < row; r++ {
+		if cols[r] == c || cols[r]-c == row-r || c-cols[r] == row-r {
+			return false
+		}
+	}
+	return true
+}
+
+// Result reports a parallel run.
+type Result struct {
+	N         int
+	Procs     int
+	Solutions int
+	Tasks     int
+	ElapsedNs int64
+}
+
+// CountParallel counts n-queens solutions with one Uniform System task per
+// legal placement of the first two queens. The per-task subtree search is
+// charged as integer work proportional to the nodes it visits.
+func CountParallel(n, procs int) (Result, error) {
+	m := machine.New(machine.DefaultConfig(procs))
+	os := chrysalis.New(m)
+
+	// Enumerate the first-two-row placements (the task list).
+	type seed struct{ c0, c1 int }
+	var seeds []seed
+	for c0 := 0; c0 < n; c0++ {
+		for c1 := 0; c1 < n; c1++ {
+			probe := []int{c0}
+			if legal(probe, 1, c1) {
+				seeds = append(seeds, seed{c0, c1})
+			}
+		}
+	}
+
+	res := Result{N: n, Procs: procs, Tasks: len(seeds)}
+	total := 0
+	ucfg := us.DefaultConfig(procs)
+	ucfg.ParallelAlloc = true
+	_, err := us.Initialize(os, ucfg, func(w *us.Worker) {
+		start := m.E.Now()
+		w.U.GenOnIndex(w, len(seeds), func(tw *us.Worker, i int) {
+			cols := make([]int, n)
+			cols[0], cols[1] = seeds[i].c0, seeds[i].c1
+			nodes := 0
+			count := placeCounting(cols, 2, n, &nodes)
+			// ~30 integer ops per visited search node, all local.
+			m.IntOps(tw.P, 30*nodes)
+			total += count
+		})
+		res.ElapsedNs = m.E.Now() - start
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	if err := m.E.Run(); err != nil {
+		return Result{}, err
+	}
+	res.Solutions = total
+	return res, nil
+}
+
+func placeCounting(cols []int, row, n int, nodes *int) int {
+	*nodes++
+	if row == n {
+		return 1
+	}
+	count := 0
+	for c := 0; c < n; c++ {
+		if legal(cols, row, c) {
+			cols[row] = c
+			count += placeCounting(cols, row+1, n, nodes)
+		}
+	}
+	return count
+}

@@ -1,0 +1,53 @@
+package queens
+
+import "testing"
+
+func TestKnownCounts(t *testing.T) {
+	want := map[int]int{4: 2, 5: 10, 6: 4, 7: 40, 8: 92}
+	for n, w := range want {
+		if got := CountSequential(n); got != w {
+			t.Errorf("sequential %d-queens = %d, want %d", n, got, w)
+		}
+	}
+}
+
+func TestParallelMatches(t *testing.T) {
+	for _, n := range []int{6, 8} {
+		r, err := CountParallel(n, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Solutions != CountSequential(n) {
+			t.Errorf("parallel %d-queens = %d, want %d", n, r.Solutions, CountSequential(n))
+		}
+		if r.Tasks == 0 || r.ElapsedNs <= 0 {
+			t.Errorf("result = %+v", r)
+		}
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	r1, err := CountParallel(9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := CountParallel(9, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := float64(r1.ElapsedNs) / float64(r8.ElapsedNs); s < 3 {
+		t.Errorf("speedup on 8 procs = %.1f", s)
+	}
+}
+
+func TestTaskCount(t *testing.T) {
+	// First-two-row placements for n=8: 8*8 minus same-column and the two
+	// adjacent diagonals.
+	r, err := CountParallel(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tasks != 42 {
+		t.Errorf("tasks = %d, want 42", r.Tasks)
+	}
+}

@@ -1,0 +1,205 @@
+// Package search implements parallel alpha-beta game-tree search in the
+// style of the checkers-playing program of §3.1 (written in Lynx, using a
+// parallel version of alpha-beta after Fishburn & Finkel). The game is a
+// deterministic synthetic tree — uniform branching, leaf values derived from
+// a hash of the move path — so every configuration has a checkable minimax
+// value without embedding a full checkers rule engine.
+//
+// The parallel strategy is root splitting: a master Lynx process deals the
+// root moves to worker processes over links; each worker searches its
+// subtree with sequential alpha-beta and returns the score. Workers cannot
+// share window tightenings across machines mid-move, so the parallel search
+// visits more nodes than the sequential one — the classic "search overhead"
+// of parallel alpha-beta, which the tests quantify.
+package search
+
+import (
+	"fmt"
+
+	"butterfly/internal/antfarm"
+	"butterfly/internal/chrysalis"
+	"butterfly/internal/lynx"
+	"butterfly/internal/machine"
+)
+
+// Tree describes a synthetic game tree.
+type Tree struct {
+	// Branch is the uniform branching factor.
+	Branch int
+	// Depth is the distance from root to leaves.
+	Depth int
+	// Seed varies the position.
+	Seed uint64
+}
+
+// child extends a path hash by move index m (splitmix-style mixing).
+func (t Tree) child(h uint64, m int) uint64 {
+	x := h ^ (uint64(m+1) * 0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// leafValue scores a leaf in [-100, 100].
+func (t Tree) leafValue(h uint64) int {
+	return int(h%201) - 100
+}
+
+// Root returns the root position hash.
+func (t Tree) Root() uint64 { return t.Seed * 0x2545F4914F6CDD1D }
+
+// Counters tallies visited nodes.
+type Counters struct {
+	Nodes  int64
+	Leaves int64
+}
+
+// alphaBeta is the sequential negamax search with pruning. charge, if
+// non-nil, is invoked per visited node so simulated processes can pay for
+// the work.
+func (t Tree) alphaBeta(h uint64, depth, alpha, beta int, c *Counters, charge func(leaf bool)) int {
+	c.Nodes++
+	if charge != nil {
+		charge(depth == 0)
+	}
+	if depth == 0 {
+		c.Leaves++
+		return t.leafValue(h)
+	}
+	best := -1000
+	for m := 0; m < t.Branch; m++ {
+		v := -t.alphaBeta(t.child(h, m), depth-1, -beta, -alpha, c, charge)
+		if v > best {
+			best = v
+		}
+		if best > alpha {
+			alpha = best
+		}
+		if alpha >= beta {
+			break // prune
+		}
+	}
+	return best
+}
+
+// Sequential computes the reference minimax value and node counts.
+func (t Tree) Sequential() (int, Counters) {
+	var c Counters
+	v := t.alphaBeta(t.Root(), t.Depth, -1000, 1000, &c, nil)
+	return v, c
+}
+
+// Result reports a parallel search.
+type Result struct {
+	Value     int
+	BestMove  int
+	ElapsedNs int64
+	// Nodes is the total visited across all workers (>= sequential: the
+	// search overhead of root splitting).
+	Nodes int64
+	// SeqNodes is the sequential visit count for the same position.
+	SeqNodes int64
+}
+
+// Overhead returns the extra fraction of nodes the parallel search visited.
+func (r Result) Overhead() float64 {
+	return float64(r.Nodes-r.SeqNodes) / float64(r.SeqNodes)
+}
+
+// nodeCostOps is the integer-operation charge per visited node (move
+// generation, ordering) and per leaf (evaluation).
+const (
+	nodeCostOps = 25
+	leafCostOps = 15
+)
+
+// Parallel searches the tree with root splitting over `workers` Lynx worker
+// processes (plus a master). The master deals root moves round-robin; each
+// worker returns its subtree's negamax value; the master folds the results.
+func (t Tree) Parallel(workers int) (Result, error) {
+	if workers < 1 {
+		return Result{}, fmt.Errorf("search: need at least 1 worker")
+	}
+	if workers > t.Branch {
+		workers = t.Branch
+	}
+	m := machine.New(machine.DefaultConfig(workers + 1))
+	os := chrysalis.New(m)
+
+	var totalNodes int64
+	// Worker processes, each binding a "search" entry.
+	procs := make([]*lynx.Proc, workers)
+	for i := 0; i < workers; i++ {
+		w, err := lynx.Spawn(os, fmt.Sprintf("worker%d", i), i+1, lynx.DefaultConfig(), nil)
+		if err != nil {
+			return Result{}, err
+		}
+		w.Bind("search", func(ht *antfarm.Thread, args any, words int) (any, int, error) {
+			move := args.(int)
+			var c Counters
+			pending := 0
+			charge := func(leaf bool) {
+				// Batch the per-node charge to bound engine events.
+				pending += nodeCostOps
+				if leaf {
+					pending += leafCostOps
+				}
+				if pending >= 4000 {
+					os.M.IntOps(ht.P(), pending)
+					pending = 0
+				}
+			}
+			v := -t.alphaBeta(t.child(t.Root(), move), t.Depth-1, -1000, 1000, &c, charge)
+			os.M.IntOps(ht.P(), pending)
+			totalNodes += c.Nodes
+			return [2]int{move, v}, 2, nil
+		})
+		procs[i] = w
+	}
+
+	res := Result{Value: -1000, BestMove: -1}
+	_, err := lynx.Spawn(os, "master", 0, lynx.DefaultConfig(), func(self *lynx.Proc, th *antfarm.Thread) {
+		links := make([]*lynx.Link, workers)
+		for i, w := range procs {
+			links[i] = lynx.NewLink(self, w)
+		}
+		start := th.P().Engine().Now()
+		// Fan the root moves out as concurrent calls (one client thread per
+		// outstanding move), then fold the replies.
+		done := th.Farm.NewChannel(t.Branch)
+		for mv := 0; mv < t.Branch; mv++ {
+			mv := mv
+			th.Farm.Spawn("call", func(ct *antfarm.Thread) {
+				reply, err := self.Call(ct, links[mv%workers], "search", mv, 1)
+				if err != nil {
+					panic(err)
+				}
+				done.Send(ct, reply, 2)
+			})
+		}
+		for i := 0; i < t.Branch; i++ {
+			v, _ := done.Recv(th)
+			pair := v.([2]int)
+			if pair[1] > res.Value {
+				res.Value = pair[1]
+				res.BestMove = pair[0]
+			}
+		}
+		res.ElapsedNs = th.P().Engine().Now() - start
+		for _, w := range procs {
+			w.Shutdown(th)
+		}
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	if err := m.E.Run(); err != nil {
+		return Result{}, err
+	}
+	res.Nodes = totalNodes + 1 // count the root
+	_, seq := t.Sequential()
+	res.SeqNodes = seq.Nodes
+	return res, nil
+}

@@ -1,0 +1,107 @@
+package search
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSequentialDeterministic(t *testing.T) {
+	tr := Tree{Branch: 4, Depth: 5, Seed: 1}
+	v1, c1 := tr.Sequential()
+	v2, c2 := tr.Sequential()
+	if v1 != v2 || c1 != c2 {
+		t.Error("sequential search not deterministic")
+	}
+	if c1.Nodes <= c1.Leaves || c1.Leaves == 0 {
+		t.Errorf("counters = %+v", c1)
+	}
+}
+
+func TestPruningReducesNodes(t *testing.T) {
+	tr := Tree{Branch: 5, Depth: 5, Seed: 2}
+	_, c := tr.Sequential()
+	full := int64(1)
+	pow := int64(1)
+	for d := 0; d < tr.Depth; d++ {
+		pow *= int64(tr.Branch)
+		full += pow
+	}
+	if c.Nodes >= full {
+		t.Errorf("alpha-beta visited %d of %d nodes; no pruning", c.Nodes, full)
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	tr := Tree{Branch: 6, Depth: 4, Seed: 3}
+	want, _ := tr.Sequential()
+	r, err := tr.Parallel(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Value != want {
+		t.Errorf("parallel value %d, want %d", r.Value, want)
+	}
+	if r.BestMove < 0 || r.BestMove >= tr.Branch {
+		t.Errorf("best move = %d", r.BestMove)
+	}
+}
+
+func TestParallelValueProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		tr := Tree{Branch: 4, Depth: 4, Seed: seed%100 + 1}
+		want, _ := tr.Sequential()
+		r, err := tr.Parallel(2)
+		return err == nil && r.Value == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSearchOverhead(t *testing.T) {
+	// Root splitting must visit at least as many nodes as sequential
+	// alpha-beta (workers lack each other's window tightenings), but not
+	// absurdly more.
+	tr := Tree{Branch: 8, Depth: 5, Seed: 4}
+	r, err := tr.Parallel(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Nodes < r.SeqNodes {
+		t.Errorf("parallel visited %d < sequential %d", r.Nodes, r.SeqNodes)
+	}
+	if over := r.Overhead(); over < 0 || over > 5 {
+		t.Errorf("search overhead = %.2f, implausible", over)
+	}
+}
+
+func TestParallelSpeedup(t *testing.T) {
+	tr := Tree{Branch: 8, Depth: 6, Seed: 5}
+	r1, err := tr.Parallel(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := tr.Parallel(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := float64(r1.ElapsedNs) / float64(r4.ElapsedNs)
+	if speedup < 1.5 {
+		t.Errorf("speedup with 4 workers = %.2f", speedup)
+	}
+}
+
+func TestWorkerClamping(t *testing.T) {
+	tr := Tree{Branch: 3, Depth: 3, Seed: 6}
+	r, err := tr.Parallel(10) // more workers than root moves
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := tr.Sequential()
+	if r.Value != want {
+		t.Errorf("value = %d, want %d", r.Value, want)
+	}
+	if _, err := tr.Parallel(0); err == nil {
+		t.Error("0 workers accepted")
+	}
+}

@@ -1,0 +1,100 @@
+package subgraph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTriangleInK4(t *testing.T) {
+	// K4 contains 4 triangles; each has 3! labelled embeddings = 24.
+	k4 := NewGraph(4)
+	for a := 0; a < 4; a++ {
+		for b := a + 1; b < 4; b++ {
+			k4.AddEdge(a, b)
+		}
+	}
+	tri := Cycle(3)
+	if got := CountSequential(tri, k4); got != 24 {
+		t.Errorf("triangles in K4 = %d, want 24", got)
+	}
+}
+
+func TestEdgeInPath(t *testing.T) {
+	// P3 (path a-b-c) contains 2 edges; each maps 2 ways = 4 embeddings of K2.
+	p3 := NewGraph(3)
+	p3.AddEdge(0, 1)
+	p3.AddEdge(1, 2)
+	k2 := NewGraph(2)
+	k2.AddEdge(0, 1)
+	if got := CountSequential(k2, p3); got != 4 {
+		t.Errorf("edges in P3 = %d, want 4", got)
+	}
+}
+
+func TestCycleInCycle(t *testing.T) {
+	// C5 in C5: the automorphisms of a 5-cycle = 10.
+	c5 := Cycle(5)
+	if got := CountSequential(c5, c5); got != 10 {
+		t.Errorf("C5 automorphisms = %d, want 10", got)
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	pattern := Cycle(4)
+	target := Random(24, 0.3, 1)
+	want := CountSequential(pattern, target)
+	r, err := CountParallel(pattern, target, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Count != want {
+		t.Errorf("parallel count = %d, want %d", r.Count, want)
+	}
+	if r.Tasks != 24 {
+		t.Errorf("tasks = %d", r.Tasks)
+	}
+}
+
+func TestParallelProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		pattern := Random(4, 0.6, seed+100)
+		target := Random(16, 0.35, seed)
+		want := CountSequential(pattern, target)
+		r, err := CountParallel(pattern, target, 4)
+		return err == nil && r.Count == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	pattern := Cycle(5)
+	target := Random(40, 0.25, 7)
+	r1, err := CountParallel(pattern, target, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := CountParallel(pattern, target, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Count != r8.Count {
+		t.Fatalf("counts differ: %d vs %d", r1.Count, r8.Count)
+	}
+	if s := float64(r1.ElapsedNs) / float64(r8.ElapsedNs); s < 3 {
+		t.Errorf("speedup on 8 procs = %.1f", s)
+	}
+}
+
+func TestNoEmbeddings(t *testing.T) {
+	// A triangle cannot embed in a tree.
+	tree := NewGraph(5)
+	tree.AddEdge(0, 1)
+	tree.AddEdge(0, 2)
+	tree.AddEdge(1, 3)
+	tree.AddEdge(1, 4)
+	if got := CountSequential(Cycle(3), tree); got != 0 {
+		t.Errorf("triangles in tree = %d", got)
+	}
+}

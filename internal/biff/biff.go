@@ -1,0 +1,343 @@
+// Package biff implements BIFF (Butterfly IFF; Olson, BPR 9; §3.1 of the
+// paper): Uniform System-based parallel versions of the standard IFF image
+// filters. IFF treats vision utilities as composable filters — an image goes
+// in, an image comes out — so complex operations are built by composing
+// simpler ones. "A researcher at a workstation can download an image into
+// the Butterfly, apply a complex sequence of operations, and upload the
+// result in a tiny fraction of the time required to perform the same
+// operations locally."
+//
+// The package provides the DARPA-benchmark staples: thresholding, 3x3
+// convolution (Sobel edge finding), gradient magnitude, Laplacian
+// zero-crossing detection, and a sequential reference for each.
+package biff
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"butterfly/internal/chrysalis"
+	"butterfly/internal/machine"
+	"butterfly/internal/us"
+)
+
+// Gray is an 8-bit grayscale image.
+type Gray struct {
+	W, H int
+	Pix  []uint8
+}
+
+// NewGray allocates a black image.
+func NewGray(w, h int) *Gray {
+	return &Gray{W: w, H: h, Pix: make([]uint8, w*h)}
+}
+
+// At returns the pixel at (x, y), clamping coordinates to the border
+// (replicated-edge convention for convolutions).
+func (g *Gray) At(x, y int) uint8 {
+	if x < 0 {
+		x = 0
+	}
+	if x >= g.W {
+		x = g.W - 1
+	}
+	if y < 0 {
+		y = 0
+	}
+	if y >= g.H {
+		y = g.H - 1
+	}
+	return g.Pix[y*g.W+x]
+}
+
+// Set writes the pixel at (x, y); out-of-range coordinates panic.
+func (g *Gray) Set(x, y int, v uint8) { g.Pix[y*g.W+x] = v }
+
+// TestImage builds a deterministic image with gradients, a bright square,
+// and noise — enough structure for edges and components.
+func TestImage(w, h int, seed int64) *Gray {
+	rng := rand.New(rand.NewSource(seed))
+	g := NewGray(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := (x * 255) / w
+			if x > w/4 && x < w/2 && y > h/4 && y < h/2 {
+				v = 230
+			}
+			v += rng.Intn(11) - 5
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			g.Set(x, y, uint8(v))
+		}
+	}
+	return g
+}
+
+// Filter is one composable image operation.
+type Filter interface {
+	// Name identifies the filter in pipeline reports.
+	Name() string
+	// At computes the output pixel at (x, y) from the source image.
+	At(src *Gray, x, y int) uint8
+	// CostPerPixel reports the integer-operation count charged per pixel.
+	CostPerPixel() int
+	// Halo reports how many neighbouring rows each side a band needs.
+	Halo() int
+}
+
+// Threshold binarizes at T.
+type Threshold struct{ T uint8 }
+
+// Name implements Filter.
+func (f Threshold) Name() string { return fmt.Sprintf("threshold(%d)", f.T) }
+
+// At implements Filter.
+func (f Threshold) At(src *Gray, x, y int) uint8 {
+	if src.At(x, y) >= f.T {
+		return 255
+	}
+	return 0
+}
+
+// CostPerPixel implements Filter.
+func (Threshold) CostPerPixel() int { return 2 }
+
+// Halo implements Filter.
+func (Threshold) Halo() int { return 0 }
+
+// Convolve3 applies a 3x3 kernel with divisor and offset, clamping to 0..255.
+type Convolve3 struct {
+	Label  string
+	K      [3][3]int
+	Div    int
+	Offset int
+}
+
+// Name implements Filter.
+func (f Convolve3) Name() string { return f.Label }
+
+// At implements Filter.
+func (f Convolve3) At(src *Gray, x, y int) uint8 {
+	sum := 0
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			sum += f.K[dy+1][dx+1] * int(src.At(x+dx, y+dy))
+		}
+	}
+	div := f.Div
+	if div == 0 {
+		div = 1
+	}
+	v := sum/div + f.Offset
+	if v < 0 {
+		v = 0
+	}
+	if v > 255 {
+		v = 255
+	}
+	return uint8(v)
+}
+
+// CostPerPixel implements Filter.
+func (Convolve3) CostPerPixel() int { return 20 }
+
+// Halo implements Filter.
+func (Convolve3) Halo() int { return 1 }
+
+// Smooth is a 3x3 box blur.
+func Smooth() Convolve3 {
+	return Convolve3{Label: "smooth", K: [3][3]int{{1, 1, 1}, {1, 1, 1}, {1, 1, 1}}, Div: 9}
+}
+
+// SobelMag is gradient-magnitude edge finding (|Gx| + |Gy|, clamped) — the
+// DARPA benchmark's "edge finding".
+type SobelMag struct{}
+
+// Name implements Filter.
+func (SobelMag) Name() string { return "sobel magnitude" }
+
+// At implements Filter.
+func (SobelMag) At(src *Gray, x, y int) uint8 {
+	gx := -int(src.At(x-1, y-1)) - 2*int(src.At(x-1, y)) - int(src.At(x-1, y+1)) +
+		int(src.At(x+1, y-1)) + 2*int(src.At(x+1, y)) + int(src.At(x+1, y+1))
+	gy := -int(src.At(x-1, y-1)) - 2*int(src.At(x, y-1)) - int(src.At(x+1, y-1)) +
+		int(src.At(x-1, y+1)) + 2*int(src.At(x, y+1)) + int(src.At(x+1, y+1))
+	if gx < 0 {
+		gx = -gx
+	}
+	if gy < 0 {
+		gy = -gy
+	}
+	v := gx + gy
+	if v > 255 {
+		v = 255
+	}
+	return uint8(v)
+}
+
+// CostPerPixel implements Filter.
+func (SobelMag) CostPerPixel() int { return 30 }
+
+// Halo implements Filter.
+func (SobelMag) Halo() int { return 1 }
+
+// ZeroCross marks Laplacian zero crossings — the DARPA benchmark's
+// "zero-crossing detection". A pixel is marked when its Laplacian response
+// differs in sign from a 4-neighbour's.
+type ZeroCross struct{}
+
+// Name implements Filter.
+func (ZeroCross) Name() string { return "zero crossings" }
+
+// laplacian is the raw (unclamped) response.
+func laplacian(src *Gray, x, y int) int {
+	return 4*int(src.At(x, y)) -
+		int(src.At(x-1, y)) - int(src.At(x+1, y)) -
+		int(src.At(x, y-1)) - int(src.At(x, y+1))
+}
+
+// At implements Filter.
+func (ZeroCross) At(src *Gray, x, y int) uint8 {
+	c := laplacian(src, x, y)
+	for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+		n := laplacian(src, x+d[0], y+d[1])
+		if (c < 0 && n > 0) || (c > 0 && n < 0) {
+			return 255
+		}
+	}
+	return 0
+}
+
+// CostPerPixel implements Filter.
+func (ZeroCross) CostPerPixel() int { return 45 }
+
+// Halo implements Filter.
+func (ZeroCross) Halo() int { return 2 }
+
+// ApplySequential runs a filter over a whole image in plain Go (the
+// reference and the "workstation" path).
+func ApplySequential(f Filter, src *Gray) *Gray {
+	out := NewGray(src.W, src.H)
+	for y := 0; y < src.H; y++ {
+		for x := 0; x < src.W; x++ {
+			out.Set(x, y, f.At(src, x, y))
+		}
+	}
+	return out
+}
+
+// PipelineSequential composes filters sequentially.
+func PipelineSequential(src *Gray, filters ...Filter) *Gray {
+	img := src
+	for _, f := range filters {
+		img = ApplySequential(f, img)
+	}
+	return img
+}
+
+// Result reports a parallel pipeline run.
+type Result struct {
+	Procs     int
+	ElapsedNs int64
+	// StageNs records the virtual time of each filter stage.
+	StageNs []int64
+	Out     *Gray
+}
+
+// Run executes the filter pipeline on a simulated Butterfly: the image is
+// scattered by rows; each filter is one Uniform System generation of
+// row-band tasks that block-copy their band plus halo into local memory,
+// compute, and copy the result back (the §4.1 caching idiom, which BIFF
+// used from the start).
+func Run(src *Gray, procs int, filters ...Filter) (Result, error) {
+	if len(filters) == 0 {
+		return Result{}, errors.New("biff: empty pipeline")
+	}
+	m := machine.New(machine.DefaultConfig(procs))
+	os := chrysalis.New(m)
+	rowNode := func(y int) int { return y % procs }
+	rowWords := (src.W + 3) / 4
+
+	img := src
+	res := Result{Procs: procs}
+	ucfg := us.DefaultConfig(procs)
+	ucfg.ParallelAlloc = true
+	_, err := us.Initialize(os, ucfg, func(w *us.Worker) {
+		start := m.E.Now()
+		for _, f := range filters {
+			f := f
+			in := img
+			out := NewGray(in.W, in.H)
+			bands := 2 * procs
+			if bands > in.H {
+				bands = in.H
+			}
+			stageStart := m.E.Now()
+			w.U.GenOnIndex(w, bands, func(tw *us.Worker, band int) {
+				lo := band * in.H / bands
+				hi := (band + 1) * in.H / bands
+				halo := f.Halo()
+				// Copy the band plus halo rows into local memory.
+				for y := lo - halo; y < hi+halo; y++ {
+					if y < 0 || y >= in.H {
+						continue
+					}
+					m.BlockCopy(tw.P, rowNode(y), tw.P.Node, rowWords)
+				}
+				// Compute.
+				m.IntOps(tw.P, (hi-lo)*in.W*f.CostPerPixel())
+				for y := lo; y < hi; y++ {
+					for x := 0; x < in.W; x++ {
+						out.Set(x, y, f.At(in, x, y))
+					}
+				}
+				// Copy the result rows back to their home memories.
+				for y := lo; y < hi; y++ {
+					m.BlockCopy(tw.P, tw.P.Node, rowNode(y), rowWords)
+				}
+			})
+			res.StageNs = append(res.StageNs, m.E.Now()-stageStart)
+			img = out
+		}
+		res.ElapsedNs = m.E.Now() - start
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	if err := m.E.Run(); err != nil {
+		return Result{}, err
+	}
+	res.Out = img
+	return res, nil
+}
+
+// WorkstationIntOpNs models the departmental Sun workstation the vision
+// group would otherwise use: a faster scalar processor (no parallelism).
+const WorkstationIntOpNs = 250
+
+// WorkstationNs estimates the same pipeline's time on the workstation.
+func WorkstationNs(src *Gray, filters ...Filter) int64 {
+	var ops int64
+	for _, f := range filters {
+		ops += int64(src.W) * int64(src.H) * int64(f.CostPerPixel())
+	}
+	return ops * WorkstationIntOpNs
+}
+
+// Equal compares two images.
+func Equal(a, b *Gray) error {
+	if a.W != b.W || a.H != b.H {
+		return fmt.Errorf("biff: sizes differ: %dx%d vs %dx%d", a.W, a.H, b.W, b.H)
+	}
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			return fmt.Errorf("biff: pixel %d differs: %d vs %d", i, a.Pix[i], b.Pix[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package biff
+
+import (
+	"testing"
+)
+
+func TestAtClamps(t *testing.T) {
+	g := NewGray(4, 4)
+	g.Set(0, 0, 9)
+	g.Set(3, 3, 7)
+	if g.At(-5, -5) != 9 || g.At(10, 10) != 7 {
+		t.Error("border clamping wrong")
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	g := NewGray(2, 1)
+	g.Set(0, 0, 100)
+	g.Set(1, 0, 200)
+	out := ApplySequential(Threshold{T: 128}, g)
+	if out.At(0, 0) != 0 || out.At(1, 0) != 255 {
+		t.Errorf("threshold = %v", out.Pix)
+	}
+}
+
+func TestSmoothFlatImageUnchanged(t *testing.T) {
+	g := NewGray(8, 8)
+	for i := range g.Pix {
+		g.Pix[i] = 100
+	}
+	out := ApplySequential(Smooth(), g)
+	for i, v := range out.Pix {
+		if v != 100 {
+			t.Fatalf("pixel %d = %d", i, v)
+		}
+	}
+}
+
+func TestSobelFindsVerticalEdge(t *testing.T) {
+	g := NewGray(8, 8)
+	for y := 0; y < 8; y++ {
+		for x := 4; x < 8; x++ {
+			g.Set(x, y, 255)
+		}
+	}
+	out := ApplySequential(SobelMag{}, g)
+	if out.At(4, 4) == 0 || out.At(3, 4) == 0 {
+		t.Error("edge not detected at boundary")
+	}
+	if out.At(1, 4) != 0 || out.At(6, 4) != 0 {
+		t.Error("false edges in flat regions")
+	}
+}
+
+func TestZeroCrossOnStep(t *testing.T) {
+	g := NewGray(8, 8)
+	for y := 0; y < 8; y++ {
+		for x := 4; x < 8; x++ {
+			g.Set(x, y, 200)
+		}
+	}
+	out := ApplySequential(ZeroCross{}, g)
+	found := false
+	for y := 0; y < 8; y++ {
+		for x := 2; x <= 5; x++ {
+			if out.At(x, y) == 255 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("no zero crossings near the step")
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	img := TestImage(64, 48, 1)
+	pipeline := []Filter{Smooth(), SobelMag{}, Threshold{T: 60}}
+	want := PipelineSequential(img, pipeline...)
+	res, err := Run(img, 8, pipeline...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Equal(want, res.Out); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.StageNs) != 3 {
+		t.Errorf("stages = %d", len(res.StageNs))
+	}
+}
+
+func TestZeroCrossPipelineParallel(t *testing.T) {
+	img := TestImage(48, 48, 2)
+	pipeline := []Filter{Smooth(), ZeroCross{}}
+	want := PipelineSequential(img, pipeline...)
+	res, err := Run(img, 4, pipeline...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Equal(want, res.Out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelineSpeedup(t *testing.T) {
+	img := TestImage(96, 96, 3)
+	pipeline := []Filter{Smooth(), SobelMag{}}
+	r1, err := Run(img, 1, pipeline...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r16, err := Run(img, 16, pipeline...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := float64(r1.ElapsedNs) / float64(r16.ElapsedNs)
+	if speedup < 8 {
+		t.Errorf("speedup = %.1f on 16 procs", speedup)
+	}
+}
+
+func TestButterflyBeatsWorkstation(t *testing.T) {
+	// The BIFF pitch: the parallel machine beats the local workstation by a
+	// wide margin despite slower individual processors.
+	img := TestImage(128, 128, 4)
+	pipeline := []Filter{Smooth(), SobelMag{}, Threshold{T: 50}}
+	res, err := Run(img, 32, pipeline...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := WorkstationNs(img, pipeline...)
+	if res.ElapsedNs*2 > ws {
+		t.Errorf("Butterfly (%d ns) not clearly faster than workstation (%d ns)", res.ElapsedNs, ws)
+	}
+}
+
+func TestEmptyPipelineRejected(t *testing.T) {
+	if _, err := Run(TestImage(8, 8, 5), 2); err == nil {
+		t.Error("empty pipeline accepted")
+	}
+}
+
+func TestEqualDetectsDifferences(t *testing.T) {
+	a := TestImage(8, 8, 6)
+	b := TestImage(8, 8, 6)
+	if err := Equal(a, b); err != nil {
+		t.Fatal(err)
+	}
+	b.Pix[10] ^= 1
+	if Equal(a, b) == nil {
+		t.Error("difference not detected")
+	}
+	if Equal(a, NewGray(4, 4)) == nil {
+		t.Error("size mismatch not detected")
+	}
+}
+
+func TestFilterNames(t *testing.T) {
+	for _, f := range []Filter{Threshold{T: 1}, Smooth(), SobelMag{}, ZeroCross{}} {
+		if f.Name() == "" || f.CostPerPixel() <= 0 {
+			t.Errorf("bad filter metadata: %T", f)
+		}
+	}
+}

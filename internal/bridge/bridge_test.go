@@ -1,0 +1,320 @@
+package bridge
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"butterfly/internal/chrysalis"
+	"butterfly/internal/machine"
+	"butterfly/internal/sim"
+)
+
+// withBridge builds a machine with `disks` disks and runs body inside a
+// client process on node 0, returning total virtual time.
+func withBridge(t *testing.T, nodes, disks int, body func(b *Bridge, p *sim.Proc)) int64 {
+	t.Helper()
+	m := machine.New(machine.DefaultConfig(nodes))
+	os := chrysalis.New(m)
+	diskNodes := make([]int, disks)
+	for i := range diskNodes {
+		diskNodes[i] = (i + 1) % nodes // keep node 0 for the client
+	}
+	b, err := New(os, diskNodes, DefaultDiskConfig())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	os.MakeProcess(nil, "client", 0, 16, func(self *chrysalis.Process) {
+		body(b, self.P)
+		b.Shutdown(self.P)
+	})
+	if err := m.E.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return m.E.Now()
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	data := make([]byte, 3*BlockBytes+100)
+	rand.New(rand.NewSource(1)).Read(data)
+	withBridge(t, 8, 4, func(b *Bridge, p *sim.Proc) {
+		f, err := b.Create("data")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Write(p, f, data)
+		if f.Blocks() != 4 {
+			t.Errorf("blocks = %d, want 4", f.Blocks())
+		}
+		got, err := b.ReadAll(p, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got[:len(data)], data) {
+			t.Error("read-back differs")
+		}
+	})
+}
+
+func TestInterleaving(t *testing.T) {
+	withBridge(t, 8, 3, func(b *Bridge, p *sim.Proc) {
+		f, _ := b.Create("f")
+		b.Write(p, f, make([]byte, 7*BlockBytes))
+		for i := 0; i < 7; i++ {
+			if f.diskOf[i] != i%3 {
+				t.Errorf("block %d on disk %d, want %d", i, f.diskOf[i], i%3)
+			}
+		}
+	})
+}
+
+func TestCreateOpenRemove(t *testing.T) {
+	withBridge(t, 4, 2, func(b *Bridge, p *sim.Proc) {
+		if _, err := b.Open("nope"); err == nil {
+			t.Error("Open of missing file succeeded")
+		}
+		f, err := b.Create("f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Create("f"); err != ErrExists {
+			t.Errorf("duplicate create: %v", err)
+		}
+		if g, err := b.Open("f"); err != nil || g != f {
+			t.Errorf("Open: %v", err)
+		}
+		if err := b.Remove("f"); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Remove("f"); err == nil {
+			t.Error("double remove succeeded")
+		}
+	})
+}
+
+func TestReadOutOfRange(t *testing.T) {
+	withBridge(t, 4, 2, func(b *Bridge, p *sim.Proc) {
+		f, _ := b.Create("f")
+		if _, err := b.Read(p, f, 0); err == nil {
+			t.Error("read of empty file succeeded")
+		}
+	})
+}
+
+func TestParallelCopyCorrect(t *testing.T) {
+	data := make([]byte, 6*BlockBytes)
+	rand.New(rand.NewSource(2)).Read(data)
+	withBridge(t, 8, 4, func(b *Bridge, p *sim.Proc) {
+		f, _ := b.Create("src")
+		b.Write(p, f, data)
+		g, err := b.Copy(p, f, "dst")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(f.Bytes(), g.Bytes()) {
+			t.Error("copy differs from source")
+		}
+	})
+}
+
+func TestSearchFindsAll(t *testing.T) {
+	data := make([]byte, 4*BlockBytes)
+	needle := []byte("BUTTERFLY")
+	copy(data[100:], needle)
+	copy(data[BlockBytes+7:], needle)
+	copy(data[3*BlockBytes+500:], needle)
+	withBridge(t, 8, 4, func(b *Bridge, p *sim.Proc) {
+		f, _ := b.Create("hay")
+		b.Write(p, f, data)
+		ms := b.Search(p, f, needle)
+		want := []Match{{0, 100}, {1, 7}, {3, 500}}
+		if len(ms) != len(want) {
+			t.Fatalf("matches = %v, want %v", ms, want)
+		}
+		for i := range want {
+			if ms[i] != want[i] {
+				t.Errorf("match %d = %v, want %v", i, ms[i], want[i])
+			}
+		}
+	})
+}
+
+func TestCompare(t *testing.T) {
+	data := make([]byte, 5*BlockBytes)
+	rand.New(rand.NewSource(3)).Read(data)
+	withBridge(t, 8, 4, func(b *Bridge, p *sim.Proc) {
+		f, _ := b.Create("a")
+		b.Write(p, f, data)
+		g, _ := b.Copy(p, f, "b")
+		diffs, err := b.Compare(p, f, g)
+		if err != nil || len(diffs) != 0 {
+			t.Errorf("identical files differ: %v %v", diffs, err)
+		}
+		g.blocks[2][17] ^= 0xFF
+		diffs, _ = b.Compare(p, f, g)
+		if len(diffs) != 1 || diffs[0] != 2 {
+			t.Errorf("diffs = %v, want [2]", diffs)
+		}
+	})
+}
+
+func TestCompareSizeMismatch(t *testing.T) {
+	withBridge(t, 4, 2, func(b *Bridge, p *sim.Proc) {
+		f, _ := b.Create("a")
+		b.Write(p, f, make([]byte, BlockBytes))
+		g, _ := b.Create("b")
+		if _, err := b.Compare(p, f, g); err == nil {
+			t.Error("size mismatch not detected")
+		}
+	})
+}
+
+func TestSortCorrect(t *testing.T) {
+	const n = 5000
+	rng := rand.New(rand.NewSource(4))
+	keys := make([]uint32, n)
+	for i := range keys {
+		keys[i] = rng.Uint32()
+	}
+	withBridge(t, 16, 8, func(b *Bridge, p *sim.Proc) {
+		f, _ := b.Create("in")
+		b.Write(p, f, EncodeRecords(keys))
+		g, err := b.Sort(p, f, "out", n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := DecodeRecords(g.Bytes(), n)
+		want := append([]uint32(nil), keys...)
+		sort.Slice(want, func(a, c int) bool { return want[a] < want[c] })
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("sorted output wrong at %d: %d != %d", i, got[i], want[i])
+			}
+		}
+	})
+}
+
+func TestSortProperty(t *testing.T) {
+	// Property: Sort always yields a sorted permutation of the input.
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 500 + rng.Intn(2000)
+		keys := make([]uint32, n)
+		for i := range keys {
+			keys[i] = rng.Uint32() % 1000 // duplicates likely
+		}
+		ok := true
+		withBridge(t, 8, 4, func(b *Bridge, p *sim.Proc) {
+			f, _ := b.Create("in")
+			b.Write(p, f, EncodeRecords(keys))
+			g, err := b.Sort(p, f, "out", n)
+			if err != nil {
+				ok = false
+				return
+			}
+			got := DecodeRecords(g.Bytes(), n)
+			want := append([]uint32(nil), keys...)
+			sort.Slice(want, func(a, c int) bool { return want[a] < want[c] })
+			for i := range want {
+				if got[i] != want[i] {
+					ok = false
+					return
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCopySpeedupNearLinear(t *testing.T) {
+	// E11: the parallel copy tool speeds up nearly linearly with disks.
+	const blocks = 64
+	data := make([]byte, blocks*BlockBytes)
+	elapsedCopy := func(disks int) int64 {
+		var start, end int64
+		withBridge(t, 66, disks, func(b *Bridge, p *sim.Proc) {
+			f, _ := b.Create("src")
+			b.Write(p, f, data)
+			start = p.Engine().Now()
+			if _, err := b.Copy(p, f, "dst"); err != nil {
+				t.Fatal(err)
+			}
+			end = p.Engine().Now()
+		})
+		return end - start
+	}
+	t1 := elapsedCopy(1)
+	t16 := elapsedCopy(16)
+	speedup := float64(t1) / float64(t16)
+	if speedup < 10 {
+		t.Errorf("copy speedup on 16 disks = %.1f, want near-linear (>10)", speedup)
+	}
+}
+
+func TestNaiveReadIsSerial(t *testing.T) {
+	// The conventional interface gains little from extra disks: the single
+	// client drives one block at a time.
+	const blocks = 32
+	data := make([]byte, blocks*BlockBytes)
+	elapsedRead := func(disks int) int64 {
+		var start, end int64
+		withBridge(t, 34, disks, func(b *Bridge, p *sim.Proc) {
+			f, _ := b.Create("f")
+			b.Write(p, f, data)
+			start = p.Engine().Now()
+			if _, err := b.ReadAll(p, f); err != nil {
+				t.Fatal(err)
+			}
+			end = p.Engine().Now()
+		})
+		return end - start
+	}
+	t1 := elapsedRead(1)
+	t8 := elapsedRead(8)
+	speedup := float64(t1) / float64(t8)
+	if speedup > 2 {
+		t.Errorf("naive read speedup = %.1f; the serial path should not scale", speedup)
+	}
+}
+
+func TestNoDisks(t *testing.T) {
+	m := machine.New(machine.DefaultConfig(2))
+	os := chrysalis.New(m)
+	if _, err := New(os, nil, DefaultDiskConfig()); err == nil {
+		t.Error("bridge with no disks accepted")
+	}
+}
+
+func TestDiskQueueing(t *testing.T) {
+	d := NewDisk(0, DefaultDiskConfig())
+	first := d.Access(0, 1, false)
+	second := d.Access(0, 1, true)
+	if second <= first {
+		t.Error("second access did not queue")
+	}
+	st := d.Stats()
+	if st.Reads != 1 || st.Writes != 1 || st.WaitNs == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if d.String() == "" {
+		t.Error("empty String")
+	}
+	if d.Access(0, 0, false) != d.busyUntil-0 && false {
+		t.Error("unreachable")
+	}
+}
+
+func TestEncodeDecodeRecords(t *testing.T) {
+	keys := []uint32{0, 1, 0xFFFFFFFF, 42}
+	got := DecodeRecords(EncodeRecords(keys), len(keys))
+	for i := range keys {
+		if got[i] != keys[i] {
+			t.Fatalf("round trip failed: %v vs %v", got, keys)
+		}
+	}
+}

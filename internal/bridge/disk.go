@@ -1,0 +1,80 @@
+// Package bridge implements the Bridge parallel file system (Dibble, Scott &
+// Ellis, ICDCS 1988; §3.4 of the paper): each file is interleaved across
+// multiple storage devices and processors, with consecutive logical blocks
+// assigned to different physical nodes. Naive programs access files through
+// a conventional (serial) interface; sophisticated programs export pieces of
+// their code to the processors managing the data — the Bridge "tools" — for
+// optimum performance. Analytical and experimental studies indicated linear
+// speedup on several dozen disks for copying, sorting, searching, and
+// comparing; experiment E11 reproduces those curves.
+package bridge
+
+import (
+	"fmt"
+)
+
+// BlockBytes is the file system block size.
+const BlockBytes = 4096
+
+// DiskConfig calibrates the simulated drives (circa-1988 Winchester disks:
+// tens of milliseconds to position, ~1 MB/s to transfer).
+type DiskConfig struct {
+	SeekNs     int64 // average positioning time per block access
+	TransferNs int64 // transfer time per block
+}
+
+// DefaultDiskConfig returns the standard calibration.
+func DefaultDiskConfig() DiskConfig {
+	return DiskConfig{
+		SeekNs:     20_000_000, // 20 ms
+		TransferNs: 4_000_000,  // 4 ms for 4 KB at ~1 MB/s
+	}
+}
+
+// Disk is one simulated drive: a single server, like a memory module but
+// five orders of magnitude slower.
+type Disk struct {
+	Node      int
+	Cfg       DiskConfig
+	busyUntil int64
+	stats     DiskStats
+}
+
+// DiskStats counts traffic on one disk.
+type DiskStats struct {
+	Reads  uint64
+	Writes uint64
+	WaitNs int64
+}
+
+// NewDisk creates a disk attached to the given node.
+func NewDisk(node int, cfg DiskConfig) *Disk {
+	return &Disk{Node: node, Cfg: cfg}
+}
+
+// Access performs n block transfers arriving at virtual time now and returns
+// the completion time. Consecutive blocks in one call pay a single seek.
+func (d *Disk) Access(now int64, n int, write bool) int64 {
+	if n <= 0 {
+		return now
+	}
+	start := now
+	if d.busyUntil > start {
+		d.stats.WaitNs += d.busyUntil - start
+		start = d.busyUntil
+	}
+	done := start + d.Cfg.SeekNs + int64(n)*d.Cfg.TransferNs
+	d.busyUntil = done
+	if write {
+		d.stats.Writes += uint64(n)
+	} else {
+		d.stats.Reads += uint64(n)
+	}
+	return done
+}
+
+// Stats returns a copy of the disk counters.
+func (d *Disk) Stats() DiskStats { return d.stats }
+
+// String implements fmt.Stringer.
+func (d *Disk) String() string { return fmt.Sprintf("disk@node%d", d.Node) }

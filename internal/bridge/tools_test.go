@@ -1,0 +1,93 @@
+package bridge
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"butterfly/internal/sim"
+)
+
+func TestTransformUppercases(t *testing.T) {
+	data := bytes.Repeat([]byte("butterfly "), 1000)
+	withBridge(t, 8, 4, func(b *Bridge, p *sim.Proc) {
+		f, _ := b.Create("src")
+		b.Write(p, f, data)
+		g, err := b.Transform(p, f, "upper", bytes.ToUpper)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := g.Bytes()[:len(data)]
+		if !bytes.Equal(got, bytes.ToUpper(data)) {
+			t.Error("transform output wrong")
+		}
+		if g.Blocks() != f.Blocks() {
+			t.Errorf("blocks = %d vs %d", g.Blocks(), f.Blocks())
+		}
+	})
+}
+
+func TestTransformParallelSpeedup(t *testing.T) {
+	data := make([]byte, 48*BlockBytes)
+	elapsed := func(disks int) int64 {
+		var start, end int64
+		withBridge(t, 50, disks, func(b *Bridge, p *sim.Proc) {
+			f, _ := b.Create("src")
+			b.Write(p, f, data)
+			start = p.Engine().Now()
+			if _, err := b.Transform(p, f, "t", func(blk []byte) []byte { return blk }); err != nil {
+				t.Error(err)
+			}
+			end = p.Engine().Now()
+		})
+		return end - start
+	}
+	t1, t8 := elapsed(1), elapsed(8)
+	if float64(t1)/float64(t8) < 5 {
+		t.Errorf("transform speedup on 8 disks = %.1f", float64(t1)/float64(t8))
+	}
+}
+
+func TestMergeSortedFiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	mk := func(n int) []uint32 {
+		keys := make([]uint32, n)
+		for i := range keys {
+			keys[i] = rng.Uint32() % 5000
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+		return keys
+	}
+	a, c := mk(1500), mk(900)
+	withBridge(t, 10, 4, func(b *Bridge, p *sim.Proc) {
+		fa, _ := b.Create("a")
+		b.Write(p, fa, EncodeRecords(a))
+		fb, _ := b.Create("b")
+		b.Write(p, fb, EncodeRecords(c))
+		g, err := b.Merge(p, fa, fb, "merged", len(a), len(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := DecodeRecords(g.Bytes(), len(a)+len(c))
+		want := append(append([]uint32(nil), a...), c...)
+		sort.Slice(want, func(x, y int) bool { return want[x] < want[y] })
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("merge wrong at %d: %d vs %d", i, got[i], want[i])
+			}
+		}
+	})
+}
+
+func TestMergeRejectsOversizedCounts(t *testing.T) {
+	withBridge(t, 4, 2, func(b *Bridge, p *sim.Proc) {
+		fa, _ := b.Create("a")
+		b.Write(p, fa, EncodeRecords([]uint32{1}))
+		fb, _ := b.Create("b")
+		b.Write(p, fb, EncodeRecords([]uint32{2}))
+		if _, err := b.Merge(p, fa, fb, "m", 1<<20, 1); err == nil {
+			t.Error("oversized record count accepted")
+		}
+	})
+}

@@ -1,0 +1,97 @@
+// Package calendar provides a time-reservation calendar for single-capacity
+// servers (memory modules, switch ports) in the discrete-event model.
+//
+// Higher layers charge whole inner loops in one engine event, booking server
+// occupancy into the virtual future. A scalar busy-until would then starve
+// any request that arrives later in wall-clock order but earlier in virtual
+// time; the calendar instead keeps the set of reserved intervals and lets a
+// request backfill the earliest gap at or after its arrival time, conserving
+// capacity without false serialization.
+package calendar
+
+import "sort"
+
+// interval is a half-open busy span [start, end).
+type interval struct{ start, end int64 }
+
+// Calendar tracks the reserved time of one unit-capacity server. The zero
+// value is an empty calendar.
+type Calendar struct {
+	iv []interval // disjoint, sorted by start
+}
+
+// Reserve books dur nanoseconds of server time at the earliest instant no
+// earlier than t, and returns that start time. dur must be positive.
+func (c *Calendar) Reserve(t, dur int64) int64 {
+	if dur <= 0 {
+		return t
+	}
+	// Fast path: booking at or after the end of the schedule (the common
+	// case for per-flow monotone bookings).
+	if n := len(c.iv); n == 0 || t >= c.iv[n-1].end {
+		if n > 0 && c.iv[n-1].end == t {
+			c.iv[n-1].end = t + dur
+		} else {
+			c.iv = append(c.iv, interval{t, t + dur})
+		}
+		return t
+	}
+	// First interval that could conflict: the first with end > t.
+	i := sort.Search(len(c.iv), func(i int) bool { return c.iv[i].end > t })
+	start := t
+	for ; i < len(c.iv); i++ {
+		if start+dur <= c.iv[i].start {
+			break // the gap before interval i fits
+		}
+		if c.iv[i].end > start {
+			start = c.iv[i].end
+		}
+	}
+	c.insert(i, start, start+dur)
+	return start
+}
+
+// insert places [s,e) before index i, merging with adjacent neighbours.
+func (c *Calendar) insert(i int, s, e int64) {
+	mergePrev := i > 0 && c.iv[i-1].end == s
+	mergeNext := i < len(c.iv) && c.iv[i].start == e
+	switch {
+	case mergePrev && mergeNext:
+		c.iv[i-1].end = c.iv[i].end
+		c.iv = append(c.iv[:i], c.iv[i+1:]...)
+	case mergePrev:
+		c.iv[i-1].end = e
+	case mergeNext:
+		c.iv[i].start = s
+	default:
+		c.iv = append(c.iv, interval{})
+		copy(c.iv[i+1:], c.iv[i:])
+		c.iv[i] = interval{s, e}
+	}
+}
+
+// PruneBefore discards reservations that end at or before t. It is safe to
+// call with any lower bound on future arrival times (typically the engine's
+// current virtual time).
+func (c *Calendar) PruneBefore(t int64) {
+	n := 0
+	for n < len(c.iv) && c.iv[n].end <= t {
+		n++
+	}
+	if n > 0 {
+		c.iv = append(c.iv[:0], c.iv[n:]...)
+	}
+}
+
+// Busy reports the total reserved time currently tracked (after pruning,
+// i.e. roughly the backlog); used by tests.
+func (c *Calendar) Busy() int64 {
+	var total int64
+	for _, iv := range c.iv {
+		total += iv.end - iv.start
+	}
+	return total
+}
+
+// Spans reports the number of disjoint reserved intervals (tests/diagnostics).
+func (c *Calendar) Spans() int { return len(c.iv) }

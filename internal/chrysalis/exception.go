@@ -1,0 +1,51 @@
+package chrysalis
+
+import (
+	"fmt"
+
+	"butterfly/internal/sim"
+)
+
+// ThrowError is the exception value carried by a Chrysalis throw. In the
+// event of an error — detected by hardware (trap handler) or software
+// (kernel call or user program) — Chrysalis unwinds the stack to the nearest
+// exception handler.
+type ThrowError struct {
+	Code int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (t *ThrowError) Error() string {
+	return fmt.Sprintf("chrysalis throw %d: %s", t.Code, t.Msg)
+}
+
+// Catch runs body inside a protected block, modelled after the MacLISP
+// catch/throw mechanism Chrysalis borrowed. Entering and leaving the block
+// costs about 70 µs in total — expensive enough that "a highly-tuned program
+// must have every possible catch block removed from its critical path". A
+// throw inside body (including nested calls) unwinds to this Catch, which
+// returns the ThrowError; a normal completion returns nil.
+func (os *OS) Catch(p *sim.Proc, body func()) (caught *ThrowError) {
+	p.Advance(os.Costs.CatchEnter)
+	defer func() {
+		if r := recover(); r != nil {
+			if te, ok := r.(*ThrowError); ok {
+				caught = te
+				return
+			}
+			panic(r)
+		}
+	}()
+	defer p.Advance(os.Costs.CatchExit)
+	body()
+	return nil
+}
+
+// Throw unwinds to the nearest enclosing Catch on this process's stack.
+// Throwing outside any protected block is a fatal error (the real system
+// would suspend the process for a debugger; we panic).
+func (os *OS) Throw(p *sim.Proc, code int, msg string) {
+	p.Advance(os.Costs.Throw)
+	panic(&ThrowError{Code: code, Msg: msg})
+}

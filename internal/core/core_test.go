@@ -1,0 +1,116 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestPresets(t *testing.T) {
+	b1 := ButterflyI(128)
+	if b1.Nodes != 128 || b1.FlopNs < 10_000 {
+		t.Errorf("ButterflyI = %+v", b1)
+	}
+	fp := ButterflyFP(16)
+	if fp.FlopNs >= b1.FlopNs {
+		t.Error("FP upgrade not faster")
+	}
+	plus := ButterflyPlus(64)
+	// §4.1: local references improved 4x, remote only 2x.
+	if plus.MemCycleNs*4 != b1.MemCycleNs {
+		t.Errorf("Plus memory cycle = %d", plus.MemCycleNs)
+	}
+	if plus.PNCOverheadNs*2 != b1.PNCOverheadNs {
+		t.Errorf("Plus PNC overhead = %d", plus.PNCOverheadNs)
+	}
+}
+
+func TestBoot(t *testing.T) {
+	m, os := Boot(ButterflyI(4))
+	if m == nil || os == nil || os.M != m {
+		t.Fatal("Boot wiring wrong")
+	}
+	if m.N() != 4 {
+		t.Errorf("nodes = %d", m.N())
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig5", "numa", "hough", "spread", "hotspot", "switch", "prims", "darpa",
+		"crowd", "alloc", "replay", "bridge", "connect", "speedups", "fig6",
+		"sarcache", "models", "vision", "rpc", "psyche", "search", "pedagogy",
+	}
+	for _, id := range want {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("experiment %q missing from registry", id)
+		}
+	}
+	if len(Experiments()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(Experiments()), len(want))
+	}
+	if _, ok := Lookup("nonesuch"); ok {
+		t.Error("bogus lookup succeeded")
+	}
+}
+
+func TestExperimentMetadata(t *testing.T) {
+	for _, e := range Experiments() {
+		if e.ID == "" || e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Errorf("experiment %+v incomplete", e.ID)
+		}
+	}
+}
+
+// TestEveryExperimentQuick runs every registered experiment at reduced scale
+// — the whole-repo integration test.
+func TestEveryExperimentQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiments still take a few seconds")
+	}
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(&buf, true); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if buf.Len() == 0 {
+				t.Errorf("%s produced no output", e.ID)
+			}
+		})
+	}
+}
+
+func TestRunAllStopsOnError(t *testing.T) {
+	// RunAll with a discarding writer must succeed end to end (quick).
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	if err := RunAll(io.Discard, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickClaimsHold(t *testing.T) {
+	// A few qualitative paper claims must hold even at quick scale.
+	var buf bytes.Buffer
+	e, _ := Lookup("numa")
+	if err := e.Run(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "remote/local ratio") {
+		t.Errorf("numa output malformed:\n%s", out)
+	}
+
+	buf.Reset()
+	e, _ = Lookup("fig6")
+	if err := e.Run(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "deadlock reproduced") {
+		t.Error("fig6 did not reproduce the deadlock")
+	}
+}

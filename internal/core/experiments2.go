@@ -1,0 +1,236 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"butterfly/internal/apps/knight"
+	"butterfly/internal/apps/queens"
+	"butterfly/internal/apps/search"
+	"butterfly/internal/biff"
+	"butterfly/internal/chrysalis"
+	"butterfly/internal/machine"
+	"butterfly/internal/psyche"
+	"butterfly/internal/replay"
+	"butterfly/internal/rpcbench"
+	"butterfly/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "vision",
+		Title: "BIFF: parallel image pipeline vs the workstation",
+		Paper: "download an image into the Butterfly, apply a complex sequence of operations, and upload the result in a tiny fraction of the time required to perform the same operations locally",
+		Run:   runVision,
+	})
+	register(Experiment{
+		ID:    "rpc",
+		Title: "Implementations of remote procedure call (after Low, BPR 16)",
+		Paper: "experiments with eight different implementations of remote procedure call explored the ramifications of these benchmarks for interprocess communication",
+		Run:   runRPC,
+	})
+	register(Experiment{
+		ID:    "psyche",
+		Title: "Psyche: the protection/performance tradeoff",
+		Paper: "in the absence of protection boundaries, access to a shared realm can be as efficient as a procedure call or a pointer dereference",
+		Run:   runPsyche,
+	})
+	register(Experiment{
+		ID:    "search",
+		Title: "Parallel alpha-beta search (the checkers program's engine)",
+		Paper: "a large checkers-playing program (written in Lynx) that uses a parallel version of alpha-beta search",
+		Run:   runSearch,
+	})
+	register(Experiment{
+		ID:    "pedagogy",
+		Title: "Class projects: 8-queens and the non-deterministic knight's tour",
+		Paper: "several pedagogical applications have been constructed by students ... graph transitive closure, 8-queens ... a non-deterministic version of the knight's tour problem",
+		Run:   runPedagogy,
+	})
+}
+
+// runVision times a BIFF pipeline across processor counts.
+func runVision(w io.Writer, quick bool) error {
+	size := 256
+	procCounts := []int{1, 16, 64}
+	if quick {
+		size = 96
+		procCounts = []int{1, 8}
+	}
+	img := biff.TestImage(size, size, 7)
+	pipeline := []biff.Filter{biff.Smooth(), biff.SobelMag{}, biff.Threshold{T: 60}}
+	want := biff.PipelineSequential(img, pipeline...)
+	fmt.Fprintf(w, "pipeline: smooth -> sobel -> threshold on a %dx%d image\n\n", size, size)
+	fmt.Fprintf(w, "%8s %14s %10s\n", "procs", "seconds", "speedup")
+	var t1 int64
+	for _, p := range procCounts {
+		r, err := biff.Run(img, p, pipeline...)
+		if err != nil {
+			return err
+		}
+		if err := biff.Equal(want, r.Out); err != nil {
+			return fmt.Errorf("vision: wrong answer: %v", err)
+		}
+		if p == procCounts[0] {
+			t1 = r.ElapsedNs
+		}
+		fmt.Fprintf(w, "%8d %14.3f %9.1fx\n", p, sim.Seconds(r.ElapsedNs), float64(t1)/float64(r.ElapsedNs))
+	}
+	ws := biff.WorkstationNs(img, pipeline...)
+	fmt.Fprintf(w, "\nworkstation (sequential, faster scalar CPU): %.3f s\n", sim.Seconds(ws))
+	return nil
+}
+
+// runRPC prints the RPC implementation comparison.
+func runRPC(w io.Writer, quick bool) error {
+	calls := 100
+	if quick {
+		calls = 25
+	}
+	fmt.Fprintf(w, "%-20s %18s\n", "implementation", "round trip (us)")
+	for _, impl := range rpcbench.All() {
+		r, err := rpcbench.Run(impl, calls)
+		if err != nil {
+			return err
+		}
+		if err := rpcbench.Verify(r); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-20s %18.1f\n", string(impl), sim.Micros(r.RoundTripNs))
+	}
+	fmt.Fprintf(w, "\npaper: the primitive choice dictates the cost; all are 'comparable' to raw Chrysalis\n")
+	return nil
+}
+
+// runPsyche measures optimized vs protected realm invocation.
+func runPsyche(w io.Writer, quick bool) error {
+	iters := 50
+	if quick {
+		iters = 15
+	}
+	m := machine.New(ButterflyPlus(4))
+	os := chrysalis.New(m)
+	k := psyche.New(os)
+	key := k.NewKey()
+	var optNs, protNs, faultNs int64
+	if _, err := os.MakeProcess(nil, "domain", 0, 16, func(self *chrysalis.Process) {
+		d := k.NewDomain(self, key)
+		fast := k.NewRealm("fast", 0, psyche.Optimized, key)
+		fast.Bind("op", func(p *sim.Proc, args any) any { return nil })
+		safe := k.NewRealm("safe", 0, psyche.Protected, key)
+		safe.Bind("op", func(p *sim.Proc, args any) any { return nil })
+
+		e := m.E
+		t0 := e.Now()
+		if _, err := d.Invoke(fast, "op", nil); err != nil {
+			panic(err)
+		}
+		faultNs = e.Now() - t0 // includes the lazy privilege evaluation
+		if _, err := d.Invoke(safe, "op", nil); err != nil {
+			panic(err)
+		}
+
+		t0 = e.Now()
+		for i := 0; i < iters; i++ {
+			d.Invoke(fast, "op", nil)
+		}
+		optNs = (e.Now() - t0) / int64(iters)
+
+		t0 = e.Now()
+		for i := 0; i < iters; i++ {
+			d.Invoke(safe, "op", nil)
+		}
+		protNs = (e.Now() - t0) / int64(iters)
+	}); err != nil {
+		return err
+	}
+	if err := m.E.Run(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "first contact (lazy privilege evaluation): %8.1f us\n", sim.Micros(faultNs))
+	fmt.Fprintf(w, "optimized realm invocation:                %8.1f us  (procedure-call territory)\n", sim.Micros(optNs))
+	fmt.Fprintf(w, "protected realm invocation:                %8.1f us  (kernel trap each time)\n", sim.Micros(protNs))
+	fmt.Fprintf(w, "protection premium:                        %8.1fx\n", float64(protNs)/float64(optNs))
+	fmt.Fprintf(w, "\n(the paper's Psyche was under construction; this reproduces its design tradeoff)\n")
+	return nil
+}
+
+// runSearch sweeps worker counts for parallel alpha-beta.
+func runSearch(w io.Writer, quick bool) error {
+	tr := search.Tree{Branch: 12, Depth: 6, Seed: 11}
+	workerCounts := []int{1, 4, 12}
+	if quick {
+		tr = search.Tree{Branch: 8, Depth: 5, Seed: 11}
+		workerCounts = []int{1, 4}
+	}
+	want, seq := tr.Sequential()
+	fmt.Fprintf(w, "synthetic game tree: branch %d, depth %d; sequential alpha-beta visits %d nodes\n\n",
+		tr.Branch, tr.Depth, seq.Nodes)
+	fmt.Fprintf(w, "%8s %12s %10s %16s %16s\n", "workers", "seconds", "speedup", "nodes visited", "search overhead")
+	var t1 int64
+	for _, wk := range workerCounts {
+		r, err := tr.Parallel(wk)
+		if err != nil {
+			return err
+		}
+		if r.Value != want {
+			return fmt.Errorf("search: value %d, want %d", r.Value, want)
+		}
+		if wk == workerCounts[0] {
+			t1 = r.ElapsedNs
+		}
+		fmt.Fprintf(w, "%8d %12.3f %9.1fx %16d %15.1f%%\n", wk,
+			sim.Seconds(r.ElapsedNs), float64(t1)/float64(r.ElapsedNs),
+			r.Nodes, 100*r.Overhead())
+	}
+	fmt.Fprintf(w, "\nroot splitting forgoes sibling window tightenings: the overhead above is that price\n")
+	return nil
+}
+
+// runPedagogy runs the class projects.
+func runPedagogy(w io.Writer, quick bool) error {
+	nq := 10
+	board := 6
+	if quick {
+		nq = 8
+		board = 5
+	}
+	// 8-queens (and bigger).
+	r, err := queens.CountParallel(nq, 8)
+	if err != nil {
+		return err
+	}
+	if want := queens.CountSequential(nq); r.Solutions != want {
+		return fmt.Errorf("queens: %d, want %d", r.Solutions, want)
+	}
+	fmt.Fprintf(w, "%d-queens: %d solutions via %d US tasks on 8 processors in %.3f s\n",
+		nq, r.Solutions, r.Tasks, sim.Seconds(r.ElapsedNs))
+
+	// Knight's tour with Instant Replay.
+	rec, err := knight.Run(knight.Config{N: board, Procs: 4, Start: 0, MaxPool: 64, Mode: replay.ModeRecord})
+	if err != nil {
+		return err
+	}
+	rep, err := knight.Run(knight.Config{N: board, Procs: 4, Start: 0, MaxPool: 64,
+		Mode: replay.ModeReplay, Log: rec.Log,
+		Jitter: []int64{1 * sim.Millisecond, 0, 300 * sim.Microsecond, 50 * sim.Microsecond}})
+	if err != nil {
+		return err
+	}
+	same := len(rep.Tour.Path) == len(rec.Tour.Path)
+	if same {
+		for i := range rec.Tour.Path {
+			if rep.Tour.Path[i] != rec.Tour.Path[i] {
+				same = false
+				break
+			}
+		}
+	}
+	fmt.Fprintf(w, "knight's tour on %dx%d: found in %d pool operations; ", board, board, rec.Grabs)
+	if same {
+		fmt.Fprintf(w, "Instant Replay reproduced the identical tour under different timing\n")
+	} else {
+		return fmt.Errorf("pedagogy: replayed tour diverged")
+	}
+	return nil
+}

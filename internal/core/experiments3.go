@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"butterfly/internal/apps/geometry"
+	"butterfly/internal/apps/graphs"
+	"butterfly/internal/apps/hough"
+	"butterfly/internal/apps/subgraph"
+	"butterfly/internal/biff"
+	"butterfly/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "darpa",
+		Title: "DARPA parallel-architecture benchmark suite (BPR 13)",
+		Paper: "seven different benchmarks were developed ... edge finding and zero-crossing detection, connected component labeling, Hough transformation, geometric constructions, visibility calculations, graph matching (subgraph isomorphism), and minimum-cost path",
+		Run:   runDARPA,
+	})
+}
+
+// runDARPA runs one representative configuration of each implemented DARPA
+// benchmark at 1 and P processors and prints the speedup table (the study's
+// summary form). Visibility calculations are the one benchmark not
+// implemented (no algorithmic details survive in the open reports).
+func runDARPA(w io.Writer, quick bool) error {
+	procs := 32
+	scale := 1.0
+	if quick {
+		procs = 8
+		scale = 0.35
+	}
+	type row struct {
+		name     string
+		t1, tp   int64
+		verified bool
+	}
+	var rows []row
+	n := func(base int) int {
+		v := int(float64(base) * scale)
+		if v < 8 {
+			v = 8
+		}
+		return v
+	}
+
+	// Edge finding + zero crossings (BIFF).
+	{
+		img := biff.TestImage(n(192), n(192), 13)
+		pipeline := []biff.Filter{biff.SobelMag{}, biff.Threshold{T: 60}}
+		want := biff.PipelineSequential(img, pipeline...)
+		r1, err := biff.Run(img, 1, pipeline...)
+		if err != nil {
+			return err
+		}
+		rp, err := biff.Run(img, procs, pipeline...)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row{"edge finding (Sobel)", r1.ElapsedNs, rp.ElapsedNs, biff.Equal(want, rp.Out) == nil})
+
+		zc := []biff.Filter{biff.Smooth(), biff.ZeroCross{}}
+		wantZ := biff.PipelineSequential(img, zc...)
+		z1, err := biff.Run(img, 1, zc...)
+		if err != nil {
+			return err
+		}
+		zp, err := biff.Run(img, procs, zc...)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row{"zero-crossing detection", z1.ElapsedNs, zp.ElapsedNs, biff.Equal(wantZ, zp.Out) == nil})
+	}
+
+	// Connected components.
+	{
+		g := graphs.Random(n(6000), 5, 14)
+		ref := graphs.ComponentsRef(g)
+		l1, r1, err := graphs.Components(g, 1)
+		if err != nil {
+			return err
+		}
+		lp, rp, err := graphs.Components(g, procs)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row{"connected components", r1.ElapsedNs, rp.ElapsedNs,
+			graphs.SameComponents(ref, l1) && graphs.SameComponents(ref, lp)})
+	}
+
+	// Hough transform.
+	{
+		im := hough.SyntheticImage(n(128), n(128), 4, 0.08, 15)
+		angles := 60
+		ref := hough.Reference(im, angles)
+		h1, err := hough.Run(hough.Config{Image: im, Angles: angles, Procs: 1, Variant: hough.VariantLocalTables})
+		if err != nil {
+			return err
+		}
+		hp, err := hough.Run(hough.Config{Image: im, Angles: angles, Procs: procs, Variant: hough.VariantLocalTables})
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row{"Hough transform", h1.ElapsedNs, hp.ElapsedNs, hough.Equal(ref, hp.Votes) == nil})
+	}
+
+	// Geometric constructions: convex hull and MST.
+	{
+		pts := geometry.RandomPoints(n(20000), 16)
+		want := geometry.HullSequential(pts)
+		_, g1, err := geometry.Hull(pts, 1)
+		if err != nil {
+			return err
+		}
+		hp, gp, err := geometry.Hull(pts, procs)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row{"convex hull", g1.ElapsedNs, gp.ElapsedNs, geometry.SameHull(want, hp)})
+
+		edges := geometry.RandomGraph(n(3000), n(20000), 17)
+		wantW := geometry.MSTSequential(n(3000), edges)
+		w1, m1, err := geometry.MST(n(3000), edges, 1)
+		if err != nil {
+			return err
+		}
+		wp, mp, err := geometry.MST(n(3000), edges, procs)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row{"minimal spanning tree", m1.ElapsedNs, mp.ElapsedNs, w1 == wantW && wp == wantW})
+	}
+
+	// Graph matching (subgraph isomorphism).
+	{
+		pattern := subgraph.Cycle(5)
+		target := subgraph.Random(n(40), 0.25, 18)
+		want := subgraph.CountSequential(pattern, target)
+		s1, err := subgraph.CountParallel(pattern, target, 1)
+		if err != nil {
+			return err
+		}
+		sp, err := subgraph.CountParallel(pattern, target, procs)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row{"subgraph isomorphism", s1.ElapsedNs, sp.ElapsedNs, s1.Count == want && sp.Count == want})
+	}
+
+	// Minimum-cost path.
+	{
+		g := graphs.Random(n(6000), 5, 19)
+		ref := graphs.ShortestPathsRef(g, 0)
+		d1, r1, err := graphs.ShortestPaths(g, 0, 1)
+		if err != nil {
+			return err
+		}
+		dp, rp, err := graphs.ShortestPaths(g, 0, procs)
+		if err != nil {
+			return err
+		}
+		ok := true
+		for v := range ref {
+			if d1[v] != ref[v] || dp[v] != ref[v] {
+				ok = false
+				break
+			}
+		}
+		rows = append(rows, row{"minimum-cost path", r1.ElapsedNs, rp.ElapsedNs, ok})
+	}
+
+	fmt.Fprintf(w, "%-26s %12s %12s %9s %9s\n", "benchmark", "1 proc (s)", fmt.Sprintf("%d procs (s)", procs), "speedup", "verified")
+	for _, r := range rows {
+		if !r.verified {
+			return fmt.Errorf("darpa: %s produced a wrong answer", r.name)
+		}
+		fmt.Fprintf(w, "%-26s %12.3f %12.3f %8.1fx %9v\n",
+			r.name, sim.Seconds(r.t1), sim.Seconds(r.tp), float64(r.t1)/float64(r.tp), r.verified)
+	}
+	fmt.Fprintf(w, "\n(visibility calculations: not implemented — no algorithmic details survive in the open reports)\n")
+	return nil
+}

@@ -1,0 +1,79 @@
+// Package crowd implements the Crowd Control package (§3.3, §4.1): spreading
+// the work of creating (and coordinating) large numbers of processes over a
+// tree of creators, so that process creation proceeds in parallel. The same
+// tree technique "can be used to parallelize almost any function whose
+// serial component is due to contention for read-only data".
+//
+// Crowd Control's own limit is the paper's Amdahl's-law lesson: "serial
+// access to system resources (such as process templates in Chrysalis)
+// ultimately limits our ability to exploit large-scale parallelism during
+// process creation" — reproduced here because chrysalis.MakeProcess holds a
+// global serial template resource for part of every creation.
+package crowd
+
+import (
+	"fmt"
+
+	"butterfly/internal/chrysalis"
+	"butterfly/internal/sim"
+)
+
+// Body runs as each created process; index identifies the member (0 is the
+// tree root).
+type Body func(self *chrysalis.Process, index int)
+
+// CreateSerial creates one process per node, all from the calling process —
+// the naive approach whose creation time grows linearly with the crowd size.
+func CreateSerial(os *chrysalis.OS, caller *sim.Proc, name string, nodes []int, body Body) error {
+	for i, node := range nodes {
+		i := i
+		if _, err := os.MakeProcess(caller, fmt.Sprintf("%s[%d]", name, i), node, 16, func(self *chrysalis.Process) {
+			body(self, i)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CreateTree creates one process per node using a creation tree of the given
+// fanout: member i creates members fanout*i+1 .. fanout*i+fanout before
+// running its body, so creations on different branches proceed in parallel
+// (up to the serial template bottleneck).
+func CreateTree(os *chrysalis.OS, caller *sim.Proc, name string, nodes []int, fanout int, body Body) error {
+	if fanout < 1 {
+		return fmt.Errorf("crowd: fanout %d invalid", fanout)
+	}
+	n := len(nodes)
+	var create func(creator *sim.Proc, idx int) error
+	create = func(creator *sim.Proc, idx int) error {
+		_, err := os.MakeProcess(creator, fmt.Sprintf("%s[%d]", name, idx), nodes[idx], 16, func(self *chrysalis.Process) {
+			for c := fanout*idx + 1; c <= fanout*idx+fanout && c < n; c++ {
+				if err := create(self.P, c); err != nil {
+					panic(err) // cannot happen unless SARs exhausted mid-tree
+				}
+			}
+			body(self, idx)
+		})
+		return err
+	}
+	if n == 0 {
+		return nil
+	}
+	return create(caller, 0)
+}
+
+// Broadcast spreads a read-only datum to all members of a crowd using the
+// same tree technique: each member copies the block from its parent's node
+// rather than everyone hammering the root's memory. It returns per-member
+// completion times via the done callback. members[i] gives the node of
+// member i; the datum is words long; parent relationships follow the fanout
+// tree rooted at member 0 (whose copy already exists).
+func Broadcast(os *chrysalis.OS, fanout, words int, members []int, self *sim.Proc, idx int) {
+	// Copy from the tree parent's node into our own.
+	if idx == 0 {
+		return
+	}
+	parent := (idx - 1) / fanout
+	os.M.BlockCopy(self, members[parent], members[idx], words)
+}

@@ -1,0 +1,171 @@
+package crowd
+
+import (
+	"testing"
+
+	"butterfly/internal/chrysalis"
+	"butterfly/internal/machine"
+)
+
+func nodes(n int) []int {
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = i
+	}
+	return xs
+}
+
+// creationTime measures the virtual time until every member of a crowd of
+// size n has started running.
+func creationTime(t *testing.T, n int, tree bool, fanout int) int64 {
+	t.Helper()
+	m := machine.New(machine.DefaultConfig(n))
+	os := chrysalis.New(m)
+	started := make([]bool, n)
+	var lastStart int64
+	_, err := os.MakeProcess(nil, "boot", 0, 16, func(self *chrysalis.Process) {
+		ns := nodes(n)
+		body := func(pr *chrysalis.Process, idx int) {
+			started[idx] = true
+			if now := m.E.Now(); now > lastStart {
+				lastStart = now
+			}
+		}
+		var err error
+		if tree {
+			err = CreateTree(os, self.P, "crowd", ns, fanout, body)
+		} else {
+			err = CreateSerial(os, self.P, "crowd", ns, body)
+		}
+		if err != nil {
+			t.Errorf("create: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.E.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, s := range started {
+		if !s {
+			t.Fatalf("member %d never started", i)
+		}
+	}
+	return lastStart
+}
+
+func TestAllMembersCreated(t *testing.T) {
+	creationTime(t, 16, true, 4)
+	creationTime(t, 16, false, 0)
+}
+
+func TestTreeBeatsSerial(t *testing.T) {
+	serial := creationTime(t, 64, false, 0)
+	tree := creationTime(t, 64, true, 4)
+	if float64(tree) > 0.7*float64(serial) {
+		t.Errorf("tree creation (%d ns) not much faster than serial (%d ns)", tree, serial)
+	}
+}
+
+func TestAmdahlCapsTreeCreation(t *testing.T) {
+	// E8: the serial template section bounds the speedup. Tree creation of
+	// n processes can never beat n * serial-section.
+	n := 64
+	tree := creationTime(t, n, true, 4)
+	os := chrysalis.DefaultCosts()
+	floor := int64(n) * os.ProcCreateSerial
+	if tree < floor {
+		t.Errorf("tree creation %d ns beat the serial floor %d ns — template serialization lost", tree, floor)
+	}
+	// But it should be within ~3x of the floor (i.e. the tree works).
+	if tree > 4*floor {
+		t.Errorf("tree creation %d ns far above serial floor %d ns", tree, floor)
+	}
+}
+
+func TestMembersOnCorrectNodes(t *testing.T) {
+	m := machine.New(machine.DefaultConfig(8))
+	os := chrysalis.New(m)
+	where := make([]int, 8)
+	os.MakeProcess(nil, "boot", 0, 16, func(self *chrysalis.Process) {
+		if err := CreateTree(os, self.P, "crowd", nodes(8), 2, func(pr *chrysalis.Process, idx int) {
+			where[idx] = pr.P.Node
+		}); err != nil {
+			t.Errorf("create: %v", err)
+		}
+	})
+	if err := m.E.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range where {
+		if n != i {
+			t.Errorf("member %d on node %d", i, n)
+		}
+	}
+}
+
+func TestEmptyCrowd(t *testing.T) {
+	m := machine.New(machine.DefaultConfig(2))
+	os := chrysalis.New(m)
+	os.MakeProcess(nil, "boot", 0, 16, func(self *chrysalis.Process) {
+		if err := CreateTree(os, self.P, "crowd", nil, 2, func(pr *chrysalis.Process, idx int) {
+			t.Error("body ran for empty crowd")
+		}); err != nil {
+			t.Errorf("create: %v", err)
+		}
+	})
+	if err := m.E.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadFanout(t *testing.T) {
+	m := machine.New(machine.DefaultConfig(2))
+	os := chrysalis.New(m)
+	os.MakeProcess(nil, "boot", 0, 16, func(self *chrysalis.Process) {
+		if err := CreateTree(os, self.P, "crowd", nodes(2), 0, func(pr *chrysalis.Process, idx int) {}); err == nil {
+			t.Error("fanout 0 accepted")
+		}
+	})
+	if err := m.E.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBroadcastTree(t *testing.T) {
+	// Tree broadcast must beat everyone copying from the root node, because
+	// the root's memory module serializes the naive version.
+	measure := func(tree bool) int64 {
+		m := machine.New(machine.DefaultConfig(32))
+		os := chrysalis.New(m)
+		const words = 4096
+		for i := 1; i < 32; i++ {
+			i := i
+			os.MakeProcess(nil, "member", i, 16, func(self *chrysalis.Process) {
+				if tree {
+					// Wait for the parent's copy to exist: parents have
+					// smaller indices and copy first; approximate with a
+					// depth-proportional delay.
+					depth := 0
+					for a := i; a > 0; a = (a - 1) / 4 {
+						depth++
+					}
+					self.P.Advance(int64(depth) * 1_000_000)
+					Broadcast(os, 4, words, nodes(32), self.P, i)
+				} else {
+					os.M.BlockCopy(self.P, 0, i, words)
+				}
+			})
+		}
+		if err := m.E.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return m.E.Now()
+	}
+	naive := measure(false)
+	treed := measure(true)
+	if treed >= naive {
+		t.Errorf("tree broadcast (%d) not faster than root-hammering (%d)", treed, naive)
+	}
+}

@@ -1,0 +1,259 @@
+// Package elmwood models Elmwood (Mellor-Crummey, LeBlanc, Crowl, Gafter &
+// Dibble; §3.4 of the paper): "a fully-functional RPC-based multiprocessor
+// operating system constructed as a class project in only a semester and a
+// half". Elmwood is object-oriented: everything is an object named by a
+// capability; invoking an operation on an object is a kernel-mediated remote
+// procedure call to the node where the object lives.
+//
+// The model: one kernel server per node, receiving invocation requests on a
+// dual queue; capabilities carry rights and an unguessable check field; the
+// kernel validates the capability, dispatches the operation on the object's
+// home node, and replies through the caller's private reply queue.
+package elmwood
+
+import (
+	"errors"
+	"fmt"
+
+	"butterfly/internal/chrysalis"
+	"butterfly/internal/sim"
+)
+
+// Rights restrict what a capability permits.
+type Rights int
+
+// Capability rights.
+const (
+	RInvoke Rights = 1 << iota
+	RRestrict
+	RDestroy
+)
+
+// Capability names an object; it can be passed between processes freely
+// (possession is authority, as in the real system).
+type Capability struct {
+	ObjID  int
+	Check  uint64
+	Rights Rights
+}
+
+// Operation is an object's method. It runs on the object's home node inside
+// the kernel server, with the server's process for time charging.
+type Operation func(p *sim.Proc, args any) any
+
+// object is the kernel-side record.
+type object struct {
+	id    int
+	node  int
+	check uint64
+	ops   map[string]Operation
+	dead  bool
+}
+
+// Costs calibrates Elmwood.
+type Costs struct {
+	// DispatchNs is the kernel-side cost per invocation (validate, decode,
+	// dispatch).
+	DispatchNs int64
+	// StubNs is the client-side marshalling cost per call.
+	StubNs int64
+}
+
+// DefaultCosts follows the published Elmwood RPC measurements (same order
+// as Lynx: around a millisecond end to end).
+func DefaultCosts() Costs {
+	return Costs{
+		DispatchNs: 200 * sim.Microsecond,
+		StubNs:     150 * sim.Microsecond,
+	}
+}
+
+// Kernel is an Elmwood instance: one server process per node.
+type Kernel struct {
+	OS    *chrysalis.OS
+	Costs Costs
+
+	objects []*object
+	ports   []*chrysalis.DualQueue
+	reqs    []request
+	free    []int
+	nextChk uint64
+	stats   Stats
+}
+
+// Stats counts kernel activity.
+type Stats struct {
+	Invocations uint64
+	Rejected    uint64
+}
+
+type request struct {
+	cap   Capability
+	op    string
+	args  any
+	reply *chrysalis.DualQueue
+	// out carries the result value (the dual queue datum is just a token).
+	out *invokeResult
+}
+
+type invokeResult struct {
+	val any
+	err error
+}
+
+const poison = ^uint32(0)
+
+// Boot starts Elmwood: one kernel server per machine node.
+func Boot(os *chrysalis.OS) (*Kernel, error) {
+	k := &Kernel{OS: os, Costs: DefaultCosts()}
+	for n := 0; n < os.M.N(); n++ {
+		port := os.NewDualQueue(n, nil)
+		k.ports = append(k.ports, port)
+		if _, err := os.MakeProcess(nil, fmt.Sprintf("elmwood-kernel-%d", n), n, 16, func(self *chrysalis.Process) {
+			for {
+				d := port.Dequeue(self.P)
+				if d == poison {
+					return
+				}
+				req := k.reqs[d]
+				k.free = append(k.free, int(d))
+				self.P.Advance(k.Costs.DispatchNs)
+				req.out.val, req.out.err = k.dispatch(self.P, req)
+				req.reply.Enqueue(self.P, 0)
+			}
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return k, nil
+}
+
+// Shutdown stops the kernel servers.
+func (k *Kernel) Shutdown(p *sim.Proc) {
+	for _, port := range k.ports {
+		port.Enqueue(p, poison)
+	}
+}
+
+// Stats returns a copy of the counters.
+func (k *Kernel) Stats() Stats { return k.stats }
+
+// Errors.
+var (
+	ErrBadCapability = errors.New("elmwood: invalid capability")
+	ErrNoRights      = errors.New("elmwood: capability lacks the required right")
+	ErrNoOperation   = errors.New("elmwood: object has no such operation")
+	ErrDestroyed     = errors.New("elmwood: object has been destroyed")
+)
+
+// dispatch validates and executes a request on the kernel server.
+func (k *Kernel) dispatch(p *sim.Proc, req request) (any, error) {
+	obj, err := k.resolve(req.cap)
+	if err != nil {
+		k.stats.Rejected++
+		return nil, err
+	}
+	if req.cap.Rights&RInvoke == 0 {
+		k.stats.Rejected++
+		return nil, ErrNoRights
+	}
+	fn, ok := obj.ops[req.op]
+	if !ok {
+		k.stats.Rejected++
+		return nil, fmt.Errorf("%w: %q", ErrNoOperation, req.op)
+	}
+	k.stats.Invocations++
+	return fn(p, req.args), nil
+}
+
+// resolve checks a capability against the object table.
+func (k *Kernel) resolve(c Capability) (*object, error) {
+	if c.ObjID < 0 || c.ObjID >= len(k.objects) {
+		return nil, ErrBadCapability
+	}
+	obj := k.objects[c.ObjID]
+	if obj.check != c.Check {
+		return nil, ErrBadCapability
+	}
+	if obj.dead {
+		return nil, ErrDestroyed
+	}
+	return obj, nil
+}
+
+// CreateObject registers an object on a node and returns its full-rights
+// capability.
+func (k *Kernel) CreateObject(node int, ops map[string]Operation) Capability {
+	k.nextChk = k.nextChk*0x5DEECE66D + 0xB
+	obj := &object{
+		id:    len(k.objects),
+		node:  node,
+		check: k.nextChk,
+		ops:   ops,
+	}
+	k.objects = append(k.objects, obj)
+	return Capability{ObjID: obj.id, Check: obj.check, Rights: RInvoke | RRestrict | RDestroy}
+}
+
+// Restrict derives a weaker capability (requires RRestrict on the source).
+func (k *Kernel) Restrict(c Capability, keep Rights) (Capability, error) {
+	if _, err := k.resolve(c); err != nil {
+		return Capability{}, err
+	}
+	if c.Rights&RRestrict == 0 {
+		return Capability{}, ErrNoRights
+	}
+	return Capability{ObjID: c.ObjID, Check: c.Check, Rights: c.Rights & keep}, nil
+}
+
+// Destroy removes an object (requires RDestroy).
+func (k *Kernel) Destroy(c Capability) error {
+	obj, err := k.resolve(c)
+	if err != nil {
+		return err
+	}
+	if c.Rights&RDestroy == 0 {
+		return ErrNoRights
+	}
+	obj.dead = true
+	return nil
+}
+
+// Client is a caller's handle: a private reply queue on its node.
+type Client struct {
+	kernel *Kernel
+	pr     *chrysalis.Process
+	reply  *chrysalis.DualQueue
+}
+
+// NewClient prepares a process to make Elmwood calls.
+func (k *Kernel) NewClient(pr *chrysalis.Process) *Client {
+	return &Client{kernel: k, pr: pr, reply: k.OS.NewDualQueue(pr.P.Node, pr.Root)}
+}
+
+// Invoke performs a synchronous RPC on the object named by cap.
+func (c *Client) Invoke(cap Capability, op string, args any) (any, error) {
+	k := c.kernel
+	p := c.pr.P
+	p.Advance(k.Costs.StubNs)
+	out := &invokeResult{}
+	req := request{cap: cap, op: op, args: args, reply: c.reply, out: out}
+	var slot int
+	if n := len(k.free); n > 0 {
+		slot = k.free[n-1]
+		k.free = k.free[:n-1]
+		k.reqs[slot] = req
+	} else {
+		slot = len(k.reqs)
+		k.reqs = append(k.reqs, req)
+	}
+	// Route to the kernel server on the object's home node (bad ids go to
+	// node 0's kernel, which rejects them).
+	node := 0
+	if cap.ObjID >= 0 && cap.ObjID < len(k.objects) {
+		node = k.objects[cap.ObjID].node
+	}
+	k.ports[node].Enqueue(p, uint32(slot))
+	c.reply.Dequeue(p)
+	return out.val, out.err
+}

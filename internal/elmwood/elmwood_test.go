@@ -1,0 +1,169 @@
+package elmwood
+
+import (
+	"errors"
+	"testing"
+
+	"butterfly/internal/chrysalis"
+	"butterfly/internal/machine"
+	"butterfly/internal/sim"
+)
+
+// boot builds a machine, starts Elmwood, runs body in a client process on
+// node 0, and shuts the kernels down afterwards.
+func boot(t *testing.T, nodes int, body func(k *Kernel, c *Client)) *Kernel {
+	t.Helper()
+	m := machine.New(machine.DefaultConfig(nodes))
+	os := chrysalis.New(m)
+	k, err := Boot(os)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.MakeProcess(nil, "client", 0, 16, func(self *chrysalis.Process) {
+		c := k.NewClient(self)
+		body(k, c)
+		k.Shutdown(self.P)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.E.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return k
+}
+
+func TestInvokeRemoteObject(t *testing.T) {
+	boot(t, 4, func(k *Kernel, c *Client) {
+		count := 0
+		cap := k.CreateObject(2, map[string]Operation{
+			"add": func(p *sim.Proc, args any) any {
+				count += args.(int)
+				return count
+			},
+		})
+		v, err := c.Invoke(cap, "add", 7)
+		if err != nil || v.(int) != 7 {
+			t.Fatalf("invoke = %v, %v", v, err)
+		}
+		v, err = c.Invoke(cap, "add", 3)
+		if err != nil || v.(int) != 10 {
+			t.Fatalf("invoke 2 = %v, %v", v, err)
+		}
+	})
+}
+
+func TestForgedCapabilityRejected(t *testing.T) {
+	boot(t, 2, func(k *Kernel, c *Client) {
+		cap := k.CreateObject(1, map[string]Operation{
+			"op": func(p *sim.Proc, args any) any { return nil },
+		})
+		forged := cap
+		forged.Check ^= 1
+		if _, err := c.Invoke(forged, "op", nil); !errors.Is(err, ErrBadCapability) {
+			t.Errorf("err = %v, want ErrBadCapability", err)
+		}
+		bogus := Capability{ObjID: 99, Rights: RInvoke}
+		if _, err := c.Invoke(bogus, "op", nil); !errors.Is(err, ErrBadCapability) {
+			t.Errorf("bogus err = %v", err)
+		}
+	})
+}
+
+func TestRestrictedCapability(t *testing.T) {
+	boot(t, 2, func(k *Kernel, c *Client) {
+		cap := k.CreateObject(1, map[string]Operation{
+			"op": func(p *sim.Proc, args any) any { return "ok" },
+		})
+		weak, err := k.Restrict(cap, RInvoke)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Invoke(weak, "op", nil); err != nil {
+			t.Errorf("weak invoke: %v", err)
+		}
+		if err := k.Destroy(weak); !errors.Is(err, ErrNoRights) {
+			t.Errorf("destroy with weak cap: %v", err)
+		}
+		// A capability without RRestrict cannot mint new ones.
+		if _, err := k.Restrict(weak, RInvoke); !errors.Is(err, ErrNoRights) {
+			t.Errorf("restrict with weak cap: %v", err)
+		}
+		// Remove invoke rights entirely.
+		none, err := k.Restrict(cap, RRestrict)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Invoke(none, "op", nil); !errors.Is(err, ErrNoRights) {
+			t.Errorf("rightless invoke: %v", err)
+		}
+	})
+}
+
+func TestDestroy(t *testing.T) {
+	boot(t, 2, func(k *Kernel, c *Client) {
+		cap := k.CreateObject(1, map[string]Operation{
+			"op": func(p *sim.Proc, args any) any { return nil },
+		})
+		if err := k.Destroy(cap); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Invoke(cap, "op", nil); !errors.Is(err, ErrDestroyed) {
+			t.Errorf("err = %v, want ErrDestroyed", err)
+		}
+	})
+}
+
+func TestUnknownOperation(t *testing.T) {
+	k := boot(t, 2, func(k *Kernel, c *Client) {
+		cap := k.CreateObject(1, map[string]Operation{})
+		if _, err := c.Invoke(cap, "nope", nil); !errors.Is(err, ErrNoOperation) {
+			t.Errorf("err = %v, want ErrNoOperation", err)
+		}
+	})
+	if k.Stats().Rejected != 1 {
+		t.Errorf("rejected = %d", k.Stats().Rejected)
+	}
+}
+
+func TestRPCCostOrderOfMilliseconds(t *testing.T) {
+	// [36]: Elmwood RPC costs are the same order as the other general
+	// communication schemes on the Butterfly.
+	boot(t, 2, func(k *Kernel, c *Client) {
+		cap := k.CreateObject(1, map[string]Operation{
+			"echo": func(p *sim.Proc, args any) any { return args },
+		})
+		e := c.pr.P.Engine()
+		const n = 20
+		t0 := e.Now()
+		for i := 0; i < n; i++ {
+			if _, err := c.Invoke(cap, "echo", i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		per := (e.Now() - t0) / n
+		if per < 200*sim.Microsecond || per > 5*sim.Millisecond {
+			t.Errorf("per-call = %.1f us", sim.Micros(per))
+		}
+	})
+}
+
+func TestObjectsOnEveryNode(t *testing.T) {
+	k := boot(t, 4, func(k *Kernel, c *Client) {
+		for n := 0; n < 4; n++ {
+			n := n
+			cap := k.CreateObject(n, map[string]Operation{
+				"where": func(p *sim.Proc, args any) any { return p.Node },
+			})
+			v, err := c.Invoke(cap, "where", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v.(int) != n {
+				t.Errorf("object on node %d executed on %d", n, v.(int))
+			}
+		}
+	})
+	if k.Stats().Invocations != 4 {
+		t.Errorf("invocations = %d", k.Stats().Invocations)
+	}
+}

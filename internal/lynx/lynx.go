@@ -1,0 +1,275 @@
+// Package lynx models the Lynx distributed programming language runtime
+// (§3.2 of the paper): heavyweight processes containing lightweight threads,
+// communicating by remote procedure call over links. Links are first-class:
+// they can be created, destroyed, and moved dynamically, giving the
+// programmer complete run-time control over the communication topology. A
+// message dispatcher and thread scheduler in the run-time support package
+// deliver the performance of asynchronous message passing while client
+// threads see blocking RPC semantics; a fresh thread handles each incoming
+// call, providing "automatic management of context for interleaved
+// conversations". Remote exceptions propagate back to the caller, Ada-style.
+package lynx
+
+import (
+	"errors"
+	"fmt"
+
+	"butterfly/internal/antfarm"
+	"butterfly/internal/chrysalis"
+	"butterfly/internal/sim"
+)
+
+// Config tunes the Lynx runtime costs.
+type Config struct {
+	// CallNs is the fixed client-side cost of issuing an RPC (stub entry,
+	// secure type check, context save).
+	CallNs int64
+	// DispatchNs is the server-side dispatcher cost per message.
+	DispatchNs int64
+	// MarshalNsPerWord is the per-word cost of gathering/scattering message
+	// parameters.
+	MarshalNsPerWord int64
+	// Farm tunes the embedded coroutine scheduler.
+	Farm antfarm.Config
+}
+
+// DefaultConfig follows the measured message-passing overheads of Scott &
+// Cox (cited as [49]): small RPCs complete in roughly two milliseconds.
+func DefaultConfig() Config {
+	return Config{
+		CallNs:           400 * sim.Microsecond,
+		DispatchNs:       300 * sim.Microsecond,
+		MarshalNsPerWord: 2 * sim.Microsecond,
+		Farm:             antfarm.DefaultConfig(),
+	}
+}
+
+// Handler services one operation. It runs on its own thread inside the
+// server process; args/words are the unmarshalled request. Returning a
+// non-nil error raises the exception in the caller.
+type Handler func(t *antfarm.Thread, args any, words int) (reply any, replyWords int, err error)
+
+// Proc is a Lynx process.
+type Proc struct {
+	Name string
+	Node int
+	OS   *chrysalis.OS
+	Cfg  Config
+
+	farm     *antfarm.Farm
+	reqCh    *antfarm.Channel
+	handlers map[string]Handler
+	links    map[*Link]bool
+	stats    Stats
+	down     bool
+}
+
+// Stats counts RPC activity at one process.
+type Stats struct {
+	CallsIssued   uint64
+	CallsServiced uint64
+	Exceptions    uint64
+}
+
+// request is the on-the-wire form of a call.
+type request struct {
+	link    *Link
+	op      string
+	args    any
+	words   int
+	replyCh *antfarm.Channel
+}
+
+// reply is the on-the-wire form of a response.
+type replyMsg struct {
+	payload any
+	errText string
+}
+
+const shutdownOp = "\x00shutdown"
+
+// Spawn creates a Lynx process on a node. main, if non-nil, runs as the
+// process's initial thread (alongside the dispatcher). Handlers service
+// incoming calls; they may be bound before or during execution with Bind.
+func Spawn(os *chrysalis.OS, name string, node int, cfg Config, main func(self *Proc, t *antfarm.Thread)) (*Proc, error) {
+	if cfg.CallNs == 0 {
+		cfg = DefaultConfig()
+	}
+	lp := &Proc{
+		Name:     name,
+		Node:     node,
+		OS:       os,
+		Cfg:      cfg,
+		reqCh:    antfarm.NewChannelOn(os, node, 64),
+		handlers: make(map[string]Handler),
+		links:    make(map[*Link]bool),
+	}
+	_, err := os.MakeProcess(nil, "lynx:"+name, node, 64, func(self *chrysalis.Process) {
+		antfarm.Run(self, cfg.Farm, func(t *antfarm.Thread) {
+			lp.farm = t.Farm
+			t.Farm.Spawn("dispatcher", lp.dispatcher)
+			if main != nil {
+				main(lp, t)
+				// The initial thread's return ends the process: stop our own
+				// dispatcher so the farm can drain. Pure servers pass a nil
+				// main and run until another process calls Shutdown.
+				lp.Shutdown(t)
+			}
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return lp, nil
+}
+
+// Bind registers a handler for an operation name.
+func (lp *Proc) Bind(op string, h Handler) {
+	lp.handlers[op] = h
+}
+
+// dispatcher receives requests and spawns a handler thread per call.
+func (lp *Proc) dispatcher(t *antfarm.Thread) {
+	for {
+		v, _ := lp.reqCh.Recv(t)
+		req := v.(request)
+		if req.op == shutdownOp {
+			lp.down = true
+			return
+		}
+		t.P().Advance(lp.Cfg.DispatchNs)
+		lp.stats.CallsServiced++
+		h, ok := lp.handlers[req.op]
+		t.Farm.Spawn("handler:"+req.op, func(ht *antfarm.Thread) {
+			if !ok {
+				ht.P().Advance(lp.Cfg.MarshalNsPerWord) // error path marshal
+				req.replyCh.Send(ht, replyMsg{errText: fmt.Sprintf("lynx: no entry %q in %s", req.op, lp.Name)}, 1)
+				return
+			}
+			out, outWords, err := h(ht, req.args, req.words)
+			msg := replyMsg{payload: out}
+			if err != nil {
+				lp.stats.Exceptions++
+				msg.errText = err.Error()
+				outWords = 1
+			}
+			ht.P().Advance(int64(outWords) * lp.Cfg.MarshalNsPerWord)
+			req.replyCh.Send(ht, msg, outWords)
+		})
+	}
+}
+
+// Stats returns a copy of the process counters.
+func (lp *Proc) Stats() Stats { return lp.stats }
+
+// Farm exposes the process's coroutine scheduler (nil until started).
+func (lp *Proc) Farm() *antfarm.Farm { return lp.farm }
+
+// Shutdown stops the process's dispatcher. It must be called from a running
+// thread (of any process).
+func (lp *Proc) Shutdown(t *antfarm.Thread) {
+	lp.reqCh.Send(t, request{op: shutdownOp}, 1)
+}
+
+// Link errors.
+var (
+	ErrLinkDestroyed = errors.New("lynx: link has been destroyed")
+	ErrNotAnEnd      = errors.New("lynx: calling process holds no end of this link")
+	ErrDown          = errors.New("lynx: remote process has shut down")
+)
+
+// Link is a movable, destroyable connection between two processes.
+type Link struct {
+	ends  [2]*Proc
+	alive bool
+}
+
+// NewLink connects two processes.
+func NewLink(a, b *Proc) *Link {
+	l := &Link{ends: [2]*Proc{a, b}, alive: true}
+	a.links[l] = true
+	b.links[l] = true
+	return l
+}
+
+// Ends returns the current endpoint processes.
+func (l *Link) Ends() (a, b *Proc) { return l.ends[0], l.ends[1] }
+
+// Alive reports whether the link still exists.
+func (l *Link) Alive() bool { return l.alive }
+
+// Destroy removes the link; subsequent calls through it fail.
+func (l *Link) Destroy() {
+	l.alive = false
+	delete(l.ends[0].links, l)
+	delete(l.ends[1].links, l)
+}
+
+// Move transfers the end currently bound to from onto to — the dynamic
+// topology reconfiguration that distinguishes Lynx from compile-time-bound
+// languages.
+func (l *Link) Move(from, to *Proc) error {
+	if !l.alive {
+		return ErrLinkDestroyed
+	}
+	for i, e := range l.ends {
+		if e == from {
+			delete(from.links, l)
+			l.ends[i] = to
+			to.links[l] = true
+			return nil
+		}
+	}
+	return ErrNotAnEnd
+}
+
+// other returns the process at the far end of the link from lp.
+func (l *Link) other(lp *Proc) (*Proc, error) {
+	if !l.alive {
+		return nil, ErrLinkDestroyed
+	}
+	switch lp {
+	case l.ends[0]:
+		return l.ends[1], nil
+	case l.ends[1]:
+		return l.ends[0], nil
+	}
+	return nil, ErrNotAnEnd
+}
+
+// Call performs a blocking remote procedure call over the link from the
+// calling thread's process. Other threads of the caller keep running while
+// this thread awaits the reply — that is the whole point of the
+// thread/dispatcher design.
+func (lp *Proc) Call(t *antfarm.Thread, l *Link, op string, args any, words int) (reply any, err error) {
+	callee, err := l.other(lp)
+	if err != nil {
+		return nil, err
+	}
+	if callee.down {
+		return nil, ErrDown
+	}
+	lp.stats.CallsIssued++
+	t.P().Advance(lp.Cfg.CallNs + int64(words)*lp.Cfg.MarshalNsPerWord)
+	replyCh := antfarm.NewChannelOn(lp.OS, lp.Node, 1)
+	callee.reqCh.Send(t, request{link: l, op: op, args: args, words: words, replyCh: replyCh}, words)
+	v, _ := replyCh.Recv(t)
+	msg := v.(replyMsg)
+	if msg.errText != "" {
+		return nil, &RemoteError{Op: op, Process: callee.Name, Text: msg.errText}
+	}
+	return msg.payload, nil
+}
+
+// RemoteError is an exception raised in a remote handler and re-raised at
+// the caller.
+type RemoteError struct {
+	Op      string
+	Process string
+	Text    string
+}
+
+// Error implements the error interface.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("lynx: remote exception in %s.%s: %s", e.Process, e.Op, e.Text)
+}

@@ -1,0 +1,379 @@
+// Package machine assembles the Butterfly Parallel Processor model: N
+// processing nodes (8 MHz MC68000 plus PNC co-processor and local memory)
+// connected by the multistage switching network. It provides the typed,
+// time-charging access API every higher layer uses: local and remote word
+// references, block transfers, atomic read-modify-write operations, and
+// integer/floating-point compute charges.
+//
+// Calibration follows §2.1 of the paper: a remote read takes about 4 µs,
+// roughly five times a local reference; remote references steal memory cycles
+// from the local processor; block transfers stream through the switch at the
+// 32 Mbit/s port rate.
+package machine
+
+import (
+	"fmt"
+
+	"butterfly/internal/memory"
+	"butterfly/internal/sim"
+	"butterfly/internal/switchnet"
+)
+
+// Config holds the machine's calibration parameters.
+type Config struct {
+	// Nodes is the number of processing nodes (up to 256 on the Butterfly).
+	Nodes int
+	// MemBytes is the per-node memory size (1 MB standard, 4 MB expanded).
+	MemBytes int
+	// MemCycleNs is the memory module service time per 32-bit word.
+	MemCycleNs int64
+	// LocalOverheadNs is the processor-side cost of a local reference in
+	// addition to the memory cycle.
+	LocalOverheadNs int64
+	// PNCOverheadNs is the processor-node-controller cost added to every
+	// remote reference (request formatting, microcode dispatch).
+	PNCOverheadNs int64
+	// IntOpNs is the cost of one integer operation (register arithmetic,
+	// address computation) on the 8 MHz MC68000.
+	IntOpNs int64
+	// FlopNs is the cost of one floating-point operation. 25 µs (~40
+	// kflops) models the Butterfly-I's software floating point; 4 µs models
+	// the MC68881 daughter-board upgrade of 1986.
+	FlopNs int64
+	// Net configures the switching network; if zero-valued it is derived
+	// from Nodes with switchnet.DefaultConfig.
+	Net switchnet.Config
+	// NoSwitchContention replaces per-packet switch-port reservation with
+	// the fixed uncontended path latency. Experiment E6 (and Rettberg &
+	// Thomas) established that switch contention is almost negligible, so
+	// reference-heavy workloads (Figure 5's 10^8-word sweeps) can use this
+	// much cheaper path; memory-module contention is always modelled.
+	NoSwitchContention bool
+}
+
+// DefaultConfig returns the Butterfly-I calibration for n nodes (software
+// floating point, 1 MB memories).
+func DefaultConfig(n int) Config {
+	return Config{
+		Nodes:    n,
+		MemBytes: 1 << 20,
+		// The MC68000 has a 16-bit data bus: a 32-bit word costs two memory
+		// cycles of ~500 ns.
+		MemCycleNs:      1000,
+		LocalOverheadNs: 100,
+		PNCOverheadNs:   400,
+		IntOpNs:         500,
+		FlopNs:          25_000,
+		Net:             switchnet.DefaultConfig(n),
+	}
+}
+
+// HardwareFloatConfig returns the calibration for nodes upgraded with the
+// MC68020/MC68881 daughter board (the department's 16-node floating-point
+// machine in §2.1).
+func HardwareFloatConfig(n int) Config {
+	c := DefaultConfig(n)
+	c.FlopNs = 4_000
+	return c
+}
+
+// Node is one processing node: processor, PNC state, memory module, SAR pool.
+type Node struct {
+	ID   int
+	Mem  *memory.Module
+	SARs *memory.SARPool
+}
+
+// Machine is the assembled Butterfly.
+type Machine struct {
+	E     *sim.Engine
+	Net   *switchnet.Network
+	Nodes []*Node
+	Cfg   Config
+
+	stats     Stats
+	lastPrune int64
+}
+
+// Stats aggregates machine-level reference counters.
+type Stats struct {
+	LocalRefs   uint64
+	RemoteRefs  uint64
+	BlockCopies uint64
+	AtomicOps   uint64
+}
+
+// New builds a machine with the given configuration and a fresh simulation
+// engine.
+func New(cfg Config) *Machine {
+	if cfg.Nodes <= 0 {
+		panic("machine: node count must be positive")
+	}
+	if cfg.Net.Nodes == 0 {
+		cfg.Net = switchnet.DefaultConfig(cfg.Nodes)
+	}
+	m := &Machine{
+		E:   sim.New(),
+		Net: switchnet.New(cfg.Net),
+		Cfg: cfg,
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		m.Nodes = append(m.Nodes, &Node{
+			ID:   i,
+			Mem:  memory.NewModule(i, cfg.MemBytes, cfg.MemCycleNs),
+			SARs: memory.NewSARPool(),
+		})
+	}
+	return m
+}
+
+// Stats returns a copy of the machine counters.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// N returns the number of nodes.
+func (m *Machine) N() int { return m.Cfg.Nodes }
+
+// node validates and returns a node index's descriptor.
+func (m *Machine) node(i int) *Node {
+	if i < 0 || i >= len(m.Nodes) {
+		panic(fmt.Sprintf("machine: node %d out of range 0..%d", i, len(m.Nodes)-1))
+	}
+	return m.Nodes[i]
+}
+
+// wordBytes is the transfer unit of the reference API.
+const wordBytes = 4
+
+// transit routes a packet, honouring the NoSwitchContention shortcut.
+func (m *Machine) transit(t int64, src, dst, bytes int) int64 {
+	if m.Cfg.NoSwitchContention {
+		return t + m.fixedTransitNs(bytes)
+	}
+	return m.Net.Transit(t, src, dst, bytes)
+}
+
+// fixedTransitNs is the uncontended end-to-end network time for a packet.
+func (m *Machine) fixedTransitNs(bytes int) int64 {
+	return int64(m.Net.Stages())*m.Cfg.Net.HopLatency + int64(bytes)*1_000_000_000/m.Cfg.Net.BytesPerSecond
+}
+
+// maybePrune periodically discards stale server reservations (calendar
+// entries ending before the current virtual time can never matter again).
+func (m *Machine) maybePrune() {
+	const every = 20 * 1_000_000 // 20 ms of virtual time
+	if m.E.Now()-m.lastPrune < every {
+		return
+	}
+	m.lastPrune = m.E.Now()
+	m.Net.Prune(m.lastPrune)
+	for _, n := range m.Nodes {
+		n.Mem.Prune(m.lastPrune)
+	}
+}
+
+// Read charges p for reading words 32-bit words from the memory of the given
+// node. Single-word remote reads model the PNC's word-at-a-time references:
+// each word is a separate network round trip. Multi-word local reads occupy
+// the module back to back.
+func (m *Machine) Read(p *sim.Proc, node, words int) {
+	m.access(p, node, words)
+}
+
+// Write charges p for writing words 32-bit words to the memory of the given
+// node. The Butterfly's write path costs the same as the read path at this
+// model's granularity.
+func (m *Machine) Write(p *sim.Proc, node, words int) {
+	m.access(p, node, words)
+}
+
+func (m *Machine) access(p *sim.Proc, node, words int) {
+	m.maybePrune()
+	if words <= 0 {
+		words = 1
+	}
+	n := m.node(node)
+	if node == p.Node {
+		// Local: processor overhead once, then the module streams the words.
+		m.stats.LocalRefs++
+		_, done := n.Mem.Service(m.E.Now()+m.Cfg.LocalOverheadNs, words, true)
+		p.Advance(done - m.E.Now())
+		return
+	}
+	// Remote: each word is an independent reference through the switch
+	// (request out, memory cycle, reply back). The PNC overlaps nothing, so
+	// the references serialize; they are charged as one batch (a single
+	// engine event) with full per-word cost and module/port occupancy.
+	m.stats.RemoteRefs += uint64(words)
+	t := m.E.Now()
+	for w := 0; w < words; w++ {
+		t += m.Cfg.PNCOverheadNs
+		t = m.transit(t, p.Node, node, wordBytes)
+		_, t = n.Mem.Service(t, 1, false)
+		t = m.transit(t, node, p.Node, wordBytes)
+	}
+	p.Advance(t - m.E.Now())
+}
+
+// BlockCopy charges p for streaming words 32-bit words from the memory of
+// node src to the memory of node dst. This is the Uniform System "copy into
+// local memory" idiom (§4.1): the block streams through the switch in one
+// transfer, amortizing the per-reference overhead that makes word-at-a-time
+// remote access five times slower.
+func (m *Machine) BlockCopy(p *sim.Proc, src, dst, words int) {
+	m.maybePrune()
+	if words <= 0 {
+		return
+	}
+	sn, dn := m.node(src), m.node(dst)
+	m.stats.BlockCopies++
+	t := m.E.Now() + m.Cfg.PNCOverheadNs
+	if src == dst {
+		// Local copy: read + write through the one module.
+		_, t = sn.Mem.Service(t, 2*words, src == p.Node)
+		p.Advance(t - m.E.Now())
+		return
+	}
+	// Source module streams the block, the network carries it, the
+	// destination module absorbs it; the phases pipeline, so total time is
+	// dominated by the slowest stage plus fixed latency.
+	sStart, sDone := sn.Mem.Service(t, words, src == p.Node)
+	nDone := m.transit(sStart, src, dst, words*wordBytes)
+	if nDone < sDone {
+		nDone = sDone
+	}
+	_, dDone := dn.Mem.Service(nDone-int64(words)*m.Cfg.MemCycleNs, words, dst == p.Node)
+	if dDone < nDone {
+		dDone = nDone
+	}
+	p.Advance(dDone - m.E.Now())
+}
+
+// Atomic charges p for one atomic read-modify-write (test-and-set,
+// fetch-and-add, atomic-ior...) on a word in the given node's memory, and
+// returns nothing: the caller performs the actual operation on its own data,
+// which is safe because the engine runs one process at a time. An atomic op
+// occupies the module for two cycles (read + write).
+func (m *Machine) Atomic(p *sim.Proc, node int) {
+	m.maybePrune()
+	n := m.node(node)
+	m.stats.AtomicOps++
+	if node == p.Node {
+		_, done := n.Mem.Service(m.E.Now()+m.Cfg.LocalOverheadNs, 2, true)
+		p.Advance(done - m.E.Now())
+		return
+	}
+	t := m.E.Now() + m.Cfg.PNCOverheadNs
+	t = m.transit(t, p.Node, node, wordBytes)
+	_, t = n.Mem.Service(t, 2, false)
+	t = m.transit(t, node, p.Node, wordBytes)
+	p.Advance(t - m.E.Now())
+}
+
+// Ref describes one shared-memory reference stream of a Sweep element.
+type Ref struct {
+	// Node is the home memory of the referenced data.
+	Node int
+	// Words is how many 32-bit words each element references there.
+	Words int
+}
+
+// Sweep charges p for `items` loop iterations, each consisting of computeNs
+// of processor time interleaved with one reference group per entry of refs
+// (local or remote as appropriate). The whole sweep is charged as a single
+// engine event, but module and switch-port occupancy is booked per word at
+// the realistic issue times, so contention with other processors is modelled
+// without the artificial convoys that batching all references back to back
+// would create. This is the workhorse for inner loops such as the Gaussian
+// elimination row update, where two flops and a handful of shared-memory
+// references alternate millions of times.
+func (m *Machine) Sweep(p *sim.Proc, items int, computeNs int64, refs []Ref) {
+	m.maybePrune()
+	if items <= 0 {
+		return
+	}
+	t := m.E.Now()
+	for it := 0; it < items; it++ {
+		t += computeNs
+		for _, r := range refs {
+			n := m.node(r.Node)
+			words := r.Words
+			if words <= 0 {
+				continue
+			}
+			if r.Node == p.Node {
+				m.stats.LocalRefs++
+				_, t = n.Mem.Service(t+m.Cfg.LocalOverheadNs, words, true)
+				continue
+			}
+			m.stats.RemoteRefs += uint64(words)
+			for w := 0; w < words; w++ {
+				t += m.Cfg.PNCOverheadNs
+				t = m.transit(t, p.Node, r.Node, wordBytes)
+				_, t = n.Mem.Service(t, 1, false)
+				t = m.transit(t, r.Node, p.Node, wordBytes)
+			}
+		}
+	}
+	p.Advance(t - m.E.Now())
+}
+
+// Microcode charges p for a PNC-microcoded operation (event post, dual
+// queue enqueue/dequeue) executed at the object's home node. The microcode
+// runs in the home node's PNC and occupies that node's memory for busyNs,
+// so concurrent microcoded operations on objects sharing a home node
+// serialize there — the reason heavily shared queues become bottlenecks.
+func (m *Machine) Microcode(p *sim.Proc, node int, busyNs int64) {
+	m.maybePrune()
+	n := m.node(node)
+	words := int(busyNs / m.Cfg.MemCycleNs)
+	if words < 1 {
+		words = 1
+	}
+	t := m.E.Now()
+	if node != p.Node {
+		t += m.Cfg.PNCOverheadNs
+		t = m.transit(t, p.Node, node, wordBytes)
+	} else {
+		t += m.Cfg.LocalOverheadNs
+	}
+	_, t = n.Mem.Service(t, words, node == p.Node)
+	if node != p.Node {
+		t = m.transit(t, node, p.Node, wordBytes)
+	}
+	p.Advance(t - m.E.Now())
+}
+
+// IntOps charges p for n integer operations of pure processor time.
+func (m *Machine) IntOps(p *sim.Proc, n int) {
+	if n > 0 {
+		p.Advance(int64(n) * m.Cfg.IntOpNs)
+	}
+}
+
+// Flops charges p for n floating-point operations.
+func (m *Machine) Flops(p *sim.Proc, n int) {
+	if n > 0 {
+		p.Advance(int64(n) * m.Cfg.FlopNs)
+	}
+}
+
+// Spawn creates a simulated process bound to a node. It is a thin wrapper
+// over the engine that validates the node index.
+func (m *Machine) Spawn(name string, node int, fn func(p *sim.Proc)) *sim.Proc {
+	m.node(node)
+	return m.E.Spawn(name, node, fn)
+}
+
+// LocalReadNs returns the uncontended cost of a one-word local read — the
+// denominator of the paper's "roughly five times" NUMA ratio.
+func (m *Machine) LocalReadNs() int64 {
+	return m.Cfg.LocalOverheadNs + m.Cfg.MemCycleNs
+}
+
+// RemoteReadNs returns the uncontended cost of a one-word remote read
+// between two distinct nodes.
+func (m *Machine) RemoteReadNs() int64 {
+	hops := int64(m.Net.Stages())
+	transit := hops*m.Cfg.Net.HopLatency + int64(wordBytes)*1_000_000_000/m.Cfg.Net.BytesPerSecond
+	return m.Cfg.PNCOverheadNs + 2*transit + m.Cfg.MemCycleNs
+}

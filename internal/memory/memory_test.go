@@ -1,0 +1,354 @@
+package memory
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestModuleServiceUncontended(t *testing.T) {
+	m := NewModule(0, 1<<20, 500)
+	start, done := m.Service(1000, 1, true)
+	if start != 1000 || done != 1500 {
+		t.Errorf("service = (%d,%d), want (1000,1500)", start, done)
+	}
+}
+
+func TestModuleQueueing(t *testing.T) {
+	m := NewModule(0, 1<<20, 500)
+	m.Service(0, 10, false)                 // busy until 5000
+	start, done := m.Service(1000, 2, true) // arrives while busy
+	if start != 5000 || done != 6000 {
+		t.Errorf("queued service = (%d,%d), want (5000,6000)", start, done)
+	}
+	st := m.Stats()
+	if st.LocalWaitNs != 4000 {
+		t.Errorf("local wait = %d, want 4000", st.LocalWaitNs)
+	}
+	if st.RemoteWords != 10 || st.LocalWords != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestModuleCycleStealing(t *testing.T) {
+	// The paper's contention effect: a burst of remote references delays the
+	// owner's local reference far beyond its nominal cost.
+	m := NewModule(0, 1<<20, 500)
+	now := int64(0)
+	for i := 0; i < 100; i++ {
+		m.Service(now, 1, false) // remote spinners, all arriving at t=0
+	}
+	start, done := m.Service(0, 1, true)
+	if start != 100*500 {
+		t.Errorf("local ref started at %d, want 50000", start)
+	}
+	if done-0 < 50*500 {
+		t.Errorf("local ref latency %d suspiciously low", done)
+	}
+}
+
+func TestFirstFitBasic(t *testing.T) {
+	f := NewFirstFit(1000)
+	a, err := f.Alloc(100)
+	if err != nil || a != 0 {
+		t.Fatalf("alloc = %d,%v", a, err)
+	}
+	b, err := f.Alloc(200)
+	if err != nil || b != 100 {
+		t.Fatalf("alloc = %d,%v", b, err)
+	}
+	if f.BytesFree() != 700 {
+		t.Errorf("free = %d, want 700", f.BytesFree())
+	}
+	if err := f.Free(a, 100); err != nil {
+		t.Fatalf("free: %v", err)
+	}
+	// First fit reuses the freed hole.
+	c, err := f.Alloc(50)
+	if err != nil || c != 0 {
+		t.Fatalf("alloc after free = %d,%v, want 0", c, err)
+	}
+}
+
+func TestFirstFitCoalesce(t *testing.T) {
+	f := NewFirstFit(300)
+	a, _ := f.Alloc(100)
+	b, _ := f.Alloc(100)
+	c, _ := f.Alloc(100)
+	if err := f.Free(a, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Free(c, 100); err != nil {
+		t.Fatal(err)
+	}
+	if f.Fragments() != 2 {
+		t.Errorf("fragments = %d, want 2", f.Fragments())
+	}
+	if err := f.Free(b, 100); err != nil {
+		t.Fatal(err)
+	}
+	if f.Fragments() != 1 || f.BytesFree() != 300 {
+		t.Errorf("after full free: frags=%d free=%d", f.Fragments(), f.BytesFree())
+	}
+}
+
+func TestFirstFitDoubleFree(t *testing.T) {
+	f := NewFirstFit(100)
+	a, _ := f.Alloc(40)
+	if err := f.Free(a, 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Free(a, 40); err == nil {
+		t.Error("double free not detected")
+	}
+	if err := f.Free(-1, 10); err == nil {
+		t.Error("bad range not detected")
+	}
+}
+
+func TestFirstFitExhaustion(t *testing.T) {
+	f := NewFirstFit(100)
+	if _, err := f.Alloc(101); err != ErrNoMemory {
+		t.Errorf("err = %v, want ErrNoMemory", err)
+	}
+	if _, err := f.Alloc(0); err == nil {
+		t.Error("zero alloc accepted")
+	}
+}
+
+func TestFirstFitProperty(t *testing.T) {
+	// Property: random alloc/free sequences never hand out overlapping
+	// ranges, and freeing everything restores full capacity.
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := NewFirstFit(4096)
+		type alloc struct{ off, size int }
+		var live []alloc
+		for step := 0; step < 200; step++ {
+			if len(live) == 0 || rng.Intn(2) == 0 {
+				size := 1 + rng.Intn(256)
+				off, err := f.Alloc(size)
+				if err != nil {
+					continue
+				}
+				for _, a := range live {
+					if off < a.off+a.size && a.off < off+size {
+						return false // overlap!
+					}
+				}
+				live = append(live, alloc{off, size})
+			} else {
+				i := rng.Intn(len(live))
+				if err := f.Free(live[i].off, live[i].size); err != nil {
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+			}
+		}
+		for _, a := range live {
+			if err := f.Free(a.off, a.size); err != nil {
+				return false
+			}
+		}
+		return f.BytesFree() == 4096 && f.Fragments() == 1
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundSize(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{0, 0}, {1, 256}, {256, 256}, {257, 512}, {5000, 8192},
+		{65536, 65536}, {60000, 61440},
+	}
+	for _, c := range cases {
+		got, err := RoundSize(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("RoundSize(%d) = %d,%v, want %d", c.in, got, err, c.want)
+		}
+	}
+	if _, err := RoundSize(65537); err == nil {
+		t.Error("oversized object accepted")
+	}
+	if _, err := RoundSize(-1); err == nil {
+		t.Error("negative size accepted")
+	}
+}
+
+func TestSARBlockSizes(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{1, 8}, {8, 8}, {9, 16}, {100, 128}, {256, 256},
+	}
+	for _, c := range cases {
+		got, err := BlockSizeFor(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("BlockSizeFor(%d) = %d,%v, want %d", c.in, got, err, c.want)
+		}
+	}
+	if _, err := BlockSizeFor(257); err == nil {
+		t.Error("over-max block accepted")
+	}
+	if _, err := BlockSizeFor(0); err == nil {
+		t.Error("zero block accepted")
+	}
+}
+
+func TestSARPoolSplitAndCoalesce(t *testing.T) {
+	p := NewSARPool()
+	if p.FreeSARs() != SARsPerNode {
+		t.Fatalf("fresh pool has %d SARs", p.FreeSARs())
+	}
+	s1, sz1, err := p.Alloc(8)
+	if err != nil || sz1 != 8 || s1 != 0 {
+		t.Fatalf("alloc = %d,%d,%v", s1, sz1, err)
+	}
+	if p.FreeSARs() != SARsPerNode-8 {
+		t.Errorf("free = %d", p.FreeSARs())
+	}
+	if err := p.Free(s1); err != nil {
+		t.Fatal(err)
+	}
+	if p.FreeSARs() != SARsPerNode {
+		t.Errorf("after free, free = %d, want %d", p.FreeSARs(), SARsPerNode)
+	}
+	// After full coalescing we must again be able to grab two 256 blocks.
+	a, _, err := p.Alloc(256)
+	if err != nil {
+		t.Fatalf("big alloc 1: %v", err)
+	}
+	b, _, err := p.Alloc(256)
+	if err != nil {
+		t.Fatalf("big alloc 2: %v", err)
+	}
+	if a == b {
+		t.Error("same block allocated twice")
+	}
+	if _, _, err := p.Alloc(8); err != ErrNoSARs {
+		t.Errorf("expected exhaustion, got %v", err)
+	}
+}
+
+func TestSARPoolProperty(t *testing.T) {
+	// Property: random alloc/free never double-allocates registers and
+	// always coalesces back to two top-level blocks.
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := NewSARPool()
+		type blk struct{ start, size int }
+		var live []blk
+		inUse := map[int]bool{}
+		for step := 0; step < 100; step++ {
+			if len(live) == 0 || rng.Intn(2) == 0 {
+				n := 1 + rng.Intn(256)
+				start, size, err := p.Alloc(n)
+				if err != nil {
+					continue
+				}
+				for r := start; r < start+size; r++ {
+					if inUse[r] {
+						return false
+					}
+					inUse[r] = true
+				}
+				live = append(live, blk{start, size})
+			} else {
+				i := rng.Intn(len(live))
+				if err := p.Free(live[i].start); err != nil {
+					return false
+				}
+				for r := live[i].start; r < live[i].start+live[i].size; r++ {
+					delete(inUse, r)
+				}
+				live = append(live[:i], live[i+1:]...)
+			}
+		}
+		for _, b := range live {
+			if err := p.Free(b.start); err != nil {
+				return false
+			}
+		}
+		return p.FreeSARs() == SARsPerNode
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSARFreeUnallocated(t *testing.T) {
+	p := NewSARPool()
+	if err := p.Free(0); err == nil {
+		t.Error("free of unallocated block accepted")
+	}
+}
+
+func TestAddressSpace(t *testing.T) {
+	pool := NewSARPool()
+	as, err := NewAddressSpace(pool, 10) // gets a block of 16
+	if err != nil {
+		t.Fatal(err)
+	}
+	if as.Capacity() != 16 {
+		t.Errorf("capacity = %d, want 16", as.Capacity())
+	}
+	slot, err := as.Map(3, 0, 65536)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := as.Segment(slot)
+	if seg == nil || seg.Node != 3 || seg.Bytes != 65536 {
+		t.Errorf("segment = %+v", seg)
+	}
+	if as.Mapped() != 1 {
+		t.Errorf("mapped = %d", as.Mapped())
+	}
+	if err := as.Unmap(slot); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Unmap(slot); err == nil {
+		t.Error("double unmap accepted")
+	}
+	if err := as.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if pool.FreeSARs() != SARsPerNode {
+		t.Errorf("pool not restored: %d", pool.FreeSARs())
+	}
+}
+
+func TestAddressSpaceFull(t *testing.T) {
+	pool := NewSARPool()
+	as, err := NewAddressSpace(pool, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := as.Map(0, i*100, 256); err != nil {
+			t.Fatalf("map %d: %v", i, err)
+		}
+	}
+	if _, err := as.Map(0, 0, 256); err != ErrAddressSpaceFull {
+		t.Errorf("err = %v, want ErrAddressSpaceFull", err)
+	}
+}
+
+func TestTwoProcessSixteenMegabyteLimit(t *testing.T) {
+	// §2.1: "the virtual address space of a process could include at most
+	// 16 Mbytes ... and then only if there were at most two processes per
+	// processor". Two full 256-SAR address spaces exhaust the node's pool.
+	pool := NewSARPool()
+	a, err := NewAddressSpace(pool, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewAddressSpace(pool, 256); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewAddressSpace(pool, 8); err != ErrNoSARs {
+		t.Errorf("third process got SARs: %v", err)
+	}
+	maxBytes := a.Capacity() * MaxSegmentBytes
+	if maxBytes != 16*1024*1024 {
+		t.Errorf("max address space = %d bytes, want 16 MB", maxBytes)
+	}
+}

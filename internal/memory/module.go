@@ -1,0 +1,179 @@
+// Package memory models Butterfly-I per-node memory: a single-ported memory
+// module shared between the local processor and remote references arriving
+// through the switch (the source of the paper's cycle-stealing contention), a
+// first-fit storage allocator per module, and the PNC's segmented virtual
+// memory: SARs (Segment Attribute Registers) allocated in buddy-system blocks
+// and address spaces of at most 256 segments of at most 64 Kbytes each.
+package memory
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"butterfly/internal/calendar"
+)
+
+// Module is one node's memory: a single server with a fixed per-word cycle
+// time. Local and remote references contend for the same port, so heavy
+// remote traffic inflates the owning processor's local access times — the
+// effect §4.1 of the paper calls "stealing memory cycles".
+type Module struct {
+	// Node is the owning node's index.
+	Node int
+	// CycleNs is the service time for one 32-bit word, in nanoseconds.
+	CycleNs int64
+	// Size is the module capacity in bytes (1 MB standard, 4 MB expanded).
+	Size int
+
+	cal   calendar.Calendar
+	alloc *FirstFit
+	stats ModuleStats
+}
+
+// ModuleStats counts traffic through one memory module.
+type ModuleStats struct {
+	LocalWords   uint64
+	RemoteWords  uint64
+	WaitNs       int64 // total queueing delay inflicted on references
+	LocalWaitNs  int64 // portion of WaitNs suffered by local references
+	RemoteWaitNs int64
+}
+
+// NewModule creates a memory module of the given capacity.
+func NewModule(node int, size int, cycleNs int64) *Module {
+	return &Module{Node: node, CycleNs: cycleNs, Size: size, alloc: NewFirstFit(size)}
+}
+
+// Service performs a reference of the given number of words arriving at
+// virtual time now. It returns the time service starts (after any queueing
+// behind earlier references) and the time it completes. local marks whether
+// the reference came from the owning processor (for the stats split only —
+// the port makes no distinction, which is exactly the Butterfly's problem).
+//
+// Higher layers may pre-book references into the virtual future; the module
+// therefore keeps a reservation calendar rather than a scalar busy-until, so
+// a reference arriving at an earlier virtual time backfills idle gaps
+// instead of queueing behind the whole booked schedule.
+func (m *Module) Service(now int64, words int, local bool) (start, done int64) {
+	if words <= 0 {
+		words = 1
+	}
+	dur := int64(words) * m.CycleNs
+	start = m.cal.Reserve(now, dur)
+	if wait := start - now; wait > 0 {
+		m.stats.WaitNs += wait
+		if local {
+			m.stats.LocalWaitNs += wait
+		} else {
+			m.stats.RemoteWaitNs += wait
+		}
+	}
+	done = start + dur
+	if local {
+		m.stats.LocalWords += uint64(words)
+	} else {
+		m.stats.RemoteWords += uint64(words)
+	}
+	return start, done
+}
+
+// Prune discards reservations that ended before now (no future reference
+// can arrive earlier); the machine calls it periodically to bound calendar
+// size.
+func (m *Module) Prune(now int64) { m.cal.PruneBefore(now) }
+
+// Stats returns a copy of the module's counters.
+func (m *Module) Stats() ModuleStats { return m.stats }
+
+// ResetStats zeroes the counters (occupancy is retained).
+func (m *Module) ResetStats() { m.stats = ModuleStats{} }
+
+// Alloc reserves size bytes in the module and returns the byte offset.
+func (m *Module) Alloc(size int) (int, error) { return m.alloc.Alloc(size) }
+
+// Free releases a previously allocated range.
+func (m *Module) Free(off, size int) error { return m.alloc.Free(off, size) }
+
+// BytesFree reports the remaining unallocated capacity.
+func (m *Module) BytesFree() int { return m.alloc.BytesFree() }
+
+// FirstFit is a simple address-ordered first-fit free-list allocator, after
+// the serial allocator whose contention Ellis and Olson's parallel first-fit
+// work (cited in §3.3) set out to fix. The time cost of allocation is charged
+// by the layer above; this type provides only the placement machinery.
+type FirstFit struct {
+	size int
+	free []span // address-ordered, coalesced
+}
+
+type span struct{ off, len int }
+
+// NewFirstFit creates an allocator managing [0, size).
+func NewFirstFit(size int) *FirstFit {
+	return &FirstFit{size: size, free: []span{{0, size}}}
+}
+
+// ErrNoMemory is returned when no free span can satisfy a request.
+var ErrNoMemory = errors.New("memory: out of storage")
+
+// Alloc finds the first free span large enough and carves the request from
+// its front.
+func (f *FirstFit) Alloc(size int) (int, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("memory: bad allocation size %d", size)
+	}
+	for i := range f.free {
+		if f.free[i].len >= size {
+			off := f.free[i].off
+			f.free[i].off += size
+			f.free[i].len -= size
+			if f.free[i].len == 0 {
+				f.free = append(f.free[:i], f.free[i+1:]...)
+			}
+			return off, nil
+		}
+	}
+	return 0, ErrNoMemory
+}
+
+// Free returns a range to the free list, coalescing with neighbours. It
+// rejects ranges that overlap existing free space (double free).
+func (f *FirstFit) Free(off, size int) error {
+	if size <= 0 || off < 0 || off+size > f.size {
+		return fmt.Errorf("memory: bad free [%d,%d)", off, off+size)
+	}
+	i := sort.Search(len(f.free), func(i int) bool { return f.free[i].off >= off })
+	if i < len(f.free) && off+size > f.free[i].off {
+		return fmt.Errorf("memory: double free at %d", off)
+	}
+	if i > 0 && f.free[i-1].off+f.free[i-1].len > off {
+		return fmt.Errorf("memory: double free at %d", off)
+	}
+	f.free = append(f.free, span{})
+	copy(f.free[i+1:], f.free[i:])
+	f.free[i] = span{off, size}
+	// Coalesce with successor, then predecessor.
+	if i+1 < len(f.free) && f.free[i].off+f.free[i].len == f.free[i+1].off {
+		f.free[i].len += f.free[i+1].len
+		f.free = append(f.free[:i+1], f.free[i+2:]...)
+	}
+	if i > 0 && f.free[i-1].off+f.free[i-1].len == f.free[i].off {
+		f.free[i-1].len += f.free[i].len
+		f.free = append(f.free[:i], f.free[i+1:]...)
+	}
+	return nil
+}
+
+// BytesFree reports total free capacity.
+func (f *FirstFit) BytesFree() int {
+	n := 0
+	for _, s := range f.free {
+		n += s.len
+	}
+	return n
+}
+
+// Fragments reports the number of disjoint free spans (for fragmentation
+// experiments and tests).
+func (f *FirstFit) Fragments() int { return len(f.free) }

@@ -1,0 +1,257 @@
+package net
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"butterfly/internal/chrysalis"
+	"butterfly/internal/machine"
+)
+
+func newOS(t *testing.T, nodes int) *chrysalis.OS {
+	t.Helper()
+	return chrysalis.New(machine.New(machine.DefaultConfig(nodes)))
+}
+
+func TestRingPipeline(t *testing.T) {
+	// A ring of 4 elements passes a token around, each appending its X.
+	os := newOS(t, 4)
+	var got []byte
+	_, err := Build(os, Config{Shape: ShapeRing, W: 4}, func(e *Element) {
+		if e.X == 0 {
+			if _, err := e.Out(East).Write(e.P, []byte{0}); err != nil {
+				t.Errorf("write: %v", err)
+			}
+			buf := make([]byte, 4)
+			if err := e.In(West).ReadFull(e.P, buf); err != nil {
+				t.Errorf("read: %v", err)
+			}
+			got = buf
+		} else {
+			buf := make([]byte, e.X)
+			if err := e.In(West).ReadFull(e.P, buf); err != nil {
+				t.Errorf("read: %v", err)
+			}
+			buf = append(buf, byte(e.X))
+			if _, err := e.Out(East).Write(e.P, buf); err != nil {
+				t.Errorf("write: %v", err)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.M.E.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !bytes.Equal(got, []byte{0, 1, 2, 3}) {
+		t.Errorf("token = %v", got)
+	}
+}
+
+func TestLineHasEdges(t *testing.T) {
+	os := newOS(t, 3)
+	_, err := Build(os, Config{Shape: ShapeLine, W: 3}, func(e *Element) {
+		if e.X == 0 && (e.In(West) != nil || e.Out(West) != nil) {
+			t.Error("west edge connected on a line")
+		}
+		if e.X == 2 && (e.In(East) != nil || e.Out(East) != nil) {
+			t.Error("east edge connected on a line")
+		}
+		if e.In(North) != nil || e.In(South) != nil {
+			t.Error("line has vertical streams")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.M.E.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGridNeighbours(t *testing.T) {
+	os := newOS(t, 6)
+	// 3x2 grid: send each element's coordinate east and south; verify.
+	type msg struct{ x, y byte }
+	_, err := Build(os, Config{Shape: ShapeGrid, W: 3, H: 2}, func(e *Element) {
+		if out := e.Out(East); out != nil {
+			out.Write(e.P, []byte{byte(e.X), byte(e.Y)})
+		}
+		if out := e.Out(South); out != nil {
+			out.Write(e.P, []byte{byte(e.X), byte(e.Y)})
+		}
+		if in := e.In(West); in != nil {
+			b := make([]byte, 2)
+			if err := in.ReadFull(e.P, b); err != nil {
+				t.Errorf("read west: %v", err)
+			}
+			if m := (msg{b[0], b[1]}); m.x != byte(e.X-1) || m.y != byte(e.Y) {
+				t.Errorf("(%d,%d) west got %v", e.X, e.Y, m)
+			}
+		}
+		if in := e.In(North); in != nil {
+			b := make([]byte, 2)
+			if err := in.ReadFull(e.P, b); err != nil {
+				t.Errorf("read north: %v", err)
+			}
+			if m := (msg{b[0], b[1]}); m.x != byte(e.X) || m.y != byte(e.Y-1) {
+				t.Errorf("(%d,%d) north got %v", e.X, e.Y, m)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.M.E.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestTorusWrap(t *testing.T) {
+	os := newOS(t, 4)
+	_, err := Build(os, Config{Shape: ShapeTorus, W: 2, H: 2}, func(e *Element) {
+		// Every direction is connected on a torus.
+		for d := 0; d < 4; d++ {
+			if e.In(d) == nil || e.Out(d) == nil {
+				t.Errorf("(%d,%d) direction %s unconnected", e.X, e.Y, DirName(d))
+			}
+		}
+		// Exchange with the east neighbour (same as west on a 2-torus...
+		// write east, read west).
+		e.Out(East).Write(e.P, []byte{byte(10*e.X + e.Y)})
+		b := make([]byte, 1)
+		if err := e.In(West).ReadFull(e.P, b); err != nil {
+			t.Errorf("read: %v", err)
+		}
+		wantX := (e.X + 1) % 2 // on W=2 the west neighbour is also x+1
+		if b[0] != byte(10*wantX+e.Y) {
+			t.Errorf("(%d,%d) got %d", e.X, e.Y, b[0])
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.M.E.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestStreamByteSemantics(t *testing.T) {
+	// Reads may return fewer bytes than asked (pipe semantics), and
+	// writes/reads preserve content across chunk boundaries.
+	os := newOS(t, 2)
+	payload := []byte("the quick brown butterfly")
+	var got []byte
+	_, err := Build(os, Config{Shape: ShapeLine, W: 2}, func(e *Element) {
+		if e.X == 0 {
+			for i := 0; i < len(payload); i += 5 {
+				end := i + 5
+				if end > len(payload) {
+					end = len(payload)
+				}
+				e.Out(East).Write(e.P, payload[i:end])
+			}
+		} else {
+			buf := make([]byte, len(payload))
+			if err := e.In(West).ReadFull(e.P, buf); err != nil {
+				t.Errorf("read: %v", err)
+			}
+			got = buf
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.M.E.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestPartialRead(t *testing.T) {
+	os := newOS(t, 2)
+	_, err := Build(os, Config{Shape: ShapeLine, W: 2}, func(e *Element) {
+		if e.X == 0 {
+			e.Out(East).Write(e.P, []byte("abcdef"))
+		} else {
+			small := make([]byte, 2)
+			n, err := e.In(West).Read(e.P, small)
+			if err != nil || n != 2 || string(small) != "ab" {
+				t.Errorf("first read = %q,%d,%v", small, n, err)
+			}
+			rest := make([]byte, 4)
+			if err := e.In(West).ReadFull(e.P, rest); err != nil || string(rest) != "cdef" {
+				t.Errorf("rest = %q,%v", rest, err)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.M.E.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadConfigs(t *testing.T) {
+	os := newOS(t, 2)
+	cases := []Config{
+		{Shape: ShapeLine, W: 1},
+		{Shape: ShapeGrid, W: 1, H: 5},
+		{Shape: ShapeRing, W: 3, H: 2},
+		{Shape: Shape(99), W: 2},
+		{Shape: ShapeLine, W: 0},
+	}
+	for i, c := range cases {
+		if _, err := Build(os, c, func(e *Element) {}); err == nil {
+			t.Errorf("case %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestShapeNames(t *testing.T) {
+	for s := ShapeLine; s <= ShapeTorus; s++ {
+		if s.String() == "unknown" {
+			t.Errorf("shape %d has no name", s)
+		}
+	}
+	if Shape(42).String() != "unknown" {
+		t.Error("bogus shape named")
+	}
+	for d := 0; d < 4; d++ {
+		if DirName(d) == "" {
+			t.Error("empty direction name")
+		}
+	}
+}
+
+func TestHalfPageOfCode(t *testing.T) {
+	// The NET pitch: a whole mesh with connected streams from one call.
+	os := newOS(t, 8)
+	count := 0
+	mesh, err := Build(os, Config{Shape: ShapeCylinder, W: 4, H: 2}, func(e *Element) {
+		count++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.M.E.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 8 || len(mesh.Elements) != 8 {
+		t.Errorf("count=%d elements=%d", count, len(mesh.Elements))
+	}
+	// Cylinder: X wraps, Y does not.
+	e00 := mesh.Elements[0]
+	if e00.Out(West) == nil {
+		t.Error("cylinder X did not wrap")
+	}
+	if e00.Out(North) != nil {
+		t.Error("cylinder Y wrapped")
+	}
+	_ = fmt.Sprint(mesh.Cfg.Shape)
+}

@@ -1,0 +1,236 @@
+package psyche
+
+import (
+	"errors"
+	"testing"
+
+	"butterfly/internal/chrysalis"
+	"butterfly/internal/machine"
+	"butterfly/internal/sim"
+)
+
+// world spins up a machine, kernel, and one domain process on node 0, runs
+// body inside it, and returns the kernel.
+func world(t *testing.T, nodes int, body func(k *Kernel, d *Domain)) *Kernel {
+	t.Helper()
+	m := machine.New(machine.DefaultConfig(nodes))
+	os := chrysalis.New(m)
+	k := New(os)
+	key := k.NewKey()
+	if _, err := os.MakeProcess(nil, "domain", 0, 16, func(self *chrysalis.Process) {
+		d := k.NewDomain(self, key)
+		body(k, d)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.E.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return k
+}
+
+func TestInvokeRunsOperation(t *testing.T) {
+	world(t, 2, func(k *Kernel, d *Domain) {
+		r := k.NewRealm("counter", 0, Optimized, d.keys[0])
+		n := 0
+		r.Bind("incr", func(p *sim.Proc, args any) any {
+			n += args.(int)
+			return n
+		})
+		v, err := d.Invoke(r, "incr", 5)
+		if err != nil || v.(int) != 5 {
+			t.Fatalf("invoke = %v, %v", v, err)
+		}
+		v, err = d.Invoke(r, "incr", 3)
+		if err != nil || v.(int) != 8 {
+			t.Fatalf("invoke 2 = %v, %v", v, err)
+		}
+	})
+}
+
+func TestProtectionEnforced(t *testing.T) {
+	world(t, 2, func(k *Kernel, d *Domain) {
+		stranger := k.NewKey() // a key the domain does not hold
+		r := k.NewRealm("secret", 0, Protected, stranger)
+		r.Bind("peek", func(p *sim.Proc, args any) any { return 42 })
+		if _, err := d.Invoke(r, "peek", nil); !errors.Is(err, ErrNoRight) {
+			t.Errorf("err = %v, want ErrNoRight", err)
+		}
+	})
+}
+
+func TestLazyEvaluationCachesCheck(t *testing.T) {
+	world(t, 2, func(k *Kernel, d *Domain) {
+		r := k.NewRealm("r", 0, Optimized, d.keys[0])
+		r.Bind("op", func(p *sim.Proc, args any) any { return nil })
+		e := d.Pr.P.Engine()
+
+		t0 := e.Now()
+		if _, err := d.Invoke(r, "op", nil); err != nil {
+			t.Fatal(err)
+		}
+		first := e.Now() - t0
+
+		t0 = e.Now()
+		if _, err := d.Invoke(r, "op", nil); err != nil {
+			t.Fatal(err)
+		}
+		second := e.Now() - t0
+
+		if first <= second {
+			t.Errorf("first invoke (%d) should pay the privilege fault; second (%d) should not", first, second)
+		}
+		if first-second < k.Costs.KernelTrapNs {
+			t.Errorf("lazy check saved only %d ns", first-second)
+		}
+	})
+	// Exactly one privilege fault despite two invocations.
+}
+
+func TestOptimizedVsProtectedCost(t *testing.T) {
+	// The explicit tradeoff: optimized access is as efficient as a
+	// procedure call; protected access traps on every invocation.
+	var opt, prot int64
+	k := world(t, 2, func(k *Kernel, d *Domain) {
+		ro := k.NewRealm("fast", 0, Optimized, d.keys[0])
+		ro.Bind("op", func(p *sim.Proc, args any) any { return nil })
+		rp := k.NewRealm("safe", 0, Protected, d.keys[0])
+		rp.Bind("op", func(p *sim.Proc, args any) any { return nil })
+		e := d.Pr.P.Engine()
+
+		d.Invoke(ro, "op", nil) // pay the lazy checks up front
+		d.Invoke(rp, "op", nil)
+
+		t0 := e.Now()
+		for i := 0; i < 10; i++ {
+			d.Invoke(ro, "op", nil)
+		}
+		opt = (e.Now() - t0) / 10
+
+		t0 = e.Now()
+		for i := 0; i < 10; i++ {
+			d.Invoke(rp, "op", nil)
+		}
+		prot = (e.Now() - t0) / 10
+	})
+	if opt*10 > prot {
+		t.Errorf("optimized (%d ns) not much cheaper than protected (%d ns)", opt, prot)
+	}
+	if k.Stats().Invocations != 22 {
+		t.Errorf("invocations = %d", k.Stats().Invocations)
+	}
+}
+
+func TestGrantAndSharing(t *testing.T) {
+	// Two domains share a realm through the uniform address space once the
+	// second is granted rights.
+	m := machine.New(machine.DefaultConfig(2))
+	os := chrysalis.New(m)
+	k := New(os)
+	ownerKey, guestKey := k.NewKey(), k.NewKey()
+	r := k.NewRealm("shared", 0, Optimized, ownerKey)
+	total := 0
+	r.Bind("add", func(p *sim.Proc, args any) any {
+		total += args.(int)
+		return total
+	})
+	os.MakeProcess(nil, "owner", 0, 16, func(self *chrysalis.Process) {
+		d := k.NewDomain(self, ownerKey)
+		if _, err := d.Invoke(r, "add", 1); err != nil {
+			t.Errorf("owner invoke: %v", err)
+		}
+		if err := r.Grant(d, guestKey, RightInvoke); err != nil {
+			t.Errorf("grant: %v", err)
+		}
+	})
+	os.MakeProcess(nil, "guest", 1, 16, func(self *chrysalis.Process) {
+		self.P.Advance(10 * sim.Millisecond) // after the grant
+		d := k.NewDomain(self, guestKey)
+		if _, err := d.Invoke(r, "add", 2); err != nil {
+			t.Errorf("guest invoke: %v", err)
+		}
+	})
+	if err := m.E.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if total != 3 {
+		t.Errorf("total = %d", total)
+	}
+}
+
+func TestRevokeInvalidatesCache(t *testing.T) {
+	m := machine.New(machine.DefaultConfig(2))
+	os := chrysalis.New(m)
+	k := New(os)
+	ownerKey, guestKey := k.NewKey(), k.NewKey()
+	r := k.NewRealm("r", 0, Optimized, ownerKey)
+	r.Bind("op", func(p *sim.Proc, args any) any { return nil })
+	var guestErr error
+	os.MakeProcess(nil, "owner", 0, 16, func(self *chrysalis.Process) {
+		d := k.NewDomain(self, ownerKey)
+		if err := r.Grant(d, guestKey, RightInvoke); err != nil {
+			t.Errorf("grant: %v", err)
+		}
+		self.P.Advance(20 * sim.Millisecond)
+		if err := r.Revoke(d, guestKey); err != nil {
+			t.Errorf("revoke: %v", err)
+		}
+	})
+	os.MakeProcess(nil, "guest", 1, 16, func(self *chrysalis.Process) {
+		self.P.Advance(10 * sim.Millisecond)
+		d := k.NewDomain(self, guestKey)
+		if _, err := d.Invoke(r, "op", nil); err != nil {
+			t.Errorf("pre-revoke invoke: %v", err)
+		}
+		self.P.Advance(20 * sim.Millisecond) // revocation happens here
+		_, guestErr = d.Invoke(r, "op", nil)
+	})
+	if err := m.E.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(guestErr, ErrNoRight) {
+		t.Errorf("post-revoke err = %v, want ErrNoRight", guestErr)
+	}
+}
+
+func TestDestroyRequiresRight(t *testing.T) {
+	world(t, 2, func(k *Kernel, d *Domain) {
+		stranger := k.NewKey()
+		r := k.NewRealm("r", 0, Optimized, stranger)
+		if err := d.Destroy(r); !errors.Is(err, ErrNoRight) {
+			t.Errorf("destroy err = %v", err)
+		}
+	})
+}
+
+func TestUnknownOperation(t *testing.T) {
+	world(t, 2, func(k *Kernel, d *Domain) {
+		r := k.NewRealm("r", 0, Optimized, d.keys[0])
+		if _, err := d.Invoke(r, "nope", nil); !errors.Is(err, ErrNoOp) {
+			t.Errorf("err = %v, want ErrNoOp", err)
+		}
+	})
+}
+
+func TestStatsCount(t *testing.T) {
+	k := world(t, 2, func(k *Kernel, d *Domain) {
+		r := k.NewRealm("r", 0, Protected, d.keys[0])
+		r.Bind("op", func(p *sim.Proc, args any) any { return nil })
+		d.Invoke(r, "op", nil)
+		d.Invoke(r, "op", nil)
+	})
+	st := k.Stats()
+	if st.Invocations != 2 || st.PrivilegeFaults != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Protected: one trap per invocation plus the privilege fault.
+	if st.KernelTraps != 3 {
+		t.Errorf("traps = %d, want 3", st.KernelTraps)
+	}
+}
+
+func TestProtectionString(t *testing.T) {
+	if Optimized.String() != "optimized" || Protected.String() != "protected" {
+		t.Error("bad protection names")
+	}
+}

@@ -1,0 +1,156 @@
+package replay
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Moviola is the graphical execution browser built on Instant Replay logs
+// (§3.3): it presents the partial order of events in a parallel program at
+// arbitrary levels of detail, and has been used to discover performance
+// bottlenecks and message-ordering bugs (Figure 6 shows a deadlock in an
+// odd-even merge sort). This file builds the event graph; cmd/moviola
+// renders it.
+
+// GraphEvent is one node of the partial-order graph.
+type GraphEvent struct {
+	Index int // position in the global log
+	Entry Entry
+}
+
+// Graph is the partial order of a recorded execution: program-order edges
+// chain each process's events; object-order edges chain the accesses to each
+// shared object.
+type Graph struct {
+	Events []GraphEvent
+	// ProgramEdges[i] lists successor event indices of event i within the
+	// same process.
+	ProgramEdges map[int][]int
+	// ObjectEdges[i] lists successor event indices of event i on the same
+	// object.
+	ObjectEdges map[int][]int
+	// Procs lists process names in first-appearance order.
+	Procs []string
+}
+
+// BuildGraph constructs the partial-order graph from a recorded log.
+func BuildGraph(log []Entry) *Graph {
+	g := &Graph{
+		ProgramEdges: map[int][]int{},
+		ObjectEdges:  map[int][]int{},
+	}
+	lastByProc := map[string]int{}
+	lastByObj := map[int]int{}
+	seen := map[string]bool{}
+	for i, e := range log {
+		g.Events = append(g.Events, GraphEvent{Index: i, Entry: e})
+		if !seen[e.Proc] {
+			seen[e.Proc] = true
+			g.Procs = append(g.Procs, e.Proc)
+		}
+		if j, ok := lastByProc[e.Proc]; ok {
+			g.ProgramEdges[j] = append(g.ProgramEdges[j], i)
+		}
+		lastByProc[e.Proc] = i
+		if j, ok := lastByObj[e.Obj]; ok {
+			g.ObjectEdges[j] = append(g.ObjectEdges[j], i)
+		}
+		lastByObj[e.Obj] = i
+	}
+	return g
+}
+
+// HappensBefore reports whether event a precedes event b in the partial
+// order (reachability over program and object edges).
+func (g *Graph) HappensBefore(a, b int) bool {
+	if a == b {
+		return false
+	}
+	seen := make([]bool, len(g.Events))
+	stack := []int{a}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if x == b {
+			return true
+		}
+		if x >= len(seen) || seen[x] {
+			continue
+		}
+		seen[x] = true
+		stack = append(stack, g.ProgramEdges[x]...)
+		stack = append(stack, g.ObjectEdges[x]...)
+	}
+	return false
+}
+
+// Concurrent reports whether two events are unordered in the partial order.
+func (g *Graph) Concurrent(a, b int) bool {
+	return !g.HappensBefore(a, b) && !g.HappensBefore(b, a)
+}
+
+// RenderASCII draws the partial order as per-process timelines with one
+// column per process and one row per event, in global (logged) order —
+// Moviola's zoomed-out view.
+func (g *Graph) RenderASCII() string {
+	if len(g.Events) == 0 {
+		return "(empty execution)\n"
+	}
+	col := map[string]int{}
+	for i, p := range g.Procs {
+		col[p] = i
+	}
+	var b strings.Builder
+	width := 14
+	for _, p := range g.Procs {
+		fmt.Fprintf(&b, "%-*s", width, p)
+	}
+	b.WriteString("\n")
+	for _, ev := range g.Events {
+		c := col[ev.Entry.Proc]
+		for i := range g.Procs {
+			if i == c {
+				k := "r"
+				if ev.Entry.Write {
+					k = "W"
+				}
+				cell := fmt.Sprintf("%s(obj%d,v%d)", k, ev.Entry.Obj, ev.Entry.Version)
+				fmt.Fprintf(&b, "%-*s", width, cell)
+			} else {
+				fmt.Fprintf(&b, "%-*s", width, "|")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderDOT emits the graph in Graphviz DOT form for offline viewing.
+func (g *Graph) RenderDOT() string {
+	var b strings.Builder
+	b.WriteString("digraph moviola {\n  rankdir=TB;\n")
+	for i, ev := range g.Events {
+		shape := "ellipse"
+		if ev.Entry.Write {
+			shape = "box"
+		}
+		fmt.Fprintf(&b, "  e%d [label=%q shape=%s];\n", i, ev.Entry.String(), shape)
+	}
+	emit := func(edges map[int][]int, style string) {
+		keys := make([]int, 0, len(edges))
+		for k := range edges {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		for _, k := range keys {
+			for _, v := range edges[k] {
+				fmt.Fprintf(&b, "  e%d -> e%d [style=%s];\n", k, v, style)
+			}
+		}
+	}
+	emit(g.ProgramEdges, "solid")
+	emit(g.ObjectEdges, "dashed")
+	b.WriteString("}\n")
+	return b.String()
+}

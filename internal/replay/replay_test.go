@@ -1,0 +1,320 @@
+package replay
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"butterfly/internal/chrysalis"
+	"butterfly/internal/machine"
+	"butterfly/internal/sim"
+)
+
+func newOS(t *testing.T, nodes int) *chrysalis.OS {
+	t.Helper()
+	return chrysalis.New(machine.New(machine.DefaultConfig(nodes)))
+}
+
+// racyProgram runs nProcs workers that each append their ID to a shared
+// slice under a monitored write, with per-worker delays controlling the
+// natural interleaving. It returns the observed append order and the log.
+func racyProgram(t *testing.T, mon *Monitor, os *chrysalis.OS, delays []int64) []int {
+	t.Helper()
+	obj := mon.NewObject("list", 0)
+	var order []int
+	for i := range delays {
+		i := i
+		os.MakeProcess(nil, nameOf(i), i%os.M.N(), 16, func(self *chrysalis.Process) {
+			for rep := 0; rep < 3; rep++ {
+				self.P.Advance(delays[i])
+				obj.Write(self.P, func() {
+					order = append(order, i)
+				})
+			}
+		})
+	}
+	if err := os.M.E.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return order
+}
+
+func nameOf(i int) string {
+	return "worker" + string(rune('A'+i))
+}
+
+func TestRecordCapturesOrder(t *testing.T) {
+	os := newOS(t, 4)
+	mon := NewMonitor(os, ModeRecord)
+	order := racyProgram(t, mon, os, []int64{300, 100, 200})
+	log := mon.Log()
+	if len(log) != 9 {
+		t.Fatalf("log has %d entries, want 9", len(log))
+	}
+	// Versions in the log must be strictly increasing (single object, all
+	// writes).
+	for i, e := range log {
+		if e.Version != uint64(i) || !e.Write {
+			t.Errorf("entry %d = %+v", i, e)
+		}
+	}
+	// First writer is the one with the smallest delay.
+	if order[0] != 1 {
+		t.Errorf("first writer = %d, want 1", order[0])
+	}
+}
+
+func TestReplayForcesRecordedOrder(t *testing.T) {
+	// Record with one set of delays, replay the log against a program with
+	// *different* delays: the recorded order must win anyway.
+	os1 := newOS(t, 4)
+	mon1 := NewMonitor(os1, ModeRecord)
+	recorded := racyProgram(t, mon1, os1, []int64{300, 100, 200})
+
+	os2 := newOS(t, 4)
+	mon2 := NewReplayMonitor(os2, mon1.Log())
+	replayed := racyProgram(t, mon2, os2, []int64{5, 900, 40}) // very different timing
+
+	if len(replayed) != len(recorded) {
+		t.Fatalf("lengths differ: %d vs %d", len(replayed), len(recorded))
+	}
+	for i := range recorded {
+		if replayed[i] != recorded[i] {
+			t.Fatalf("replay diverged at %d: %v vs %v", i, replayed, recorded)
+		}
+	}
+}
+
+func TestReplayPropertyRandomDelays(t *testing.T) {
+	// Property: for arbitrary delay vectors, replaying under different
+	// delays reproduces the recorded write order.
+	check := func(d1a, d1b, d1c, d2a, d2b, d2c uint16) bool {
+		delays1 := []int64{int64(d1a) + 1, int64(d1b) + 1, int64(d1c) + 1}
+		delays2 := []int64{int64(d2a) + 1, int64(d2b) + 1, int64(d2c) + 1}
+		os1 := newOS(t, 4)
+		mon1 := NewMonitor(os1, ModeRecord)
+		rec := racyProgram(t, mon1, os1, delays1)
+		os2 := newOS(t, 4)
+		mon2 := NewReplayMonitor(os2, mon1.Log())
+		rep := racyProgram(t, mon2, os2, delays2)
+		if len(rec) != len(rep) {
+			return false
+		}
+		for i := range rec {
+			if rec[i] != rep[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadersAndWritersCREW(t *testing.T) {
+	// A writer must wait in replay until the recorded number of readers
+	// have seen the version it overwrites.
+	os1 := newOS(t, 4)
+	mon1 := NewMonitor(os1, ModeRecord)
+	obj1 := mon1.NewObject("x", 0)
+	value := 0
+	var readA, readB int
+	os1.MakeProcess(nil, "readerA", 1, 16, func(self *chrysalis.Process) {
+		self.P.Advance(100)
+		obj1.Read(self.P, func() { readA = value })
+	})
+	os1.MakeProcess(nil, "readerB", 2, 16, func(self *chrysalis.Process) {
+		self.P.Advance(200)
+		obj1.Read(self.P, func() { readB = value })
+	})
+	os1.MakeProcess(nil, "writer", 3, 16, func(self *chrysalis.Process) {
+		self.P.Advance(50 * sim.Millisecond)
+		obj1.Write(self.P, func() { value = 9 })
+	})
+	if err := os1.M.E.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if readA != 0 || readB != 0 {
+		t.Fatalf("readers saw the write during record: %d %d", readA, readB)
+	}
+
+	// Replay with the writer arriving FIRST; it must still wait for both
+	// readers.
+	os2 := newOS(t, 4)
+	mon2 := NewReplayMonitor(os2, mon1.Log())
+	obj2 := mon2.NewObject("x", 0)
+	value = 0
+	readA, readB = -1, -1
+	os2.MakeProcess(nil, "readerA", 1, 16, func(self *chrysalis.Process) {
+		self.P.Advance(80 * sim.Millisecond)
+		obj2.Read(self.P, func() { readA = value })
+	})
+	os2.MakeProcess(nil, "readerB", 2, 16, func(self *chrysalis.Process) {
+		self.P.Advance(90 * sim.Millisecond)
+		obj2.Read(self.P, func() { readB = value })
+	})
+	os2.MakeProcess(nil, "writer", 3, 16, func(self *chrysalis.Process) {
+		obj2.Write(self.P, func() { value = 9 }) // arrives immediately
+	})
+	if err := os2.M.E.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if readA != 0 || readB != 0 {
+		t.Errorf("replay let the writer jump the readers: %d %d", readA, readB)
+	}
+}
+
+func TestReplayDivergencePanics(t *testing.T) {
+	os1 := newOS(t, 2)
+	mon1 := NewMonitor(os1, ModeRecord)
+	obj1 := mon1.NewObject("x", 0)
+	os1.MakeProcess(nil, "p", 0, 16, func(self *chrysalis.Process) {
+		obj1.Write(self.P, func() {})
+	})
+	if err := os1.M.E.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	os2 := newOS(t, 2)
+	mon2 := NewReplayMonitor(os2, mon1.Log())
+	obj2 := mon2.NewObject("x", 0)
+	panicked := false
+	os2.MakeProcess(nil, "p", 0, 16, func(self *chrysalis.Process) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+			self.P.Exit()
+		}()
+		obj2.Read(self.P, func() {}) // recorded a write, attempting a read
+	})
+	_ = os2.M.E.Run()
+	if !panicked {
+		t.Error("divergent replay did not panic")
+	}
+}
+
+func TestMonitoringOverheadFewPercent(t *testing.T) {
+	// E10: record-mode overhead stays within a few percent for typical
+	// programs (whose inter-access computation dominates).
+	elapsed := func(mode Mode) int64 {
+		os := newOS(t, 8)
+		mon := NewMonitor(os, mode)
+		obj := mon.NewObject("work", 0)
+		for i := 0; i < 8; i++ {
+			os.MakeProcess(nil, nameOf(i), i, 16, func(self *chrysalis.Process) {
+				for rep := 0; rep < 20; rep++ {
+					os.M.IntOps(self.P, 2000) // ~1 ms of real work
+					obj.Write(self.P, func() {})
+				}
+			})
+		}
+		if err := os.M.E.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return os.M.E.Now()
+	}
+	off := elapsed(ModeOff)
+	rec := elapsed(ModeRecord)
+	overhead := float64(rec-off) / float64(off)
+	if overhead > 0.05 {
+		t.Errorf("monitoring overhead %.1f%%, want a few percent", overhead*100)
+	}
+	if overhead <= 0 {
+		t.Errorf("monitoring was free (%.3f%%); the cost model is broken", overhead*100)
+	}
+}
+
+func TestOffModeNoLog(t *testing.T) {
+	os := newOS(t, 2)
+	mon := NewMonitor(os, ModeOff)
+	obj := mon.NewObject("x", 0)
+	os.MakeProcess(nil, "p", 0, 16, func(self *chrysalis.Process) {
+		obj.Write(self.P, func() {})
+		obj.Read(self.P, func() {})
+	})
+	if err := os.M.E.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(mon.Log()) != 0 {
+		t.Error("ModeOff produced log entries")
+	}
+	if obj.Version() != 0 {
+		t.Error("ModeOff advanced versions")
+	}
+}
+
+func TestNewMonitorRejectsReplayMode(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewMonitor(ModeReplay) did not panic")
+		}
+	}()
+	NewMonitor(nil, ModeReplay)
+}
+
+func TestGraphConstruction(t *testing.T) {
+	log := []Entry{
+		{Proc: "a", Obj: 0, Version: 0, Write: true},
+		{Proc: "b", Obj: 0, Version: 1},
+		{Proc: "b", Obj: 1, Version: 0, Write: true},
+		{Proc: "a", Obj: 1, Version: 1},
+	}
+	g := BuildGraph(log)
+	if len(g.Events) != 4 || len(g.Procs) != 2 {
+		t.Fatalf("graph = %+v", g)
+	}
+	// a's write (0) precedes b's read (1) via the object edge.
+	if !g.HappensBefore(0, 1) {
+		t.Error("0 !< 1")
+	}
+	// and transitively a's write (0) precedes a's read (3) via b.
+	if !g.HappensBefore(0, 3) {
+		t.Error("0 !< 3")
+	}
+	if g.HappensBefore(3, 0) {
+		t.Error("3 < 0")
+	}
+	if g.Concurrent(0, 1) {
+		t.Error("0 and 1 reported concurrent")
+	}
+}
+
+func TestGraphConcurrent(t *testing.T) {
+	log := []Entry{
+		{Proc: "a", Obj: 0, Version: 0, Write: true},
+		{Proc: "b", Obj: 1, Version: 0, Write: true},
+	}
+	g := BuildGraph(log)
+	if !g.Concurrent(0, 1) {
+		t.Error("independent events not concurrent")
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	log := []Entry{
+		{Proc: "sorter0", Obj: 0, Version: 0, Write: true},
+		{Proc: "sorter1", Obj: 0, Version: 1},
+	}
+	out := BuildGraph(log).RenderASCII()
+	if !strings.Contains(out, "sorter0") || !strings.Contains(out, "W(obj0,v0)") {
+		t.Errorf("ASCII render missing content:\n%s", out)
+	}
+	if BuildGraph(nil).RenderASCII() == "" {
+		t.Error("empty render empty")
+	}
+}
+
+func TestRenderDOT(t *testing.T) {
+	log := []Entry{
+		{Proc: "a", Obj: 0, Version: 0, Write: true},
+		{Proc: "b", Obj: 0, Version: 1},
+	}
+	dot := BuildGraph(log).RenderDOT()
+	for _, want := range []string{"digraph moviola", "e0 -> e1", "shape=box"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package rpcbench
+
+import (
+	"testing"
+
+	"butterfly/internal/sim"
+)
+
+func TestAllImplementationsCorrect(t *testing.T) {
+	for _, impl := range All() {
+		r, err := Run(impl, 20)
+		if err != nil {
+			t.Fatalf("%s: %v", impl, err)
+		}
+		if err := Verify(r); err != nil {
+			t.Error(err)
+		}
+		if r.RoundTripNs <= 0 {
+			t.Errorf("%s: non-positive round trip", impl)
+		}
+	}
+}
+
+func TestCostOrdering(t *testing.T) {
+	// The study's point: the primitive choice dictates the cost. Polling
+	// shared memory is cheapest; the language runtime is dearest; the
+	// scheduler-based primitives sit in between.
+	times := map[Impl]int64{}
+	for _, impl := range All() {
+		r, err := Run(impl, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[impl] = r.RoundTripNs
+	}
+	if !(times[SpinMailbox] < times[EventPair]) {
+		t.Errorf("spin (%d) should beat events (%d)", times[SpinMailbox], times[EventPair])
+	}
+	if !(times[EventPair] <= times[DualQueuePair]) {
+		t.Errorf("events (%d) should not cost more than dual queues (%d)", times[EventPair], times[DualQueuePair])
+	}
+	if !(times[DualQueuePair] < times[DualQueueBlk]) {
+		t.Errorf("block arguments (%d) must add cost over plain (%d)", times[DualQueueBlk], times[DualQueuePair])
+	}
+	if !(times[DualQueueBlk] < times[SMPMessage]) {
+		t.Errorf("SMP (%d) should cost more than raw dual queues (%d)", times[SMPMessage], times[DualQueueBlk])
+	}
+	if !(times[SMPMessage] < times[LynxRPC]) {
+		t.Errorf("Lynx (%d) should cost more than SMP (%d)", times[LynxRPC], times[SMPMessage])
+	}
+}
+
+func TestCostsInPublishedRange(t *testing.T) {
+	// §4.2: all general communication schemes cost the same order as the
+	// Chrysalis primitives — tens of microseconds to a few milliseconds.
+	for _, impl := range All() {
+		r, err := Run(impl, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.RoundTripNs < 10*sim.Microsecond || r.RoundTripNs > 10*sim.Millisecond {
+			t.Errorf("%s round trip = %.1f us, outside the plausible range",
+				impl, sim.Micros(r.RoundTripNs))
+		}
+	}
+}
+
+func TestUnknownImpl(t *testing.T) {
+	if _, err := Run(Impl("bogus"), 1); err == nil {
+		t.Error("bogus implementation accepted")
+	}
+}
+
+func TestVerifyCatchesWrongAnswer(t *testing.T) {
+	if err := Verify(Result{Impl: EventPair, Calls: 3, Answer: 5}); err == nil {
+		t.Error("wrong answer accepted")
+	}
+}

@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestBarrierSynchronizes(t *testing.T) {
+	e := New()
+	b := NewBarrier("test", 4)
+	var after []int64
+	for i := 0; i < 4; i++ {
+		d := int64((i + 1) * 100)
+		e.Spawn("p", i, func(p *Proc) {
+			p.Advance(d)
+			b.Wait(p)
+			after = append(after, e.Now())
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, ts := range after {
+		if ts != 400 {
+			t.Errorf("proc passed barrier at %d, want 400 (last arriver)", ts)
+		}
+	}
+	if b.Rounds() != 1 {
+		t.Errorf("rounds = %d", b.Rounds())
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	e := New()
+	b := NewBarrier("loop", 3)
+	counts := make([]int, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Spawn("p", i, func(p *Proc) {
+			for r := 0; r < 5; r++ {
+				p.Advance(int64(10 * (i + 1)))
+				b.Wait(p)
+				counts[i]++
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		if c != 5 {
+			t.Errorf("proc %d completed %d rounds", i, c)
+		}
+	}
+	if b.Rounds() != 5 {
+		t.Errorf("rounds = %d", b.Rounds())
+	}
+}
+
+func TestBarrierSingleParty(t *testing.T) {
+	e := New()
+	b := NewBarrier("solo", 1)
+	e.Spawn("p", 0, func(p *Proc) {
+		b.Wait(p) // must not block
+		b.Wait(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Rounds() != 2 {
+		t.Errorf("rounds = %d", b.Rounds())
+	}
+}
+
+func TestBarrierValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-party barrier accepted")
+		}
+	}()
+	NewBarrier("bad", 0)
+}

@@ -1,0 +1,351 @@
+// Package sim provides a deterministic sequential discrete-event simulation
+// engine. Simulated processes run as goroutines, but the engine resumes
+// exactly one process at a time, in (virtual time, FIFO sequence) order, so a
+// simulation is reproducible and free of data races by construction.
+//
+// The engine is the substrate for the Butterfly machine model: every higher
+// layer (memory modules, the switching network, Chrysalis, the programming
+// models, and the applications) charges virtual time through it. Virtual time
+// is measured in integer nanoseconds.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// procState tracks the lifecycle of a simulated process.
+type procState int
+
+const (
+	stateNew procState = iota
+	stateReady
+	stateRunning
+	stateBlocked
+	stateDone
+)
+
+func (s procState) String() string {
+	switch s {
+	case stateNew:
+		return "new"
+	case stateReady:
+		return "ready"
+	case stateRunning:
+		return "running"
+	case stateBlocked:
+		return "blocked"
+	case stateDone:
+		return "done"
+	}
+	return "invalid"
+}
+
+// ctrl messages flow from the running process back to the engine loop.
+type ctrl int
+
+const (
+	ctrlYield ctrl = iota // process parked itself (scheduled or blocked)
+	ctrlDone              // process function returned
+)
+
+// Proc is a simulated process (a coroutine under engine control). A Proc may
+// only be manipulated from within the simulation: either by its own body
+// function or by the body of another process that is currently running.
+type Proc struct {
+	// ID is a unique, small, dense identifier assigned at spawn time.
+	ID int
+	// Name identifies the process in traces and deadlock reports.
+	Name string
+	// Node is the machine node the process is bound to. The engine itself
+	// does not interpret it; the machine layer does. It defaults to 0.
+	Node int
+	// Ctx is an arbitrary per-process context slot for higher layers.
+	Ctx any
+
+	eng        *Engine
+	resume     chan struct{}
+	pendingSeq uint64 // sequence of the single valid queued event for this proc
+	state      procState
+	blockedOn  string // reason string while blocked, for deadlock reports
+	exited     bool   // set when terminated via Exit
+	spawnedAt  int64
+	finishedAt int64
+}
+
+// event is a scheduled resumption of a process.
+type event struct {
+	at  int64
+	seq uint64
+	p   *Proc
+}
+
+// eventHeap is a min-heap ordered by (time, sequence).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event   { return h[0] }
+
+// DeadlockError is returned by Run when no process is runnable but at least
+// one process is blocked. It carries a human-readable report of every blocked
+// process and what it is waiting for — the same information the Moviola tool
+// visualizes for Figure 6 of the paper.
+type DeadlockError struct {
+	Now     int64
+	Blocked []BlockedProc
+}
+
+// BlockedProc describes one blocked process inside a DeadlockError.
+type BlockedProc struct {
+	ID     int
+	Name   string
+	Node   int
+	Reason string
+}
+
+// Error implements the error interface.
+func (e *DeadlockError) Error() string {
+	s := fmt.Sprintf("sim: deadlock at t=%dns; %d process(es) blocked:", e.Now, len(e.Blocked))
+	for _, b := range e.Blocked {
+		s += fmt.Sprintf("\n  proc %d %q (node %d) waiting on %s", b.ID, b.Name, b.Node, b.Reason)
+	}
+	return s
+}
+
+// Stats aggregates engine-level counters, useful for benchmarking the
+// simulator itself and for sanity checks in tests.
+type Stats struct {
+	Events    uint64 // process resumptions executed
+	Spawned   int    // processes ever created
+	Completed int    // processes that ran to completion
+}
+
+// Engine is a sequential discrete-event simulator. The zero value is not
+// usable; call New.
+type Engine struct {
+	now     int64
+	seq     uint64
+	queue   eventHeap
+	control chan ctrl
+	procs   []*Proc
+	running *Proc
+	live    int // processes spawned and not yet done
+	blocked int // processes currently blocked
+	stats   Stats
+
+	// trace, when non-nil, receives a line for every state transition.
+	trace func(string)
+}
+
+// New creates an empty simulation engine at virtual time zero.
+func New() *Engine {
+	return &Engine{control: make(chan ctrl)}
+}
+
+// SetTrace installs a trace sink (e.g. collecting into a slice in tests).
+// Pass nil to disable tracing.
+func (e *Engine) SetTrace(fn func(string)) { e.trace = fn }
+
+func (e *Engine) tracef(format string, args ...any) {
+	if e.trace != nil {
+		e.trace(fmt.Sprintf("[%10d] ", e.now) + fmt.Sprintf(format, args...))
+	}
+}
+
+// Now returns the current virtual time in nanoseconds.
+func (e *Engine) Now() int64 { return e.now }
+
+// Stats returns a copy of the engine counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Procs returns all processes ever spawned, in spawn order.
+func (e *Engine) Procs() []*Proc { return e.procs }
+
+// Running returns the currently executing process, or nil outside Run.
+func (e *Engine) Running() *Proc { return e.running }
+
+// Spawn creates a new simulated process bound to the given node and schedules
+// it to start at the current virtual time. fn runs as the process body; when
+// fn returns the process completes. Spawn may be called before Run or from
+// inside a running process.
+func (e *Engine) Spawn(name string, node int, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		ID:        len(e.procs),
+		Name:      name,
+		Node:      node,
+		eng:       e,
+		resume:    make(chan struct{}),
+		state:     stateNew,
+		spawnedAt: e.now,
+	}
+	e.procs = append(e.procs, p)
+	e.live++
+	e.stats.Spawned++
+	go func() {
+		<-p.resume // wait for first dispatch
+		// The completion notification is deferred so that it reaches the
+		// engine even if fn terminates via runtime.Goexit (e.g. t.Fatal in
+		// a test body) — otherwise the engine would wait forever.
+		defer func() {
+			p.state = stateDone
+			p.finishedAt = e.now
+			e.live--
+			e.stats.Completed++
+			e.tracef("proc %d %q done", p.ID, p.Name)
+			e.control <- ctrlDone
+		}()
+		defer func() {
+			if r := recover(); r != nil && r != errExit {
+				panic(r) // real panic: propagate (crashes the test)
+			}
+		}()
+		fn(p)
+	}()
+	e.schedule(p, e.now)
+	e.tracef("spawn proc %d %q on node %d", p.ID, p.Name, node)
+	return p
+}
+
+// errExit is the sentinel panic value used by Proc.Exit.
+var errExit = new(int)
+
+// schedule enqueues a resumption of p at time at and marks it ready.
+func (e *Engine) schedule(p *Proc, at int64) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, event{at: at, seq: e.seq, p: p})
+	p.pendingSeq = e.seq
+	p.state = stateReady
+}
+
+// Run executes the simulation until no events remain. It returns nil on a
+// clean finish (all processes completed) and a *DeadlockError if processes
+// remain blocked with nothing runnable. Run must be called exactly once.
+func (e *Engine) Run() error {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(event)
+		if ev.p.state != stateReady || ev.p.pendingSeq != ev.seq {
+			// Stale entry (process was rescheduled); skip.
+			continue
+		}
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		e.stats.Events++
+		e.running = ev.p
+		ev.p.state = stateRunning
+		ev.p.resume <- struct{}{}
+		<-e.control
+		e.running = nil
+	}
+	if e.live > 0 {
+		// Everything left alive is blocked: deadlock.
+		de := &DeadlockError{Now: e.now}
+		for _, p := range e.procs {
+			if p.state == stateBlocked {
+				de.Blocked = append(de.Blocked, BlockedProc{ID: p.ID, Name: p.Name, Node: p.Node, Reason: p.blockedOn})
+			}
+		}
+		sort.Slice(de.Blocked, func(i, j int) bool { return de.Blocked[i].ID < de.Blocked[j].ID })
+		return de
+	}
+	return nil
+}
+
+// park hands control back to the engine loop and waits to be resumed.
+func (p *Proc) park() {
+	p.eng.control <- ctrlYield
+	<-p.resume
+	p.state = stateRunning
+}
+
+// mustBeRunning panics unless p is the currently executing process. All
+// time-consuming operations must be issued by the running process itself.
+func (p *Proc) mustBeRunning(op string) {
+	if p.eng.running != p {
+		panic(fmt.Sprintf("sim: %s called on proc %d %q which is not the running process", op, p.ID, p.Name))
+	}
+}
+
+// Advance charges d nanoseconds of virtual time to the calling process: the
+// process is suspended and resumes once the clock has advanced past all other
+// work scheduled in the interim. d must be >= 0.
+func (p *Proc) Advance(d int64) {
+	p.mustBeRunning("Advance")
+	if d < 0 {
+		panic("sim: Advance with negative duration")
+	}
+	p.eng.schedule(p, p.eng.now+d)
+	p.park()
+}
+
+// Yield reschedules the process at the current time, letting any other
+// process scheduled for the same instant run first.
+func (p *Proc) Yield() { p.Advance(0) }
+
+// Block suspends the calling process indefinitely; some other process must
+// call Unblock to resume it. reason appears in deadlock reports.
+func (p *Proc) Block(reason string) {
+	p.mustBeRunning("Block")
+	p.state = stateBlocked
+	p.blockedOn = reason
+	p.eng.blocked++
+	p.eng.tracef("proc %d %q blocks on %s", p.ID, p.Name, reason)
+	p.park()
+}
+
+// Unblock makes a blocked process runnable again at the current virtual time
+// (plus delay nanoseconds). It must be called from the running process or
+// from engine setup, never on a process that is not blocked.
+func (e *Engine) Unblock(p *Proc, delay int64) {
+	if p.state != stateBlocked {
+		panic(fmt.Sprintf("sim: Unblock of proc %d %q in state %v", p.ID, p.Name, p.state))
+	}
+	e.blocked--
+	p.blockedOn = ""
+	e.schedule(p, e.now+delay)
+	e.tracef("proc %d %q unblocked", p.ID, p.Name)
+}
+
+// Exit terminates the calling process immediately, as if its body function
+// had returned.
+func (p *Proc) Exit() {
+	p.mustBeRunning("Exit")
+	p.exited = true
+	panic(errExit)
+}
+
+// Blocked reports whether the process is currently blocked.
+func (p *Proc) Blocked() bool { return p.state == stateBlocked }
+
+// Done reports whether the process has completed.
+func (p *Proc) Done() bool { return p.state == stateDone }
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Lifetime returns the spawn and finish times of the process; finish is -1
+// if the process has not completed.
+func (p *Proc) Lifetime() (spawned, finished int64) {
+	if p.state != stateDone {
+		return p.spawnedAt, -1
+	}
+	return p.spawnedAt, p.finishedAt
+}
+
+// String implements fmt.Stringer for debugging.
+func (p *Proc) String() string {
+	return fmt.Sprintf("proc %d %q node %d (%s)", p.ID, p.Name, p.Node, p.state)
+}

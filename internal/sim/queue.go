@@ -1,0 +1,80 @@
+package sim
+
+// WaitQueue is a FIFO queue of blocked processes. It is the building block
+// for every scheduler-based synchronization primitive in the Chrysalis layer
+// (events, dual queues) and for the higher-level packages.
+type WaitQueue struct {
+	name  string
+	procs []*Proc
+}
+
+// NewWaitQueue creates a named wait queue; the name appears in deadlock
+// reports as the reason string for processes blocked on it.
+func NewWaitQueue(name string) *WaitQueue {
+	return &WaitQueue{name: name}
+}
+
+// Name returns the queue's name.
+func (q *WaitQueue) Name() string { return q.name }
+
+// Len returns the number of processes currently waiting.
+func (q *WaitQueue) Len() int { return len(q.procs) }
+
+// Wait blocks the calling process on the queue until some other process
+// wakes it with WakeOne or WakeAll.
+func (q *WaitQueue) Wait(p *Proc) {
+	q.procs = append(q.procs, p)
+	p.Block(q.name)
+}
+
+// WakeOne unblocks the longest-waiting process, if any, after delay
+// nanoseconds of virtual time. It reports whether a process was woken.
+func (q *WaitQueue) WakeOne(e *Engine, delay int64) bool {
+	if len(q.procs) == 0 {
+		return false
+	}
+	p := q.procs[0]
+	copy(q.procs, q.procs[1:])
+	q.procs = q.procs[:len(q.procs)-1]
+	e.Unblock(p, delay)
+	return true
+}
+
+// WakeAll unblocks every waiting process (in FIFO order, all at the same
+// virtual instant plus delay). It returns the number of processes woken.
+func (q *WaitQueue) WakeAll(e *Engine, delay int64) int {
+	n := len(q.procs)
+	for _, p := range q.procs {
+		e.Unblock(p, delay)
+	}
+	q.procs = q.procs[:0]
+	return n
+}
+
+// Remove deletes a specific process from the queue without waking it
+// (used by primitives with cancellation semantics). It reports whether the
+// process was present.
+func (q *WaitQueue) Remove(p *Proc) bool {
+	for i, w := range q.procs {
+		if w == p {
+			q.procs = append(q.procs[:i], q.procs[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Time unit helpers. Virtual time is int64 nanoseconds; these constants make
+// calibration tables readable.
+const (
+	Nanosecond  int64 = 1
+	Microsecond int64 = 1_000
+	Millisecond int64 = 1_000_000
+	Second      int64 = 1_000_000_000
+)
+
+// Seconds converts a virtual-time duration in nanoseconds to float seconds.
+func Seconds(ns int64) float64 { return float64(ns) / 1e9 }
+
+// Micros converts a virtual-time duration in nanoseconds to float microseconds.
+func Micros(ns int64) float64 { return float64(ns) / 1e3 }

@@ -1,0 +1,383 @@
+package smp
+
+import (
+	"testing"
+
+	"butterfly/internal/chrysalis"
+	"butterfly/internal/machine"
+	"butterfly/internal/sim"
+)
+
+func newOS(t *testing.T, nodes int) *chrysalis.OS {
+	t.Helper()
+	return chrysalis.New(machine.New(machine.DefaultConfig(nodes)))
+}
+
+func seqNodes(n int) []int {
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = i
+	}
+	return xs
+}
+
+func TestTopologies(t *testing.T) {
+	cases := []struct {
+		topo    Topology
+		n       int
+		yes, no [][2]int
+	}{
+		{Ring{}, 5, [][2]int{{0, 1}, {4, 0}, {2, 3}}, [][2]int{{0, 2}, {1, 3}}},
+		{Line{}, 5, [][2]int{{0, 1}, {3, 4}}, [][2]int{{0, 4}, {0, 2}}},
+		{Mesh{W: 3, H: 2}, 6, [][2]int{{0, 1}, {0, 3}, {4, 5}}, [][2]int{{0, 4}, {2, 3}, {0, 5}}},
+		{Torus{W: 3, H: 3}, 9, [][2]int{{0, 2}, {0, 6}, {4, 5}}, [][2]int{{0, 4}, {0, 8}}},
+		{Tree{Fanout: 2}, 7, [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 6}}, [][2]int{{1, 2}, {0, 3}, {3, 4}}},
+		{Full{}, 4, [][2]int{{0, 3}, {1, 2}}, [][2]int{{2, 2}}},
+		{Custom{Adj: [][]int{{1}, {0, 2}, {1}}}, 3, [][2]int{{0, 1}, {1, 2}}, [][2]int{{0, 2}}},
+	}
+	for _, c := range cases {
+		if err := c.topo.Validate(c.n); err != nil {
+			t.Errorf("%s: validate: %v", c.topo.Name(), err)
+			continue
+		}
+		for _, p := range c.yes {
+			if !c.topo.Connected(p[0], p[1], c.n) || !c.topo.Connected(p[1], p[0], c.n) {
+				t.Errorf("%s: %v should be connected", c.topo.Name(), p)
+			}
+		}
+		for _, p := range c.no {
+			if c.topo.Connected(p[0], p[1], c.n) {
+				t.Errorf("%s: %v should not be connected", c.topo.Name(), p)
+			}
+		}
+	}
+}
+
+func TestTopologyValidation(t *testing.T) {
+	if err := (Ring{}).Validate(1); err == nil {
+		t.Error("1-ring accepted")
+	}
+	if err := (Mesh{W: 2, H: 2}).Validate(5); err == nil {
+		t.Error("mismatched mesh accepted")
+	}
+	if err := (Custom{Adj: [][]int{{5}}}).Validate(1); err == nil {
+		t.Error("bad adjacency accepted")
+	}
+	if err := (Tree{Fanout: 0}).Validate(3); err == nil {
+		t.Error("zero fanout accepted")
+	}
+	if err := (Torus{W: 1, H: 4}).Validate(4); err == nil {
+		t.Error("degenerate torus accepted")
+	}
+}
+
+func TestRingMessagePassing(t *testing.T) {
+	os := newOS(t, 4)
+	const n = 4
+	var sum int
+	_, err := NewFamily(os, nil, "ring", seqNodes(n), Ring{}, DefaultConfig(), func(m *Member) {
+		if m.ID == 0 {
+			// Send a token around the ring, accumulating member IDs.
+			if err := m.Send(1, 0, 1, 0); err != nil {
+				t.Errorf("send: %v", err)
+			}
+			msg := m.Recv()
+			sum = msg.Payload.(int)
+		} else {
+			msg := m.Recv()
+			acc := msg.Payload.(int) + m.ID
+			if err := m.Send((m.ID+1)%n, 0, 1, acc); err != nil {
+				t.Errorf("send: %v", err)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.M.E.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if sum != 1+2+3 {
+		t.Errorf("ring sum = %d, want 6", sum)
+	}
+}
+
+func TestTopologyEnforced(t *testing.T) {
+	os := newOS(t, 4)
+	var sendErr error
+	_, err := NewFamily(os, nil, "line", seqNodes(4), Line{}, DefaultConfig(), func(m *Member) {
+		if m.ID == 0 {
+			sendErr = m.Send(2, 0, 1, nil) // not a neighbour on a line
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.M.E.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if sendErr != ErrNotNeighbours {
+		t.Errorf("err = %v, want ErrNotNeighbours", sendErr)
+	}
+}
+
+func TestSendToBogusMember(t *testing.T) {
+	os := newOS(t, 2)
+	var sendErr error
+	_, err := NewFamily(os, nil, "pair", seqNodes(2), Full{}, DefaultConfig(), func(m *Member) {
+		if m.ID == 0 {
+			sendErr = m.Send(7, 0, 1, nil)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.M.E.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sendErr == nil {
+		t.Error("send to member 7 of a 2-family succeeded")
+	}
+}
+
+func TestMessageOrderPreserved(t *testing.T) {
+	os := newOS(t, 2)
+	var got []int
+	_, err := NewFamily(os, nil, "pair", seqNodes(2), Full{}, DefaultConfig(), func(m *Member) {
+		if m.ID == 0 {
+			for i := 0; i < 10; i++ {
+				if err := m.Send(1, i, 4, i); err != nil {
+					t.Errorf("send: %v", err)
+				}
+			}
+		} else {
+			for i := 0; i < 10; i++ {
+				msg := m.Recv()
+				got = append(got, msg.Payload.(int))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.M.E.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("messages reordered: %v", got)
+		}
+	}
+}
+
+func TestTryRecv(t *testing.T) {
+	os := newOS(t, 2)
+	_, err := NewFamily(os, nil, "pair", seqNodes(2), Full{}, DefaultConfig(), func(m *Member) {
+		if m.ID == 1 {
+			if _, ok := m.TryRecv(); ok {
+				t.Error("TryRecv found phantom message")
+			}
+			m.P.Advance(20 * sim.Millisecond)
+			if msg, ok := m.TryRecv(); !ok || msg.Tag != 5 {
+				t.Errorf("TryRecv = %+v, %v", msg, ok)
+			}
+		} else {
+			if err := m.Send(1, 5, 1, nil); err != nil {
+				t.Errorf("send: %v", err)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.M.E.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParentChildMessaging(t *testing.T) {
+	os := newOS(t, 6)
+	var fromChild, fromParent int
+	_, err := NewFamily(os, nil, "top", seqNodes(2), Full{}, DefaultConfig(), func(m *Member) {
+		if m.ID != 0 {
+			return
+		}
+		child, err := NewFamily(os, m, "sub", []int{2, 3}, Full{}, DefaultConfig(), func(c *Member) {
+			if c.ID == 0 {
+				msg := c.Recv() // from parent
+				fromParent = msg.Payload.(int)
+				if msg.From != ParentID {
+					t.Errorf("From = %d, want ParentID", msg.From)
+				}
+				if err := c.SendUp(0, 1, 99); err != nil {
+					t.Errorf("SendUp: %v", err)
+				}
+			}
+		})
+		if err != nil {
+			t.Errorf("child family: %v", err)
+			return
+		}
+		if err := m.SendDown(child, 0, 0, 1, 55); err != nil {
+			t.Errorf("SendDown: %v", err)
+		}
+		msg := m.Recv()
+		fromChild = msg.Payload.(int)
+		if msg.From != ^0 {
+			t.Errorf("From = %d, want ^0", msg.From)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.M.E.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fromParent != 55 || fromChild != 99 {
+		t.Errorf("payloads = %d, %d", fromParent, fromChild)
+	}
+}
+
+func TestSendUpWithoutParent(t *testing.T) {
+	os := newOS(t, 2)
+	var upErr error
+	_, err := NewFamily(os, nil, "orphan", seqNodes(2), Full{}, DefaultConfig(), func(m *Member) {
+		if m.ID == 0 {
+			upErr = m.SendUp(0, 1, nil)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.M.E.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if upErr == nil {
+		t.Error("SendUp from root family succeeded")
+	}
+}
+
+func TestSARCacheReducesMapOps(t *testing.T) {
+	// E15: with the cache, repeated sends to the same peer avoid the ~1 ms
+	// map/unmap per message.
+	run := func(useCache bool) (Stats, int64) {
+		os := newOS(t, 2)
+		cfg := DefaultConfig()
+		cfg.UseSARCache = useCache
+		var fam *Family
+		fam, err := NewFamily(os, nil, "pair", seqNodes(2), Full{}, cfg, func(m *Member) {
+			if m.ID == 0 {
+				for i := 0; i < 50; i++ {
+					if err := m.Send(1, 0, 16, nil); err != nil {
+						t.Errorf("send: %v", err)
+					}
+				}
+			} else {
+				for i := 0; i < 50; i++ {
+					m.Recv()
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.M.E.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return fam.Stats(), os.M.E.Now()
+	}
+	withCache, tCache := run(true)
+	without, tNo := run(false)
+	if withCache.SARCacheHits < 45 {
+		t.Errorf("cache hits = %d, want ~49", withCache.SARCacheHits)
+	}
+	if withCache.SARMapOps >= without.SARMapOps {
+		t.Errorf("map ops with cache (%d) not fewer than without (%d)", withCache.SARMapOps, without.SARMapOps)
+	}
+	if tCache >= tNo {
+		t.Errorf("cached run (%d ns) not faster than uncached (%d ns)", tCache, tNo)
+	}
+}
+
+func TestSARCacheEviction(t *testing.T) {
+	c := newSARCache(2)
+	k1, k2, k3 := bufferKey{member: 1}, bufferKey{member: 2}, bufferKey{member: 3}
+	if c.touch(k1) {
+		t.Error("hit on empty cache")
+	}
+	if c.insert(k1) || c.insert(k2) {
+		t.Error("eviction before capacity")
+	}
+	if !c.touch(k1) {
+		t.Error("miss on cached key")
+	}
+	// k2 is now LRU; inserting k3 evicts it.
+	if !c.insert(k3) {
+		t.Error("no eviction at capacity")
+	}
+	if c.touch(k2) {
+		t.Error("evicted key still cached")
+	}
+	if !c.touch(k1) || !c.touch(k3) {
+		t.Error("expected keys missing")
+	}
+}
+
+func TestMessageCostsAreMilliseconds(t *testing.T) {
+	// §3.2/§4.1: SMP communication is significantly more expensive than
+	// direct shared-memory access — order a millisecond per message with
+	// buffer management.
+	os := newOS(t, 2)
+	var perMsg int64
+	_, err := NewFamily(os, nil, "pair", seqNodes(2), Full{}, Config{UseSARCache: false}, func(m *Member) {
+		if m.ID == 0 {
+			start := m.P.Engine().Now()
+			for i := 0; i < 10; i++ {
+				if err := m.Send(1, 0, 64, nil); err != nil {
+					t.Errorf("send: %v", err)
+				}
+			}
+			perMsg = (m.P.Engine().Now() - start) / 10
+		} else {
+			for i := 0; i < 10; i++ {
+				m.Recv()
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.M.E.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if perMsg < 1*sim.Millisecond || perMsg > 10*sim.Millisecond {
+		t.Errorf("per-message cost = %d ns, want 1-10 ms", perMsg)
+	}
+}
+
+func TestFamilyCreationChargesCreator(t *testing.T) {
+	os := newOS(t, 6)
+	var elapsed int64
+	_, err := NewFamily(os, nil, "top", seqNodes(2), Full{}, DefaultConfig(), func(m *Member) {
+		if m.ID != 0 {
+			return
+		}
+		start := m.P.Engine().Now()
+		_, err := NewFamily(os, m, "sub", []int{2, 3, 4, 5}, Ring{}, DefaultConfig(), func(c *Member) {})
+		if err != nil {
+			t.Errorf("sub family: %v", err)
+		}
+		elapsed = m.P.Engine().Now() - start
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.M.E.Run(); err != nil {
+		t.Fatal(err)
+	}
+	costs := os.Costs
+	minimum := 4 * (costs.ProcCreateLocal + costs.ProcCreateSerial)
+	if elapsed < minimum {
+		t.Errorf("creating 4 members cost %d ns, want >= %d (serial creation)", elapsed, minimum)
+	}
+}

@@ -1,0 +1,198 @@
+// Package smp implements the Structured Message Passing package (§3.2): the
+// dynamic construction of process families — hierarchical collections of
+// heavyweight processes that communicate through asynchronous messages over
+// static topologies. A process can talk to its parent, its children, and the
+// subset of its siblings its family topology names. SMP generalizes the NET
+// package's regular meshes (lines, rings, tori) to arbitrary static
+// topologies.
+//
+// Messages travel through shared-memory buffers on the receiver's node,
+// announced through a microcoded dual queue. Because a process with many
+// communication channels would exhaust its SARs, buffers are mapped in and
+// out dynamically at ~1 ms per operation; the optional SAR cache delays
+// unmaps as long as possible in hopes of avoiding a subsequent map (§3.2).
+package smp
+
+import (
+	"fmt"
+)
+
+// Topology defines which sibling pairs of an n-member family may exchange
+// messages.
+type Topology interface {
+	// Validate reports whether the topology is well formed for n members.
+	Validate(n int) error
+	// Connected reports whether members a and b are neighbours.
+	Connected(a, b, n int) bool
+	// Name identifies the topology in diagnostics.
+	Name() string
+}
+
+// Ring connects each member to its two cyclic neighbours.
+type Ring struct{}
+
+// Validate implements Topology.
+func (Ring) Validate(n int) error {
+	if n < 2 {
+		return fmt.Errorf("smp: ring needs >= 2 members, got %d", n)
+	}
+	return nil
+}
+
+// Connected implements Topology.
+func (Ring) Connected(a, b, n int) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d == 1 || d == n-1
+}
+
+// Name implements Topology.
+func (Ring) Name() string { return "ring" }
+
+// Line connects each member to its predecessor and successor.
+type Line struct{}
+
+// Validate implements Topology.
+func (Line) Validate(n int) error {
+	if n < 2 {
+		return fmt.Errorf("smp: line needs >= 2 members, got %d", n)
+	}
+	return nil
+}
+
+// Connected implements Topology.
+func (Line) Connected(a, b, n int) bool {
+	d := a - b
+	return d == 1 || d == -1
+}
+
+// Name implements Topology.
+func (Line) Name() string { return "line" }
+
+// Mesh is a W x H rectangular mesh (NET's speciality).
+type Mesh struct{ W, H int }
+
+// Validate implements Topology.
+func (m Mesh) Validate(n int) error {
+	if m.W <= 0 || m.H <= 0 || m.W*m.H != n {
+		return fmt.Errorf("smp: %dx%d mesh does not cover %d members", m.W, m.H, n)
+	}
+	return nil
+}
+
+// Connected implements Topology.
+func (m Mesh) Connected(a, b, n int) bool {
+	ax, ay := a%m.W, a/m.W
+	bx, by := b%m.W, b/m.W
+	dx, dy := ax-bx, ay-by
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx+dy == 1
+}
+
+// Name implements Topology.
+func (m Mesh) Name() string { return fmt.Sprintf("%dx%d mesh", m.W, m.H) }
+
+// Torus is a W x H mesh with wraparound edges (NET's cylinders and tori).
+type Torus struct{ W, H int }
+
+// Validate implements Topology.
+func (t Torus) Validate(n int) error {
+	if t.W < 2 || t.H < 1 || t.W*t.H != n {
+		return fmt.Errorf("smp: %dx%d torus does not cover %d members", t.W, t.H, n)
+	}
+	return nil
+}
+
+// Connected implements Topology.
+func (t Torus) Connected(a, b, n int) bool {
+	ax, ay := a%t.W, a/t.W
+	bx, by := b%t.W, b/t.W
+	sameRow := ay == by && (abs(ax-bx) == 1 || abs(ax-bx) == t.W-1)
+	sameCol := ax == bx && (abs(ay-by) == 1 || abs(ay-by) == t.H-1)
+	return sameRow || sameCol
+}
+
+// Name implements Topology.
+func (t Torus) Name() string { return fmt.Sprintf("%dx%d torus", t.W, t.H) }
+
+// Tree connects member i to its children Fanout*i+1 .. Fanout*i+Fanout.
+type Tree struct{ Fanout int }
+
+// Validate implements Topology.
+func (t Tree) Validate(n int) error {
+	if t.Fanout < 1 {
+		return fmt.Errorf("smp: tree fanout %d invalid", t.Fanout)
+	}
+	if n < 1 {
+		return fmt.Errorf("smp: tree needs >= 1 member")
+	}
+	return nil
+}
+
+// Connected implements Topology.
+func (t Tree) Connected(a, b, n int) bool {
+	if a > b {
+		a, b = b, a
+	}
+	return b >= t.Fanout*a+1 && b <= t.Fanout*a+t.Fanout
+}
+
+// Name implements Topology.
+func (t Tree) Name() string { return fmt.Sprintf("%d-ary tree", t.Fanout) }
+
+// Full connects every pair of members.
+type Full struct{}
+
+// Validate implements Topology.
+func (Full) Validate(n int) error { return nil }
+
+// Connected implements Topology.
+func (Full) Connected(a, b, n int) bool { return a != b }
+
+// Name implements Topology.
+func (Full) Name() string { return "fully connected" }
+
+// Custom uses an explicit adjacency list.
+type Custom struct{ Adj [][]int }
+
+// Validate implements Topology.
+func (c Custom) Validate(n int) error {
+	if len(c.Adj) != n {
+		return fmt.Errorf("smp: adjacency for %d members, family has %d", len(c.Adj), n)
+	}
+	for i, ns := range c.Adj {
+		for _, j := range ns {
+			if j < 0 || j >= n || j == i {
+				return fmt.Errorf("smp: bad neighbour %d of member %d", j, i)
+			}
+		}
+	}
+	return nil
+}
+
+// Connected implements Topology.
+func (c Custom) Connected(a, b, n int) bool {
+	for _, j := range c.Adj[a] {
+		if j == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Name implements Topology.
+func (Custom) Name() string { return "custom" }
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,195 @@
+// Package switchnet models the Butterfly switching network: a multistage
+// interconnection network built from 4-input, 4-output switch elements with a
+// per-port bandwidth of 32 Mbit/s. A remote memory reference traverses
+// ceil(log4 N) switch stages from the source processor node controller (PNC)
+// to the destination memory, and the reply traverses the mirror path.
+//
+// Contention is modelled per switch output port: each port is a server with a
+// service time proportional to the packet size; a packet arriving while the
+// port is busy waits. The Butterfly hardware made switch contention "almost
+// negligible" (Rettberg & Thomas, CACM 1986); with realistic parameters this
+// model reproduces that result (experiment E6).
+package switchnet
+
+import (
+	"fmt"
+
+	"butterfly/internal/calendar"
+)
+
+// Radix is the fan-in/fan-out of each switch element (4 on the Butterfly).
+const Radix = 4
+
+// Config holds the tunable parameters of the network model.
+type Config struct {
+	// Nodes is the number of processing nodes connected to the network.
+	Nodes int
+	// HopLatency is the fixed propagation plus switching delay through one
+	// switch stage, in nanoseconds.
+	HopLatency int64
+	// BytesPerSecond is the bandwidth of one switch port. The Butterfly-I
+	// ports carried 32 Mbit/s = 4e6 bytes/s.
+	BytesPerSecond int64
+}
+
+// DefaultConfig returns the calibration used for the Butterfly-I: chosen so
+// that an uncontended one-word remote reference on a 128-node (4-stage)
+// machine completes in just under 4 µs, the paper's figure. The byte rate is
+// twice the nominal 32 Mbit/s port bandwidth because the Butterfly switch
+// provides separate forward and reverse paths per connection.
+func DefaultConfig(nodes int) Config {
+	return Config{
+		Nodes:          nodes,
+		HopLatency:     250, // ns per stage
+		BytesPerSecond: 8_000_000,
+	}
+}
+
+// Stats aggregates network-level counters.
+type Stats struct {
+	Packets      uint64 // packets routed
+	TotalHops    uint64 // switch stages traversed
+	ContentionNs int64  // total time spent waiting for busy ports
+}
+
+// Network is the multistage interconnection network. It tracks per-port
+// occupancy so concurrent transfers through a common port queue up.
+type Network struct {
+	cfg    Config
+	stages int
+	// ports[stage][port] is the reservation calendar of one switch output
+	// port. Ports are identified by the switch-element output they leave
+	// through; with radix-4 elements and N nodes there are N ports per
+	// stage (one "wire" position per node address). Calendars allow the
+	// time-charging layers above to pre-book packets into the virtual
+	// future without falsely serializing later-issued, earlier-timed
+	// traffic.
+	ports [][]calendar.Calendar
+	stats Stats
+}
+
+// New builds a network for the given configuration. The node count may be
+// any positive number; it is rounded up to a power of the radix internally
+// for routing purposes (the real machine was configured similarly, with
+// unused switch ports).
+func New(cfg Config) *Network {
+	if cfg.Nodes <= 0 {
+		panic("switchnet: node count must be positive")
+	}
+	stages := 0
+	for span := 1; span < cfg.Nodes; span *= Radix {
+		stages++
+	}
+	if stages == 0 {
+		stages = 1 // degenerate 1-node machine still has a stage to itself
+	}
+	ports := 1
+	for i := 0; i < stages; i++ {
+		ports *= Radix
+	}
+	b := make([][]calendar.Calendar, stages)
+	for i := range b {
+		b[i] = make([]calendar.Calendar, ports)
+	}
+	return &Network{cfg: cfg, stages: stages, ports: b}
+}
+
+// Stages returns the number of switch stages a packet traverses end to end.
+func (n *Network) Stages() int { return n.stages }
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Stats returns a copy of the accumulated counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// ResetStats zeroes the accumulated counters (port occupancy is retained).
+func (n *Network) ResetStats() { n.stats = Stats{} }
+
+// serviceTime returns how long a packet of the given size occupies one port.
+func (n *Network) serviceTime(bytes int) int64 {
+	if bytes <= 0 {
+		bytes = 1
+	}
+	return int64(bytes) * 1_000_000_000 / n.cfg.BytesPerSecond
+}
+
+// portAt returns the port index a packet from src to dst occupies at the
+// given stage. The routing is the standard butterfly digit-exchange: after
+// stage s, the s most significant radix-4 digits of the position have been
+// replaced by digits of the destination.
+func (n *Network) portAt(src, dst, stage int) int {
+	// Position = high digits from dst (stage+1 of them), low digits from src.
+	digits := n.stages
+	pos := 0
+	for d := 0; d < digits; d++ {
+		var dig int
+		if d <= stage {
+			dig = digit(dst, digits-1-d)
+		} else {
+			dig = digit(src, digits-1-d)
+		}
+		pos = pos*Radix + dig
+	}
+	return pos
+}
+
+// digit extracts radix-4 digit i (0 = least significant) of v.
+func digit(v, i int) int {
+	for ; i > 0; i-- {
+		v /= Radix
+	}
+	return v % Radix
+}
+
+// Transit routes a packet of the given size from node src to node dst
+// starting at virtual time now, and returns the time at which the packet is
+// fully delivered. Port occupancy along the path is updated, so later packets
+// sharing a port are delayed (switch contention). src == dst is a zero-cost
+// local transfer.
+func (n *Network) Transit(now int64, src, dst, bytes int) int64 {
+	if src == dst {
+		return now
+	}
+	if src < 0 || src >= n.cfg.Nodes || dst < 0 || dst >= n.cfg.Nodes {
+		panic(fmt.Sprintf("switchnet: route %d->%d outside 0..%d", src, dst, n.cfg.Nodes-1))
+	}
+	n.stats.Packets++
+	t := now
+	svc := n.serviceTime(bytes)
+	for s := 0; s < n.stages; s++ {
+		port := n.portAt(src, dst, s)
+		start := n.ports[s][port].Reserve(t, svc)
+		n.stats.ContentionNs += start - t
+		// The port is occupied while the packet streams through it;
+		// cut-through routing lets the head proceed after HopLatency.
+		t = start + n.cfg.HopLatency
+		n.stats.TotalHops++
+	}
+	// Delivery completes when the tail clears the last stage.
+	return t + svc
+}
+
+// Prune discards port reservations that ended before now; callers invoke it
+// periodically (no future packet can be issued earlier than the engine's
+// current time).
+func (n *Network) Prune(now int64) {
+	for s := range n.ports {
+		for p := range n.ports[s] {
+			n.ports[s][p].PruneBefore(now)
+		}
+	}
+}
+
+// PathPorts reports the (stage, port) pairs a src->dst packet occupies; it is
+// exported for tests and for the contention experiment's instrumentation.
+func (n *Network) PathPorts(src, dst int) [][2]int {
+	if src == dst {
+		return nil
+	}
+	out := make([][2]int, 0, n.stages)
+	for s := 0; s < n.stages; s++ {
+		out = append(out, [2]int{s, n.portAt(src, dst, s)})
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+package switchnet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStages(t *testing.T) {
+	cases := []struct{ nodes, stages int }{
+		{1, 1}, {2, 1}, {4, 1}, {5, 2}, {16, 2}, {17, 3}, {64, 3}, {128, 4}, {256, 4},
+	}
+	for _, c := range cases {
+		n := New(DefaultConfig(c.nodes))
+		if n.Stages() != c.stages {
+			t.Errorf("nodes=%d: stages=%d, want %d", c.nodes, n.Stages(), c.stages)
+		}
+	}
+}
+
+func TestLocalTransferFree(t *testing.T) {
+	n := New(DefaultConfig(16))
+	if got := n.Transit(1000, 3, 3, 64); got != 1000 {
+		t.Errorf("local transit = %d, want 1000", got)
+	}
+	if n.Stats().Packets != 0 {
+		t.Error("local transfer counted as packet")
+	}
+}
+
+func TestUncontendedLatency(t *testing.T) {
+	cfg := DefaultConfig(64) // 3 stages
+	n := New(cfg)
+	bytes := 4
+	svc := int64(bytes) * 1e9 / cfg.BytesPerSecond
+	want := 3*cfg.HopLatency + svc
+	got := n.Transit(0, 0, 63, bytes)
+	if got != want {
+		t.Errorf("transit = %d, want %d", got, want)
+	}
+}
+
+func TestRouteDigitExchange(t *testing.T) {
+	// On a 16-node net (2 stages), the final port must equal the
+	// destination position, and the first stage replaces the high digit.
+	n := New(DefaultConfig(16))
+	ports := n.PathPorts(5, 10) // 5 = 11_4, 10 = 22_4
+	if len(ports) != 2 {
+		t.Fatalf("path length = %d, want 2", len(ports))
+	}
+	// After stage 0: high digit from dst (2), low from src (1) -> 2*4+1 = 9.
+	if ports[0] != [2]int{0, 9} {
+		t.Errorf("stage0 port = %v, want {0 9}", ports[0])
+	}
+	// After stage 1: fully destination -> 10.
+	if ports[1] != [2]int{1, 10} {
+		t.Errorf("stage1 port = %v, want {1 10}", ports[1])
+	}
+}
+
+func TestFinalPortIsDestination(t *testing.T) {
+	// Property: the last hop's port always equals the destination address.
+	check := func(srcRaw, dstRaw uint8) bool {
+		n := New(DefaultConfig(64))
+		src, dst := int(srcRaw)%64, int(dstRaw)%64
+		if src == dst {
+			return true
+		}
+		ports := n.PathPorts(src, dst)
+		return ports[len(ports)-1][1] == dst
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDisjointPathsNoContention(t *testing.T) {
+	// Two transfers between disjoint node pairs whose paths share no port
+	// must not delay each other.
+	n := New(DefaultConfig(16))
+	a := n.Transit(0, 0, 15, 100)
+	// Find a pair with a disjoint path.
+	p1 := map[[2]int]bool{}
+	for _, p := range n.PathPorts(0, 15) {
+		p1[p] = true
+	}
+	src2, dst2 := -1, -1
+search:
+	for s := 0; s < 16; s++ {
+		for d := 0; d < 16; d++ {
+			if s == d || (s == 0 && d == 15) {
+				continue
+			}
+			disjoint := true
+			for _, p := range n.PathPorts(s, d) {
+				if p1[p] {
+					disjoint = false
+					break
+				}
+			}
+			if disjoint {
+				src2, dst2 = s, d
+				break search
+			}
+		}
+	}
+	if src2 < 0 {
+		t.Fatal("no disjoint pair found")
+	}
+	b := n.Transit(0, src2, dst2, 100)
+	if a != b {
+		t.Errorf("disjoint transfers differ: %d vs %d", a, b)
+	}
+	if n.Stats().ContentionNs != 0 {
+		t.Errorf("contention = %d, want 0", n.Stats().ContentionNs)
+	}
+}
+
+func TestSharedPortContention(t *testing.T) {
+	// Two packets to the same destination at the same instant: the second
+	// waits for the first at the shared final port.
+	n := New(DefaultConfig(16))
+	first := n.Transit(0, 1, 9, 100)
+	second := n.Transit(0, 2, 9, 100)
+	if second <= first {
+		t.Errorf("second (%d) should finish after first (%d)", second, first)
+	}
+	if n.Stats().ContentionNs == 0 {
+		t.Error("no contention recorded")
+	}
+}
+
+func TestContentionLowUnderRandomTraffic(t *testing.T) {
+	// The paper's E6 claim: with random destinations, switch contention is a
+	// small fraction of transit time. Load the network at a realistic rate
+	// (each node issues a remote reference every ~16 us, i.e. a mostly-local
+	// program) and check the added delay.
+	cfg := DefaultConfig(128)
+	n := New(cfg)
+	rng := rand.New(rand.NewSource(1))
+	var total, base int64
+	now := int64(0)
+	for i := 0; i < 20000; i++ {
+		src := rng.Intn(128)
+		dst := rng.Intn(128)
+		if src == dst {
+			continue
+		}
+		done := n.Transit(now, src, dst, 4)
+		total += done - now
+		base += int64(n.Stages())*cfg.HopLatency + 4*1e9/cfg.BytesPerSecond
+		now += 16000 / 128
+	}
+	overhead := float64(total-base) / float64(base)
+	if overhead > 0.25 {
+		t.Errorf("switch contention overhead %.1f%% too high for random traffic", overhead*100)
+	}
+}
+
+func TestStatsAndReset(t *testing.T) {
+	n := New(DefaultConfig(16))
+	n.Transit(0, 0, 5, 10)
+	if n.Stats().Packets != 1 || n.Stats().TotalHops != 2 {
+		t.Errorf("stats = %+v", n.Stats())
+	}
+	n.ResetStats()
+	if n.Stats().Packets != 0 {
+		t.Error("ResetStats failed")
+	}
+}
+
+func TestBadRoutePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range route did not panic")
+		}
+	}()
+	n := New(DefaultConfig(4))
+	n.Transit(0, 0, 7, 1)
+}
+
+func TestDigit(t *testing.T) {
+	// 27 = 123 base 4
+	if digit(27, 0) != 3 || digit(27, 1) != 2 || digit(27, 2) != 1 {
+		t.Errorf("digit(27) = %d,%d,%d", digit(27, 0), digit(27, 1), digit(27, 2))
+	}
+}

@@ -1,0 +1,234 @@
+package us
+
+import (
+	"testing"
+
+	"butterfly/internal/chrysalis"
+	"butterfly/internal/machine"
+	"butterfly/internal/sim"
+)
+
+// runUS builds a machine/OS, runs program under the Uniform System with the
+// given worker count, and returns the instance and total virtual time.
+func runUS(t *testing.T, nodes, workers int, cfg *Config, program func(w *Worker)) (*US, int64) {
+	t.Helper()
+	m := machine.New(machine.DefaultConfig(nodes))
+	os := chrysalis.New(m)
+	c := DefaultConfig(workers)
+	if cfg != nil {
+		c = *cfg
+	}
+	u, err := Initialize(os, c, program)
+	if err != nil {
+		t.Fatalf("Initialize: %v", err)
+	}
+	if err := m.E.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return u, m.E.Now()
+}
+
+func TestAllTasksExecuteOnce(t *testing.T) {
+	const n = 100
+	seen := make([]int, n)
+	u, _ := runUS(t, 8, 8, nil, func(w *Worker) {
+		w.U.GenOnIndex(w, n, func(w *Worker, i int) {
+			w.U.OS.M.IntOps(w.P, 10)
+			seen[i]++
+		})
+	})
+	for i, c := range seen {
+		if c != 1 {
+			t.Errorf("task %d ran %d times", i, c)
+		}
+	}
+	if u.Stats().TasksExecuted != n {
+		t.Errorf("executed = %d, want %d", u.Stats().TasksExecuted, n)
+	}
+}
+
+func TestWorkSpreadsAcrossWorkers(t *testing.T) {
+	u, _ := runUS(t, 8, 8, nil, func(w *Worker) {
+		w.U.GenOnIndex(w, 200, func(w *Worker, i int) {
+			w.U.OS.M.IntOps(w.P, 2000) // ~1 ms of work each
+		})
+	})
+	busy := 0
+	for _, w := range u.Workers() {
+		if w.TasksRun > 0 {
+			busy++
+		}
+	}
+	if busy < 6 {
+		t.Errorf("only %d of 8 workers executed tasks", busy)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	// The same task set must run substantially faster with more workers.
+	elapsed := func(workers int) int64 {
+		_, ns := runUS(t, 32, workers, nil, func(w *Worker) {
+			w.U.GenOnIndex(w, 128, func(w *Worker, i int) {
+				w.U.OS.M.IntOps(w.P, 20000) // ~10 ms each
+			})
+		})
+		return ns
+	}
+	t1 := elapsed(1)
+	t16 := elapsed(16)
+	speedup := float64(t1) / float64(t16)
+	if speedup < 8 {
+		t.Errorf("speedup with 16 workers = %.1f, want > 8", speedup)
+	}
+}
+
+func TestSequentialGenerations(t *testing.T) {
+	// Generations must be properly fenced: no task of generation 2 may run
+	// before every task of generation 1 completed.
+	var phase1Done, ordered = false, true
+	runUS(t, 4, 4, nil, func(w *Worker) {
+		count := 0
+		w.U.GenOnIndex(w, 20, func(w *Worker, i int) {
+			w.U.OS.M.IntOps(w.P, 100)
+			count++
+			if count == 20 {
+				phase1Done = true
+			}
+		})
+		if !phase1Done {
+			ordered = false
+		}
+		w.U.GenOnIndex(w, 20, func(w *Worker, i int) {
+			if !phase1Done {
+				ordered = false
+			}
+			w.U.OS.M.IntOps(w.P, 100)
+		})
+	})
+	if !ordered {
+		t.Error("generation 2 overlapped generation 1")
+	}
+}
+
+func TestGeneratorParticipates(t *testing.T) {
+	u, _ := runUS(t, 4, 4, nil, func(w *Worker) {
+		w.U.GenOnIndex(w, 40, func(w *Worker, i int) {
+			w.U.OS.M.IntOps(w.P, 1000)
+		})
+	})
+	if u.Workers()[0].TasksRun == 0 {
+		t.Error("generator executed no tasks")
+	}
+}
+
+func TestEmptyGeneration(t *testing.T) {
+	runUS(t, 2, 2, nil, func(w *Worker) {
+		w.U.GenOnIndex(w, 0, func(w *Worker, i int) {
+			t.Error("task ran for empty generation")
+		})
+	})
+}
+
+func TestSingleWorker(t *testing.T) {
+	ran := 0
+	runUS(t, 2, 1, nil, func(w *Worker) {
+		w.U.GenOnIndex(w, 10, func(w *Worker, i int) { ran++ })
+	})
+	if ran != 10 {
+		t.Errorf("ran = %d, want 10", ran)
+	}
+}
+
+func TestBadWorkerCount(t *testing.T) {
+	m := machine.New(machine.DefaultConfig(2))
+	os := chrysalis.New(m)
+	if _, err := Initialize(os, DefaultConfig(5), func(w *Worker) {}); err == nil {
+		t.Error("5 workers on 2 nodes accepted")
+	}
+	if _, err := Initialize(os, DefaultConfig(0), func(w *Worker) {}); err == nil {
+		t.Error("0 workers accepted")
+	}
+}
+
+func TestSerialAllocatorSerializes(t *testing.T) {
+	// E9: with the serial allocator, allocation-heavy parallel work is
+	// dramatically slower than with the parallel allocator.
+	allocHeavy := func(parallel bool) int64 {
+		cfg := DefaultConfig(16)
+		cfg.ParallelAlloc = parallel
+		_, ns := runUS(t, 16, 16, &cfg, func(w *Worker) {
+			w.U.GenOnIndex(w, 160, func(w *Worker, i int) {
+				if _, err := w.U.Alloc(w, w.ID, 1024); err != nil {
+					t.Errorf("alloc: %v", err)
+				}
+				w.U.OS.M.IntOps(w.P, 100)
+			})
+		})
+		return ns
+	}
+	serial := allocHeavy(false)
+	par := allocHeavy(true)
+	if float64(serial) < 1.5*float64(par) {
+		t.Errorf("serial %d vs parallel %d: expected serialization penalty", serial, par)
+	}
+}
+
+func TestSharedMemoryLimit(t *testing.T) {
+	// §2.3: only 16 MB of the gigabyte of physical memory is usable.
+	runUS(t, 4, 4, nil, func(w *Worker) {
+		// 255 segments of 64 KB fit...
+		for i := 0; i < 256; i++ {
+			if _, err := w.U.Alloc(w, i%4, 64*1024); err != nil {
+				t.Fatalf("alloc %d failed early: %v", i, err)
+			}
+		}
+		// ...but the 257th does not.
+		if _, err := w.U.Alloc(w, 0, 64*1024); err != ErrSharedLimit {
+			t.Errorf("got %v, want ErrSharedLimit", err)
+		}
+	})
+}
+
+func TestScatterRows(t *testing.T) {
+	u, _ := runUS(t, 8, 8, nil, func(w *Worker) {
+		s, err := w.U.ScatterRows(w, 20, 256, 4)
+		if err != nil {
+			t.Fatalf("ScatterRows: %v", err)
+		}
+		for i := 0; i < 20; i++ {
+			if s.NodeOf(i) != i%4 {
+				t.Errorf("row %d on node %d, want %d", i, s.NodeOf(i), i%4)
+			}
+		}
+	})
+	if u.Stats().AllocRequests != 20 {
+		t.Errorf("alloc requests = %d", u.Stats().AllocRequests)
+	}
+}
+
+func TestScatterDefaultLimit(t *testing.T) {
+	runUS(t, 8, 4, nil, func(w *Worker) {
+		s, err := w.U.ScatterRows(w, 8, 128, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Limit != 4 {
+			t.Errorf("default limit = %d, want 4 (worker count)", s.Limit)
+		}
+	})
+}
+
+func TestTaskGranularityOverhead(t *testing.T) {
+	// Dispatch cost must be tens of microseconds per task (cheap tasks are
+	// the point of the US), dominated by the dual-queue microcode.
+	_, ns := runUS(t, 2, 1, nil, func(w *Worker) {
+		w.U.GenOnIndex(w, 100, func(w *Worker, i int) {})
+	})
+	perTask := ns / 100
+	if perTask > 200*sim.Microsecond {
+		t.Errorf("per-task overhead = %d ns, want < 200 us", perTask)
+	}
+	if perTask < 10*sim.Microsecond {
+		t.Errorf("per-task overhead = %d ns, implausibly cheap", perTask)
+	}
+}
