@@ -66,6 +66,40 @@ func BenchmarkEngineContextSwitch(b *testing.B) {
 	}
 }
 
+func BenchmarkEngineHandoff(b *testing.B) {
+	// Two processes on alternating ticks: every event is a real
+	// goroutine-to-goroutine handoff (the slow path ContextSwitch avoids).
+	b.ReportAllocs()
+	e := sim.New()
+	for i := 0; i < 2; i++ {
+		e.Spawn("pingpong", i, func(p *sim.Proc) {
+			for j := 0; j < b.N; j++ {
+				p.Advance(10)
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkEngineCharge(b *testing.B) {
+	// The two-tier fast path: Charge accumulates on the local clock and only
+	// flushes when the lookahead slice fills.
+	b.ReportAllocs()
+	e := sim.New()
+	e.Spawn("charger", 0, func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Charge(10)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
 func BenchmarkRemoteReference(b *testing.B) {
 	b.ReportAllocs()
 	m := machine.New(machine.DefaultConfig(128))

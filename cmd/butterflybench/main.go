@@ -7,24 +7,46 @@
 //	butterflybench -list
 //	butterflybench -experiment fig5
 //	butterflybench -all [-quick]
+//	butterflybench -all -timing            # wall-clock + events/sec per experiment
+//	butterflybench -all -cpuprofile cpu.pb # profile the simulator itself
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
+	"time"
 
 	"butterfly/internal/core"
+	"butterfly/internal/machine"
+	"butterfly/internal/sim"
 )
 
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list available experiments")
-		expID = flag.String("experiment", "", "run one experiment by id")
-		all   = flag.Bool("all", false, "run every experiment")
-		quick = flag.Bool("quick", false, "reduced-scale run (fast smoke test)")
+		list       = flag.Bool("list", false, "list available experiments")
+		expID      = flag.String("experiment", "", "run one experiment by id")
+		all        = flag.Bool("all", false, "run every experiment")
+		quick      = flag.Bool("quick", false, "reduced-scale run (fast smoke test)")
+		timing     = flag.Bool("timing", false, "report per-experiment wall-clock time and simulated events/sec on stderr")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "butterflybench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "butterflybench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	switch {
 	case *list:
@@ -39,17 +61,47 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("===== %s: %s =====\npaper: %s\n\n", e.ID, e.Title, e.Paper)
-		if err := e.Run(os.Stdout, *quick); err != nil {
+		if err := runOne(e, *quick, *timing); err != nil {
 			fmt.Fprintf(os.Stderr, "butterflybench: %v\n", err)
 			os.Exit(1)
 		}
 	case *all:
-		if err := core.RunAll(os.Stdout, *quick); err != nil {
-			fmt.Fprintf(os.Stderr, "butterflybench: %v\n", err)
-			os.Exit(1)
+		for _, e := range core.Experiments() {
+			fmt.Printf("\n===== %s: %s =====\n", e.ID, e.Title)
+			fmt.Printf("paper: %s\n\n", e.Paper)
+			if err := runOne(e, *quick, *timing); err != nil {
+				fmt.Fprintf(os.Stderr, "butterflybench: experiment %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
 		}
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// runOne executes one experiment, optionally reporting how fast the
+// simulator itself ran it: wall-clock time and engine events per second of
+// wall time, aggregated over every machine the experiment builds. The report
+// goes to stderr so timed runs still produce byte-identical tables.
+func runOne(e core.Experiment, quick, timing bool) error {
+	if !timing {
+		return e.Run(os.Stdout, quick)
+	}
+	var engines []*sim.Engine
+	machine.SetNewHook(func(m *machine.Machine) { engines = append(engines, m.E) })
+	defer machine.SetNewHook(nil)
+	start := time.Now()
+	err := e.Run(os.Stdout, quick)
+	wall := time.Since(start)
+	var events uint64
+	var vtime int64
+	for _, eng := range engines {
+		events += eng.Stats().Events
+		vtime += eng.Now()
+	}
+	fmt.Fprintf(os.Stderr, "[timing] %-10s wall=%-12s machines=%-3d events=%-9d events/sec=%.0f vtime=%s\n",
+		e.ID, wall.Round(time.Microsecond), len(engines), events,
+		float64(events)/wall.Seconds(), time.Duration(vtime))
+	return err
 }

@@ -1,0 +1,90 @@
+// Golden determinism regression: every registered experiment, run at quick
+// scale, must produce exactly the same virtual-time trajectory on every
+// machine it builds — same number of machines, same final virtual clocks,
+// same number of engine events. The two-tier charging model (lazy local
+// clocks flushed at sync points) is only admissible because it cannot change
+// these numbers; any drift here means the simulation's physics changed and
+// every table in the paper reproduction is suspect.
+//
+// Regenerate after an intentional model change with:
+//
+//	go test -run TestExperimentDeterminism -update .
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"butterfly/internal/core"
+	"butterfly/internal/machine"
+	"butterfly/internal/sim"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden files")
+
+// experimentFingerprint runs one experiment at quick scale and reduces every
+// engine it builds to (machines, Σ final virtual time, Σ events executed).
+func experimentFingerprint(t *testing.T, e core.Experiment) string {
+	t.Helper()
+	var engines []*sim.Engine
+	machine.SetNewHook(func(m *machine.Machine) { engines = append(engines, m.E) })
+	defer machine.SetNewHook(nil)
+	if err := e.Run(io.Discard, true); err != nil {
+		t.Fatalf("experiment %s: %v", e.ID, err)
+	}
+	var vtime int64
+	var events uint64
+	for _, eng := range engines {
+		vtime += eng.Now()
+		events += eng.Stats().Events
+	}
+	return fmt.Sprintf("%s machines=%d vtime=%d events=%d", e.ID, len(engines), vtime, events)
+}
+
+func TestExperimentDeterminism(t *testing.T) {
+	var lines []string
+	for _, e := range core.Experiments() {
+		lines = append(lines, experimentFingerprint(t, e))
+	}
+	got := strings.Join(lines, "\n") + "\n"
+
+	path := filepath.Join("testdata", "determinism.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+		return
+	}
+	wantBytes, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run `go test -run TestExperimentDeterminism -update .`): %v", err)
+	}
+	want := string(wantBytes)
+	if got == want {
+		return
+	}
+	// Line-by-line diagnosis beats dumping two blobs.
+	gotLines := strings.Split(strings.TrimSuffix(got, "\n"), "\n")
+	wantLines := strings.Split(strings.TrimSuffix(want, "\n"), "\n")
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		var g, w string
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Errorf("determinism drift:\n  got  %s\n  want %s", g, w)
+		}
+	}
+}

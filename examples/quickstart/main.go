@@ -50,6 +50,7 @@ func main() {
 			for _, s := range partial {
 				sum += s
 			}
+			w.P.Sync() // flush the reduction charge before reading the clock
 			elapsed = m.E.Now() - start
 		}); err != nil {
 			panic(err)

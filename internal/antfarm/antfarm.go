@@ -150,8 +150,10 @@ func (f *Farm) Spawn(name string, body func(t *Thread)) *Thread {
 	if cur := f.P.Engine().Running(); cur != nil {
 		cur.Advance(f.Cfg.SpawnNs)
 		if cur != f.P {
-			// Remote spawn: touch the farm's node and wake it if idle.
+			// Remote spawn: touch the farm's node and wake it if idle. Flush
+			// the lazy reference charge before inspecting the idle flag.
 			f.OS.M.Atomic(cur, f.P.Node)
+			cur.Sync()
 			f.kick(cur)
 		}
 	}
@@ -242,6 +244,7 @@ func (t *Thread) Unblock(waker *sim.Proc) {
 	t.Farm.runnable = append(t.Farm.runnable, t)
 	if waker != t.Farm.P {
 		t.Farm.OS.M.Atomic(waker, t.Farm.P.Node)
+		waker.Sync() // observe the farm's idle flag at the reference's completion time
 	}
 	t.Farm.kick(waker)
 }

@@ -61,6 +61,9 @@ func NewChannelOn(os *chrysalis.OS, node, capacity int) *Channel {
 // descriptor (atomic on its home node).
 func (c *Channel) chargeTouch(t *Thread) {
 	c.os.Atomic(t.P(), c.Node)
+	// Channel state is shared across farms: flush the lazy reference charge
+	// so the queues are observed at the touch's completion time.
+	t.P().Sync()
 }
 
 // Send transmits payload (charged as words 32-bit words) on the channel,
@@ -92,6 +95,9 @@ func (c *Channel) Send(t *Thread, payload any, words int) {
 func (c *Channel) deliver(sender *sim.Proc, r *Thread, msg chanMsg) {
 	if msg.words > 0 && msg.from != r.Farm.P.Node {
 		c.os.BlockCopy(sender, msg.from, r.Farm.P.Node, msg.words)
+		// Flush the lazy copy charge: the receiver becomes runnable at the
+		// copy's completion time, not its start.
+		sender.Sync()
 	}
 	c.handoff[r] = msg
 	r.Unblock(sender)
@@ -107,6 +113,7 @@ func (c *Channel) Recv(t *Thread) (payload any, words int) {
 		c.buf = c.buf[:copy(c.buf, c.buf[1:])]
 		if msg.words > 0 && msg.from != t.Farm.P.Node {
 			c.os.BlockCopy(t.P(), msg.from, t.Farm.P.Node, msg.words)
+			t.P().Sync()
 		}
 		// A blocked sender can now slot its message into the buffer.
 		c.admitSender(t.P())
@@ -120,6 +127,7 @@ func (c *Channel) Recv(t *Thread) (payload any, words int) {
 		delete(c.pendingSend, s)
 		if msg.words > 0 && msg.from != t.Farm.P.Node {
 			c.os.BlockCopy(t.P(), msg.from, t.Farm.P.Node, msg.words)
+			t.P().Sync()
 		}
 		s.Unblock(t.P())
 		return msg.payload, msg.words
@@ -143,6 +151,7 @@ func (c *Channel) TryRecv(t *Thread) (payload any, words int, ok bool) {
 	c.buf = c.buf[:copy(c.buf, c.buf[1:])]
 	if msg.words > 0 && msg.from != t.Farm.P.Node {
 		c.os.BlockCopy(t.P(), msg.from, t.Farm.P.Node, msg.words)
+		t.P().Sync()
 	}
 	c.admitSender(t.P())
 	return msg.payload, msg.words, true

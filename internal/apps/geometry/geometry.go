@@ -122,6 +122,7 @@ func Hull(pts []Point, procs int) ([]Point, Result, error) {
 		m.BlockCopy(w.P, 1%procs, w.P.Node, 2*len(all))
 		m.IntOps(w.P, 14*len(all))
 		partial[0] = HullSequential(all)
+		w.P.Sync() // flush the merge charges before reading the clock
 		res.ElapsedNs = m.E.Now() - start
 	})
 	if err != nil {
@@ -266,6 +267,7 @@ func MST(n int, edges []WEdge, procs int) (int64, Result, error) {
 			}
 			res.Rounds++
 		}
+		w.P.Sync() // flush the final contraction charge before reading the clock
 		res.ElapsedNs = m.E.Now() - start
 	})
 	if err != nil {

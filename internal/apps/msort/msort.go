@@ -162,6 +162,7 @@ func Run(keys []uint32, cfg Config) (Result, error) {
 			}
 		}
 		blocks[me] = mine
+		mem.P.Sync() // flush the final merge charge before reading the clock
 		if t := m.E.Now(); t > elapsed {
 			elapsed = t
 		}

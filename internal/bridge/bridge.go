@@ -104,6 +104,9 @@ func New(os *chrysalis.OS, diskNodes []int, cfg DiskConfig) (*Bridge, error) {
 				req := b.reqs[d]
 				b.free = append(b.free, int(d))
 				req.run(self.P)
+				// Flush the request's trailing lazy charges so the waiter
+				// wakes at the request's true completion time.
+				self.P.Sync()
 				req.done.signal(os.M.E)
 			}
 		})
@@ -204,6 +207,7 @@ func (b *Bridge) writeBlock(p *sim.Proc, f *File, i int) {
 		// Data travels from the caller's node to the LFS node, then to disk.
 		b.OS.M.BlockCopy(sp, p.Node, disk.Node, BlockBytes/4)
 		sp.Advance(b.CPUPerBlockNs)
+		sp.Sync()
 		done := disk.Access(b.OS.M.E.Now(), 1, true)
 		sp.Advance(done - b.OS.M.E.Now())
 	})
@@ -218,6 +222,7 @@ func (b *Bridge) Read(p *sim.Proc, f *File, i int) ([]byte, error) {
 	d := f.diskOf[i]
 	disk := b.Disks[d]
 	c := b.submit(p, d, func(sp *sim.Proc) {
+		sp.Sync()
 		done := disk.Access(b.OS.M.E.Now(), 1, false)
 		sp.Advance(done - b.OS.M.E.Now())
 		sp.Advance(b.CPUPerBlockNs)
@@ -275,12 +280,14 @@ func (b *Bridge) Copy(p *sim.Proc, src *File, dstName string) (*File, error) {
 	b.forEachDisk(p, src, func(sp *sim.Proc, d int, blocks []int) {
 		disk := b.Disks[d]
 		for _, i := range blocks {
+			sp.Sync()
 			done := disk.Access(b.OS.M.E.Now(), 1, false)
 			sp.Advance(done - b.OS.M.E.Now())
 			sp.Advance(b.CPUPerBlockNs)
 			blk := make([]byte, BlockBytes)
 			copy(blk, src.blocks[i])
 			dst.blocks[i] = blk
+			sp.Sync()
 			done = disk.Access(b.OS.M.E.Now(), 1, true)
 			sp.Advance(done - b.OS.M.E.Now())
 		}
@@ -301,6 +308,7 @@ func (b *Bridge) Search(p *sim.Proc, f *File, needle []byte) []Match {
 	b.forEachDisk(p, f, func(sp *sim.Proc, d int, blocks []int) {
 		disk := b.Disks[d]
 		for _, i := range blocks {
+			sp.Sync()
 			done := disk.Access(b.OS.M.E.Now(), 1, false)
 			sp.Advance(done - b.OS.M.E.Now())
 			// Scanning costs ~1 int op per 4 bytes.
@@ -338,10 +346,12 @@ func (b *Bridge) Compare(p *sim.Proc, f, g *File) ([]int, error) {
 			if g.diskOf[i] == d {
 				nAccesses = 2 // both copies local: one combined positioning
 			}
+			sp.Sync()
 			done := disk.Access(b.OS.M.E.Now(), nAccesses, false)
 			sp.Advance(done - b.OS.M.E.Now())
 			if g.diskOf[i] != d {
 				gd := b.Disks[g.diskOf[i]]
+				sp.Sync()
 				done := gd.Access(b.OS.M.E.Now(), 1, false)
 				sp.Advance(done - b.OS.M.E.Now())
 				b.OS.M.BlockCopy(sp, gd.Node, disk.Node, BlockBytes/4)

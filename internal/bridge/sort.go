@@ -56,6 +56,7 @@ func (b *Bridge) Sort(p *sim.Proc, src *File, dstName string, nRecords int) (*Fi
 	var samples []uint32
 	b.forEachDisk(p, src, func(sp *sim.Proc, d int, blocks []int) {
 		disk := b.Disks[d]
+		sp.Sync()
 		done := disk.Access(b.OS.M.E.Now(), len(blocks), false)
 		sp.Advance(done - b.OS.M.E.Now())
 		var keys []uint32
@@ -134,6 +135,7 @@ func (b *Bridge) Sort(p *sim.Proc, src *File, dstName string, nRecords int) (*Fi
 			outKeys[d] = merged
 			nBlocks := (len(merged) + RecordsPerBlock - 1) / RecordsPerBlock
 			if nBlocks > 0 {
+				sp.Sync()
 				done := b.Disks[d].Access(b.OS.M.E.Now(), nBlocks, true)
 				sp.Advance(done - b.OS.M.E.Now())
 			}

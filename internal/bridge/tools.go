@@ -23,6 +23,7 @@ func (b *Bridge) Transform(p *sim.Proc, src *File, dstName string, fn func(block
 	b.forEachDisk(p, src, func(sp *sim.Proc, d int, blocks []int) {
 		disk := b.Disks[d]
 		for _, i := range blocks {
+			sp.Sync()
 			done := disk.Access(b.OS.M.E.Now(), 1, false)
 			sp.Advance(done - b.OS.M.E.Now())
 			// Transformation work: ~1 int op per word.
@@ -31,6 +32,7 @@ func (b *Bridge) Transform(p *sim.Proc, src *File, dstName string, fn func(block
 			blk := make([]byte, BlockBytes)
 			copy(blk, out)
 			dst.blocks[i] = blk
+			sp.Sync()
 			done = disk.Access(b.OS.M.E.Now(), 1, true)
 			sp.Advance(done - b.OS.M.E.Now())
 		}

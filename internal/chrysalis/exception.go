@@ -27,7 +27,7 @@ func (t *ThrowError) Error() string {
 // throw inside body (including nested calls) unwinds to this Catch, which
 // returns the ThrowError; a normal completion returns nil.
 func (os *OS) Catch(p *sim.Proc, body func()) (caught *ThrowError) {
-	p.Advance(os.Costs.CatchEnter)
+	p.Charge(os.Costs.CatchEnter)
 	defer func() {
 		if r := recover(); r != nil {
 			if te, ok := r.(*ThrowError); ok {

@@ -130,6 +130,9 @@ var ErrTooManyProcesses = errors.New("chrysalis: node out of SARs for new proces
 // initial-boot creation and charges nothing. body runs as the new process.
 func (os *OS) MakeProcess(creator *sim.Proc, name string, node, nSegs int, body func(self *Process)) (*Process, error) {
 	if creator != nil {
+		// Flush the creator's local clock so the serial template resource is
+		// acquired at the creator's true time.
+		creator.Sync()
 		wait := os.template.acquireFor(os.M.E.Now(), os.Costs.ProcCreateSerial)
 		creator.Advance(wait + os.Costs.ProcCreateSerial + os.Costs.ProcCreateLocal)
 	}

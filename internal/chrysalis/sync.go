@@ -41,6 +41,9 @@ func (e *Event) ID() ObjID { return e.obj.ID }
 // node.
 func (e *Event) Post(p *sim.Proc, datum uint32) {
 	e.os.M.Microcode(p, e.obj.Node, e.os.Costs.EventPost)
+	// The microcode charge is lazy; flush it before touching the event's
+	// shared state so the post lands at the operation's completion time.
+	p.Sync()
 	e.datum = datum
 	if e.wq.Len() > 0 {
 		e.posted = false
@@ -57,6 +60,7 @@ func (e *Event) Wait(p *sim.Proc) uint32 {
 		panic(fmt.Sprintf("chrysalis: process %q waits on event %d it does not own", p.Name, e.obj.ID))
 	}
 	e.os.M.Microcode(p, e.obj.Node, e.os.Costs.EventWait)
+	p.Sync()
 	if e.posted {
 		e.posted = false
 		return e.datum
@@ -106,6 +110,7 @@ func (q *DualQueue) ID() ObjID { return q.obj.ID }
 // Enqueue appends a datum, waking the longest-waiting dequeuer if any.
 func (q *DualQueue) Enqueue(p *sim.Proc, datum uint32) {
 	q.os.M.Microcode(p, q.obj.Node, q.os.Costs.DualEnqueue)
+	p.Sync()
 	if q.waiters.Len() > 0 {
 		// Hand the datum directly to the first waiter.
 		q.wakeFirstWith(datum)
@@ -125,6 +130,7 @@ func (q *DualQueue) wakeFirstWith(datum uint32) {
 // Dequeue removes the oldest datum, blocking if the queue is empty.
 func (q *DualQueue) Dequeue(p *sim.Proc) uint32 {
 	q.os.M.Microcode(p, q.obj.Node, q.os.Costs.DualDequeue)
+	p.Sync()
 	if len(q.data) > 0 {
 		d := q.data[0]
 		q.data = q.data[1:]
@@ -141,6 +147,7 @@ func (q *DualQueue) Dequeue(p *sim.Proc) uint32 {
 // queue was empty.
 func (q *DualQueue) TryDequeue(p *sim.Proc) (datum uint32, ok bool) {
 	q.os.M.Microcode(p, q.obj.Node, q.os.Costs.DualDequeue)
+	p.Sync()
 	if len(q.data) == 0 {
 		return 0, false
 	}
@@ -181,6 +188,7 @@ func (os *OS) NewSpinLock(node int) *SpinLock {
 func (l *SpinLock) Lock(p *sim.Proc) {
 	for {
 		l.os.M.Atomic(p, l.node) // test-and-set reference
+		p.Sync()                 // observe the word at the reference's completion time
 		if !l.held {
 			l.held = true
 			l.holder = p
@@ -194,6 +202,7 @@ func (l *SpinLock) Lock(p *sim.Proc) {
 // TryLock attempts a single test-and-set.
 func (l *SpinLock) TryLock(p *sim.Proc) bool {
 	l.os.M.Atomic(p, l.node)
+	p.Sync()
 	if l.held {
 		l.Spins++
 		return false
@@ -209,6 +218,7 @@ func (l *SpinLock) Unlock(p *sim.Proc) {
 		panic("chrysalis: unlock of lock not held by caller")
 	}
 	l.os.M.Atomic(p, l.node) // clear reference
+	p.Sync()                 // the release is visible at the reference's completion time
 	l.held = false
 	l.holder = nil
 }

@@ -165,12 +165,15 @@ func runNUMA(w io.Writer, quick bool) error {
 	m.Spawn("probe", 0, func(p *sim.Proc) {
 		t0 := m.E.Now()
 		m.Read(p, 0, 1)
+		p.Sync() // flush the lazy reference charge before reading the clock
 		local = m.E.Now() - t0
 		t0 = m.E.Now()
 		m.Read(p, nodes-1, 1)
+		p.Sync()
 		remote = m.E.Now() - t0
 		t0 = m.E.Now()
 		m.BlockCopy(p, nodes-1, 0, 256)
+		p.Sync()
 		block = (m.E.Now() - t0) / 256
 	})
 	if err := m.E.Run(); err != nil {
@@ -316,6 +319,7 @@ func runSwitch(w io.Writer, quick bool) error {
 				for _, d := range dests {
 					t0 := m.E.Now()
 					m.Read(p, d, 1)
+					p.Sync()
 					total += m.E.Now() - t0
 					count++
 					p.Advance(gap)

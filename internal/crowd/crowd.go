@@ -76,4 +76,7 @@ func Broadcast(os *chrysalis.OS, fanout, words int, members []int, self *sim.Pro
 	}
 	parent := (idx - 1) / fanout
 	os.M.BlockCopy(self, members[parent], members[idx], words)
+	// Flush the lazy copy charge: callers read the clock to report
+	// per-member completion times.
+	self.Sync()
 }

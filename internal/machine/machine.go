@@ -14,6 +14,7 @@ package machine
 import (
 	"fmt"
 
+	"butterfly/internal/calendar"
 	"butterfly/internal/memory"
 	"butterfly/internal/sim"
 	"butterfly/internal/switchnet"
@@ -93,6 +94,17 @@ type Machine struct {
 
 	stats     Stats
 	lastPrune int64
+	// wordTransit caches the uncontended end-to-end network time for a
+	// one-word packet — the constant added twice per word on the
+	// NoSwitchContention remote path.
+	wordTransit int64
+	// sweepMods is scratch for Sweep: the modules with an open placement
+	// batch, to commit before the sweep charges. sweepRefMods caches the
+	// per-ref module resolution; commitScratch is the merge buffer the
+	// commits share.
+	sweepMods     []*memory.Module
+	sweepRefMods  []*memory.Module
+	commitScratch calendar.Scratch
 }
 
 // Stats aggregates machine-level reference counters.
@@ -124,8 +136,21 @@ func New(cfg Config) *Machine {
 			SARs: memory.NewSARPool(),
 		})
 	}
+	m.wordTransit = m.fixedTransitNs(wordBytes)
+	if newHook != nil {
+		newHook(m)
+	}
 	return m
 }
+
+// newHook, when non-nil, observes every Machine built. The golden
+// determinism test and butterflybench's reporting use it to reach the
+// engines an experiment creates internally.
+var newHook func(*Machine)
+
+// SetNewHook installs an observer called with every Machine New builds.
+// Pass nil to remove it. Not safe for concurrent use with New.
+func SetNewHook(fn func(*Machine)) { newHook = fn }
 
 // Stats returns a copy of the machine counters.
 func (m *Machine) Stats() Stats { return m.stats }
@@ -147,6 +172,9 @@ const wordBytes = 4
 // transit routes a packet, honouring the NoSwitchContention shortcut.
 func (m *Machine) transit(t int64, src, dst, bytes int) int64 {
 	if m.Cfg.NoSwitchContention {
+		if bytes == wordBytes {
+			return t + m.wordTransit
+		}
 		return t + m.fixedTransitNs(bytes)
 	}
 	return m.Net.Transit(t, src, dst, bytes)
@@ -160,6 +188,10 @@ func (m *Machine) fixedTransitNs(bytes int) int64 {
 // maybePrune periodically discards stale server reservations (calendar
 // entries ending before the current virtual time can never matter again).
 func (m *Machine) maybePrune() {
+	// Pruning discards only intervals entirely in the past (no request can
+	// arrive before the current virtual time), so the period is purely a
+	// wall-clock trade-off: short enough to keep calendars compact for the
+	// insertion memmoves, long enough to amortize the sweep over all nodes.
 	const every = 20 * 1_000_000 // 20 ms of virtual time
 	if m.E.Now()-m.lastPrune < every {
 		return
@@ -187,6 +219,9 @@ func (m *Machine) Write(p *sim.Proc, node, words int) {
 }
 
 func (m *Machine) access(p *sim.Proc, node, words int) {
+	// Reservations must issue at the process's true time: flush the local
+	// clock first, then charge the reference lazily.
+	p.Sync()
 	m.maybePrune()
 	if words <= 0 {
 		words = 1
@@ -195,23 +230,33 @@ func (m *Machine) access(p *sim.Proc, node, words int) {
 	if node == p.Node {
 		// Local: processor overhead once, then the module streams the words.
 		m.stats.LocalRefs++
-		_, done := n.Mem.Service(m.E.Now()+m.Cfg.LocalOverheadNs, words, true)
-		p.Advance(done - m.E.Now())
+		now := m.E.Now()
+		_, done := n.Mem.Service(now+m.Cfg.LocalOverheadNs, words, true)
+		p.Charge(done - now)
 		return
 	}
 	// Remote: each word is an independent reference through the switch
 	// (request out, memory cycle, reply back). The PNC overlaps nothing, so
 	// the references serialize; they are charged as one batch (a single
-	// engine event) with full per-word cost and module/port occupancy.
+	// local-clock charge) with full per-word cost and module/port occupancy.
 	m.stats.RemoteRefs += uint64(words)
-	t := m.E.Now()
+	now := m.E.Now()
+	if m.Cfg.NoSwitchContention {
+		// Fixed network latency makes the request chain deterministic, so
+		// the per-word loop folds into a single calendar pass.
+		gap := m.Cfg.PNCOverheadNs + 2*m.wordTransit
+		done := n.Mem.ServiceRun(now+m.Cfg.PNCOverheadNs+m.wordTransit, words, gap, false)
+		p.Charge(done + m.wordTransit - now)
+		return
+	}
+	t := now
 	for w := 0; w < words; w++ {
 		t += m.Cfg.PNCOverheadNs
 		t = m.transit(t, p.Node, node, wordBytes)
 		_, t = n.Mem.Service(t, 1, false)
 		t = m.transit(t, node, p.Node, wordBytes)
 	}
-	p.Advance(t - m.E.Now())
+	p.Charge(t - now)
 }
 
 // BlockCopy charges p for streaming words 32-bit words from the memory of
@@ -220,17 +265,19 @@ func (m *Machine) access(p *sim.Proc, node, words int) {
 // transfer, amortizing the per-reference overhead that makes word-at-a-time
 // remote access five times slower.
 func (m *Machine) BlockCopy(p *sim.Proc, src, dst, words int) {
+	p.Sync()
 	m.maybePrune()
 	if words <= 0 {
 		return
 	}
 	sn, dn := m.node(src), m.node(dst)
 	m.stats.BlockCopies++
-	t := m.E.Now() + m.Cfg.PNCOverheadNs
+	now := m.E.Now()
+	t := now + m.Cfg.PNCOverheadNs
 	if src == dst {
 		// Local copy: read + write through the one module.
 		_, t = sn.Mem.Service(t, 2*words, src == p.Node)
-		p.Advance(t - m.E.Now())
+		p.Charge(t - now)
 		return
 	}
 	// Source module streams the block, the network carries it, the
@@ -241,11 +288,14 @@ func (m *Machine) BlockCopy(p *sim.Proc, src, dst, words int) {
 	if nDone < sDone {
 		nDone = sDone
 	}
-	_, dDone := dn.Mem.Service(nDone-int64(words)*m.Cfg.MemCycleNs, words, dst == p.Node)
+	// The destination module overlaps the tail of the transfer: its pipeline
+	// is offset by its own per-word cycle time (not the machine-wide default,
+	// which diverges from it in mixed-memory configurations).
+	_, dDone := dn.Mem.Service(nDone-int64(words)*dn.Mem.CycleNs, words, dst == p.Node)
 	if dDone < nDone {
 		dDone = nDone
 	}
-	p.Advance(dDone - m.E.Now())
+	p.Charge(dDone - now)
 }
 
 // Atomic charges p for one atomic read-modify-write (test-and-set,
@@ -254,19 +304,21 @@ func (m *Machine) BlockCopy(p *sim.Proc, src, dst, words int) {
 // which is safe because the engine runs one process at a time. An atomic op
 // occupies the module for two cycles (read + write).
 func (m *Machine) Atomic(p *sim.Proc, node int) {
+	p.Sync()
 	m.maybePrune()
 	n := m.node(node)
 	m.stats.AtomicOps++
+	now := m.E.Now()
 	if node == p.Node {
-		_, done := n.Mem.Service(m.E.Now()+m.Cfg.LocalOverheadNs, 2, true)
-		p.Advance(done - m.E.Now())
+		_, done := n.Mem.Service(now+m.Cfg.LocalOverheadNs, 2, true)
+		p.Charge(done - now)
 		return
 	}
-	t := m.E.Now() + m.Cfg.PNCOverheadNs
+	t := now + m.Cfg.PNCOverheadNs
 	t = m.transit(t, p.Node, node, wordBytes)
 	_, t = n.Mem.Service(t, 2, false)
 	t = m.transit(t, node, p.Node, wordBytes)
-	p.Advance(t - m.E.Now())
+	p.Charge(t - now)
 }
 
 // Ref describes one shared-memory reference stream of a Sweep element.
@@ -287,34 +339,66 @@ type Ref struct {
 // elimination row update, where two flops and a handful of shared-memory
 // references alternate millions of times.
 func (m *Machine) Sweep(p *sim.Proc, items int, computeNs int64, refs []Ref) {
+	p.Sync()
 	m.maybePrune()
 	if items <= 0 {
 		return
 	}
-	t := m.E.Now()
+	now := m.E.Now()
+	t := now
+	fixedNet := m.Cfg.NoSwitchContention
+	gap := m.Cfg.PNCOverheadNs + 2*m.wordTransit
+	lead := m.Cfg.PNCOverheadNs + m.wordTransit
+	// The whole sweep runs inside one engine event, so no other process can
+	// observe a module's calendar before the sweep charges, and the sweep's
+	// own references reach each module in arrival-time order. Both conditions
+	// of the calendar batch contract hold, so each touched module's bookings
+	// are placed in a batch and spliced in once at the end — one merge pass
+	// instead of items*len(refs) mid-schedule inserts. Resolve each ref's
+	// module and open its batch once, outside the item loop.
+	mods := m.sweepRefMods[:0]
+	for _, r := range refs {
+		mod := m.node(r.Node).Mem
+		mods = append(mods, mod)
+		if r.Words > 0 && !mod.InBatch() {
+			mod.BeginBatch()
+			m.sweepMods = append(m.sweepMods, mod)
+		}
+	}
+	m.sweepRefMods = mods
 	for it := 0; it < items; it++ {
 		t += computeNs
-		for _, r := range refs {
-			n := m.node(r.Node)
+		for j, r := range refs {
 			words := r.Words
 			if words <= 0 {
 				continue
 			}
+			mod := mods[j]
 			if r.Node == p.Node {
 				m.stats.LocalRefs++
-				_, t = n.Mem.Service(t+m.Cfg.LocalOverheadNs, words, true)
+				_, t = mod.ServiceBatch(t+m.Cfg.LocalOverheadNs, words, true)
 				continue
 			}
 			m.stats.RemoteRefs += uint64(words)
+			if fixedNet {
+				t = mod.ServiceRunBatch(t+lead, words, gap, false) + m.wordTransit
+				continue
+			}
 			for w := 0; w < words; w++ {
 				t += m.Cfg.PNCOverheadNs
 				t = m.transit(t, p.Node, r.Node, wordBytes)
-				_, t = n.Mem.Service(t, 1, false)
+				_, t = mod.ServiceBatch(t, 1, false)
 				t = m.transit(t, r.Node, p.Node, wordBytes)
 			}
 		}
 	}
-	p.Advance(t - m.E.Now())
+	// Commit before Charge: Charge may flush and park, handing the token to
+	// another process that must see the completed schedule.
+	for _, mod := range m.sweepMods {
+		mod.CommitBatchScratch(&m.commitScratch)
+	}
+	m.sweepMods = m.sweepMods[:0]
+	p.Charge(t - now)
 }
 
 // Microcode charges p for a PNC-microcoded operation (event post, dual
@@ -323,13 +407,15 @@ func (m *Machine) Sweep(p *sim.Proc, items int, computeNs int64, refs []Ref) {
 // so concurrent microcoded operations on objects sharing a home node
 // serialize there — the reason heavily shared queues become bottlenecks.
 func (m *Machine) Microcode(p *sim.Proc, node int, busyNs int64) {
+	p.Sync()
 	m.maybePrune()
 	n := m.node(node)
 	words := int(busyNs / m.Cfg.MemCycleNs)
 	if words < 1 {
 		words = 1
 	}
-	t := m.E.Now()
+	now := m.E.Now()
+	t := now
 	if node != p.Node {
 		t += m.Cfg.PNCOverheadNs
 		t = m.transit(t, p.Node, node, wordBytes)
@@ -340,20 +426,22 @@ func (m *Machine) Microcode(p *sim.Proc, node int, busyNs int64) {
 	if node != p.Node {
 		t = m.transit(t, node, p.Node, wordBytes)
 	}
-	p.Advance(t - m.E.Now())
+	p.Charge(t - now)
 }
 
-// IntOps charges p for n integer operations of pure processor time.
+// IntOps charges p for n integer operations of pure processor time. The
+// charge is purely local — no shared server is reserved — so it never
+// forces a flush of the caller's local clock.
 func (m *Machine) IntOps(p *sim.Proc, n int) {
 	if n > 0 {
-		p.Advance(int64(n) * m.Cfg.IntOpNs)
+		p.Charge(int64(n) * m.Cfg.IntOpNs)
 	}
 }
 
-// Flops charges p for n floating-point operations.
+// Flops charges p for n floating-point operations (purely local, like IntOps).
 func (m *Machine) Flops(p *sim.Proc, n int) {
 	if n > 0 {
-		p.Advance(int64(n) * m.Cfg.FlopNs)
+		p.Charge(int64(n) * m.Cfg.FlopNs)
 	}
 }
 

@@ -14,6 +14,7 @@ func run(t *testing.T, m *Machine, node int, fn func(p *sim.Proc)) int64 {
 	m.Spawn("t", node, func(p *sim.Proc) {
 		start := m.E.Now()
 		fn(p)
+		p.Sync() // flush lazily charged time before reading the clock
 		elapsed = m.E.Now() - start
 	})
 	if err := m.E.Run(); err != nil {
@@ -104,6 +105,7 @@ func TestMemoryContentionStealsCycles(t *testing.T) {
 		p.Advance(10_000) // let the spinners pile up
 		start := m.E.Now()
 		m.Read(p, 0, 1)
+		p.Sync()
 		localLatency = m.E.Now() - start
 	})
 	if err := m.E.Run(); err != nil {
@@ -228,6 +230,7 @@ func TestSweepBooksModuleOccupancy(t *testing.T) {
 		p.Advance(100_000) // arrive mid-sweep
 		t0 := m.E.Now()
 		m.Read(p, 2, 1)
+		p.Sync()
 		readerLatency = m.E.Now() - t0
 	})
 	if err := m.E.Run(); err != nil {
@@ -256,6 +259,7 @@ func TestMicrocodeSerializesAtHomeNode(t *testing.T) {
 		i := i
 		m.Spawn("µ", i+1, func(p *sim.Proc) {
 			m.Microcode(p, 0, 30_000)
+			p.Sync()
 			ends[i] = m.E.Now()
 		})
 	}
@@ -281,5 +285,40 @@ func TestNoSwitchContentionShortcut(t *testing.T) {
 	}
 	if m.Net.Stats().Packets != 0 {
 		t.Error("shortcut still routed packets")
+	}
+}
+
+func TestBlockCopyBooksDestinationAtItsOwnCycle(t *testing.T) {
+	// The destination module's absorb window is offset by *its own* per-word
+	// cycle time, which diverges from the machine-wide default in
+	// mixed-memory configurations. Two identical copies, one into a module
+	// with a doubled cycle: the slow module's window starts earlier (same
+	// end), so a probe landing between the two window starts backfills the
+	// idle gap on the fast machine but queues to the window's end on the
+	// slow one.
+	const words = 100
+	copyElapsed := func(slowDst bool) (elapsed int64, m *Machine) {
+		m = New(DefaultConfig(4))
+		if slowDst {
+			m.Nodes[2].Mem.CycleNs = 2 * m.Cfg.MemCycleNs
+		}
+		elapsed = run(t, m, 0, func(p *sim.Proc) { m.BlockCopy(p, 1, 2, words) })
+		return elapsed, m
+	}
+	fastElapsed, fast := copyElapsed(false)
+	slowElapsed, slow := copyElapsed(true)
+	if fastElapsed != slowElapsed {
+		// Uncontended, the destination pipeline overlaps the transfer tail
+		// completely; total time must not depend on the destination cycle.
+		t.Fatalf("elapsed diverged: fast %d, slow %d", fastElapsed, slowElapsed)
+	}
+	// The copy finished at virtual time `elapsed`; probe both destination
+	// modules at a time inside the slow window but before the fast one.
+	probe := fastElapsed - int64(words)*fast.Cfg.MemCycleNs - 50_000
+	if start, _ := fast.Nodes[2].Mem.Service(probe, 1, false); start != probe {
+		t.Errorf("fast destination did not backfill: start %d, want %d", start, probe)
+	}
+	if start, _ := slow.Nodes[2].Mem.Service(probe, 1, false); start != fastElapsed {
+		t.Errorf("slow destination window wrong: probe start %d, want %d", start, fastElapsed)
 	}
 }

@@ -78,6 +78,96 @@ func (m *Module) Service(now int64, words int, local bool) (start, done int64) {
 	return start, done
 }
 
+// ServiceRun performs words independent one-word references issued
+// back-to-back with a fixed gap between them: reference i+1 arrives gap
+// nanoseconds after reference i completes (the PNC's word-at-a-time remote
+// pattern, where the gap is the network round trip plus request overhead).
+// It is an exact, single-pass fold of words sequential Service(_, 1, _)
+// calls and returns the completion time of the last word.
+func (m *Module) ServiceRun(now int64, words int, gap int64, local bool) (done int64) {
+	if words <= 0 {
+		words = 1
+	}
+	lastStart, wait := m.cal.ReserveRun(now, m.CycleNs, gap, words)
+	if wait > 0 {
+		m.stats.WaitNs += wait
+		if local {
+			m.stats.LocalWaitNs += wait
+		} else {
+			m.stats.RemoteWaitNs += wait
+		}
+	}
+	if local {
+		m.stats.LocalWords += uint64(words)
+	} else {
+		m.stats.RemoteWords += uint64(words)
+	}
+	return lastStart + m.CycleNs
+}
+
+// BeginBatch opens a placement batch on the module's calendar: subsequent
+// ServiceBatch/ServiceRunBatch calls place reservations without mutating
+// the schedule, and CommitBatch splices them in with one merge pass. The
+// caller must issue a monotone flow (each reference arriving at or after
+// the previous one's completion) and commit before any other process can
+// touch the module — e.g. within a single engine event.
+func (m *Module) BeginBatch() { m.cal.BeginBatch() }
+
+// InBatch reports whether a placement batch is open.
+func (m *Module) InBatch() bool { return m.cal.InBatch() }
+
+// CommitBatch splices the open batch into the schedule.
+func (m *Module) CommitBatch() { m.cal.CommitBatch() }
+
+// CommitBatchScratch is CommitBatch with shared merge scratch.
+func (m *Module) CommitBatchScratch(s *calendar.Scratch) { m.cal.CommitBatchScratch(s) }
+
+// ServiceBatch is Service within the open placement batch.
+func (m *Module) ServiceBatch(now int64, words int, local bool) (start, done int64) {
+	if words <= 0 {
+		words = 1
+	}
+	dur := int64(words) * m.CycleNs
+	start = m.cal.BatchReserve(now, dur)
+	if wait := start - now; wait > 0 {
+		m.stats.WaitNs += wait
+		if local {
+			m.stats.LocalWaitNs += wait
+		} else {
+			m.stats.RemoteWaitNs += wait
+		}
+	}
+	done = start + dur
+	if local {
+		m.stats.LocalWords += uint64(words)
+	} else {
+		m.stats.RemoteWords += uint64(words)
+	}
+	return start, done
+}
+
+// ServiceRunBatch is ServiceRun within the open placement batch.
+func (m *Module) ServiceRunBatch(now int64, words int, gap int64, local bool) (done int64) {
+	if words <= 0 {
+		words = 1
+	}
+	lastStart, wait := m.cal.BatchReserveRun(now, m.CycleNs, gap, words)
+	if wait > 0 {
+		m.stats.WaitNs += wait
+		if local {
+			m.stats.LocalWaitNs += wait
+		} else {
+			m.stats.RemoteWaitNs += wait
+		}
+	}
+	if local {
+		m.stats.LocalWords += uint64(words)
+	} else {
+		m.stats.RemoteWords += uint64(words)
+	}
+	return lastStart + m.CycleNs
+}
+
 // Prune discards reservations that ended before now (no future reference
 // can arrive earlier); the machine calls it periodically to bound calendar
 // size.

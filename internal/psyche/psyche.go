@@ -252,8 +252,11 @@ func (d *Domain) Invoke(r *Realm, op string, args any) (any, error) {
 	default:
 		p.Advance(k.Costs.ProcCallNs)
 	}
-	// Touch the realm's data in the uniform address space.
+	// Touch the realm's data in the uniform address space; flush the lazy
+	// reference charge so the operation body runs at the touch's completion
+	// time.
 	k.OS.M.Read(p, r.Node, r.TouchWords)
+	p.Sync()
 	return fn(p, args), nil
 }
 

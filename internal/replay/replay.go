@@ -154,6 +154,9 @@ func (o *Object) stateChanged() {
 // kept to within a few percent of execution time for typical programs."
 func (o *Object) chargeMonitor(p *sim.Proc) {
 	o.mon.os.M.Atomic(p, o.Node)
+	// Flush the lazy reference charge: the monitor observes (and stamps)
+	// object versions at the reference's completion time.
+	p.Sync()
 }
 
 // Read performs body as a monitored read of the object.

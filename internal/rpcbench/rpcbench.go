@@ -191,6 +191,7 @@ func runSpinMailbox(calls int) (Result, error) {
 		for i := 0; i < calls; i++ {
 			for {
 				m.Atomic(self.P, 1)
+				self.P.Sync() // observe the mailbox at the reference's completion time
 				if reqFull {
 					break
 				}
@@ -199,6 +200,7 @@ func runSpinMailbox(calls int) (Result, error) {
 			reqFull = false
 			sum += reqVal
 			m.Atomic(self.P, 1)
+			self.P.Sync()
 			repFull = true
 		}
 	}); err != nil {
@@ -209,9 +211,11 @@ func runSpinMailbox(calls int) (Result, error) {
 		for i := 1; i <= calls; i++ {
 			reqVal = uint32(i)
 			m.Atomic(self.P, 1)
+			self.P.Sync()
 			reqFull = true
 			for {
 				m.Atomic(self.P, 1)
+				self.P.Sync()
 				if repFull {
 					break
 				}

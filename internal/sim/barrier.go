@@ -18,8 +18,12 @@ func NewBarrier(name string, n int) *Barrier {
 	return &Barrier{n: n, wq: NewWaitQueue(name)}
 }
 
-// Wait blocks p until all n parties have arrived.
+// Wait blocks p until all n parties have arrived. The caller's local clock
+// is flushed on entry, so arrival order (and which party is last) reflects
+// true local times.
 func (b *Barrier) Wait(p *Proc) {
+	p.mustBeRunning("Barrier.Wait")
+	p.sync()
 	b.arrived++
 	if b.arrived == b.n {
 		b.arrived = 0

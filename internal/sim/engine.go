@@ -7,10 +7,18 @@
 // layer (memory modules, the switching network, Chrysalis, the programming
 // models, and the applications) charges virtual time through it. Virtual time
 // is measured in integer nanoseconds.
+//
+// Time is charged through a two-tier API. Proc.Charge accumulates virtual
+// time in a per-process local clock without suspending the goroutine; the
+// park-based Proc.Advance (and the implicit flushes at every synchronization
+// point: Block, Unblock, Yield, spawn, exit, wait-queue and barrier
+// operations) folds the local clock back into the shared event queue. A
+// process's local clock is therefore invisible to other processes: at every
+// point where cross-process effects can be observed, the clock has been
+// flushed and event ordering is identical to charging eagerly.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 )
@@ -42,14 +50,6 @@ func (s procState) String() string {
 	return "invalid"
 }
 
-// ctrl messages flow from the running process back to the engine loop.
-type ctrl int
-
-const (
-	ctrlYield ctrl = iota // process parked itself (scheduled or blocked)
-	ctrlDone              // process function returned
-)
-
 // Proc is a simulated process (a coroutine under engine control). A Proc may
 // only be manipulated from within the simulation: either by its own body
 // function or by the body of another process that is currently running.
@@ -66,35 +66,24 @@ type Proc struct {
 
 	eng        *Engine
 	resume     chan struct{}
-	pendingSeq uint64 // sequence of the single valid queued event for this proc
 	state      procState
 	blockedOn  string // reason string while blocked, for deadlock reports
 	exited     bool   // set when terminated via Exit
 	spawnedAt  int64
 	finishedAt int64
-}
 
-// event is a scheduled resumption of a process.
-type event struct {
-	at  int64
-	seq uint64
-	p   *Proc
-}
+	// local is the lazily accumulated virtual time charged via Charge and
+	// not yet flushed into the event queue.
+	local int64
 
-// eventHeap is a min-heap ordered by (time, sequence).
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+	// Heap bookkeeping: at/seq order the pending resumption, heapIdx is the
+	// process's slot in the engine's event heap (-1 when not queued). A
+	// process has at most one pending event, so the heap needs no stale
+	// entries and entries can be updated in place.
+	at      int64
+	seq     uint64
+	heapIdx int
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peek() event   { return h[0] }
 
 // DeadlockError is returned by Run when no process is runnable but at least
 // one process is blocked. It carries a human-readable report of every blocked
@@ -128,20 +117,29 @@ type Stats struct {
 	Events    uint64 // process resumptions executed
 	Spawned   int    // processes ever created
 	Completed int    // processes that ran to completion
+	Charges   uint64 // Charge calls (lazy, no park)
+	Flushes   uint64 // local-clock flushes (park at accumulated time)
 }
+
+// DefaultLookahead is the default bound on how much virtual time a process
+// may accumulate locally before Charge forces a flush. Sync points flush
+// regardless, so the threshold only limits long runs of pure computation.
+const DefaultLookahead = 250 * Microsecond
 
 // Engine is a sequential discrete-event simulator. The zero value is not
 // usable; call New.
 type Engine struct {
-	now     int64
-	seq     uint64
-	queue   eventHeap
-	control chan ctrl
-	procs   []*Proc
-	running *Proc
-	live    int // processes spawned and not yet done
-	blocked int // processes currently blocked
-	stats   Stats
+	now       int64
+	seq       uint64
+	heap      []*Proc // indexed min-heap by (at, seq); one entry per ready proc
+	done      chan struct{}
+	procs     []*Proc
+	running   *Proc
+	live      int // processes spawned and not yet done
+	blocked   int // processes currently blocked
+	lookahead int64
+	started   bool
+	stats     Stats
 
 	// trace, when non-nil, receives a line for every state transition.
 	trace func(string)
@@ -149,7 +147,7 @@ type Engine struct {
 
 // New creates an empty simulation engine at virtual time zero.
 func New() *Engine {
-	return &Engine{control: make(chan ctrl)}
+	return &Engine{done: make(chan struct{}, 1), lookahead: DefaultLookahead}
 }
 
 // SetTrace installs a trace sink (e.g. collecting into a slice in tests).
@@ -162,8 +160,19 @@ func (e *Engine) tracef(format string, args ...any) {
 	}
 }
 
-// Now returns the current virtual time in nanoseconds.
+// Now returns the current virtual time in nanoseconds. A process that has
+// charged time lazily since its last synchronization point is logically ahead
+// of this clock; see Proc.LocalNow.
 func (e *Engine) Now() int64 { return e.now }
+
+// SetLookahead bounds how much virtual time a process may accumulate via
+// Charge before being flushed through the event queue. Values <= 0 make every
+// Charge flush immediately (eager charging, useful to bisect equivalence
+// issues). The default is DefaultLookahead.
+func (e *Engine) SetLookahead(d int64) { e.lookahead = d }
+
+// Lookahead returns the current lookahead threshold.
+func (e *Engine) Lookahead() int64 { return e.lookahead }
 
 // Stats returns a copy of the engine counters.
 func (e *Engine) Stats() Stats { return e.stats }
@@ -177,32 +186,46 @@ func (e *Engine) Running() *Proc { return e.running }
 // Spawn creates a new simulated process bound to the given node and schedules
 // it to start at the current virtual time. fn runs as the process body; when
 // fn returns the process completes. Spawn may be called before Run or from
-// inside a running process.
+// inside a running process. A running caller's local clock is flushed first,
+// so the child starts at the caller's true current time.
 func (e *Engine) Spawn(name string, node int, fn func(p *Proc)) *Proc {
+	if r := e.running; r != nil && r.local > 0 {
+		r.sync()
+	}
 	p := &Proc{
 		ID:        len(e.procs),
 		Name:      name,
 		Node:      node,
 		eng:       e,
-		resume:    make(chan struct{}),
+		resume:    make(chan struct{}, 1),
 		state:     stateNew,
 		spawnedAt: e.now,
+		heapIdx:   -1,
 	}
 	e.procs = append(e.procs, p)
 	e.live++
 	e.stats.Spawned++
 	go func() {
 		<-p.resume // wait for first dispatch
-		// The completion notification is deferred so that it reaches the
-		// engine even if fn terminates via runtime.Goexit (e.g. t.Fatal in
-		// a test body) — otherwise the engine would wait forever.
+		// The completion notification is deferred so that the simulation
+		// continues even if fn terminates via runtime.Goexit (e.g. t.Fatal
+		// in a test body) — otherwise the engine would wait forever.
 		defer func() {
+			if p.local > 0 {
+				p.sync() // complete at the process's true local time
+			}
 			p.state = stateDone
 			p.finishedAt = e.now
 			e.live--
 			e.stats.Completed++
 			e.tracef("proc %d %q done", p.ID, p.Name)
-			e.control <- ctrlDone
+			// Hand control to the next scheduled process directly; this
+			// goroutine is finished and never parks again.
+			if next := e.popNext(); next != nil {
+				next.resume <- struct{}{}
+			} else {
+				e.endRun()
+			}
 		}()
 		defer func() {
 			if r := recover(); r != nil && r != errExit {
@@ -225,30 +248,120 @@ func (e *Engine) schedule(p *Proc, at int64) {
 		at = e.now
 	}
 	e.seq++
-	heap.Push(&e.queue, event{at: at, seq: e.seq, p: p})
-	p.pendingSeq = e.seq
+	p.at, p.seq = at, e.seq
 	p.state = stateReady
+	if p.heapIdx < 0 {
+		p.heapIdx = len(e.heap)
+		e.heap = append(e.heap, p)
+		e.siftUp(p.heapIdx)
+	} else if !e.siftUp(p.heapIdx) {
+		e.siftDown(p.heapIdx)
+	}
+}
+
+// eventLess orders pending resumptions by (time, FIFO sequence).
+func eventLess(a, b *Proc) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// siftUp restores the heap property upward from slot i and reports whether
+// the entry moved.
+func (e *Engine) siftUp(i int) bool {
+	h := e.heap
+	p := h[i]
+	moved := false
+	for i > 0 {
+		parent := (i - 1) / 2
+		q := h[parent]
+		if !eventLess(p, q) {
+			break
+		}
+		h[i] = q
+		q.heapIdx = i
+		i = parent
+		moved = true
+	}
+	h[i] = p
+	p.heapIdx = i
+	return moved
+}
+
+// siftDown restores the heap property downward from slot i.
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	p := h[i]
+	for {
+		kid := 2*i + 1
+		if kid >= n {
+			break
+		}
+		if r := kid + 1; r < n && eventLess(h[r], h[kid]) {
+			kid = r
+		}
+		if !eventLess(h[kid], p) {
+			break
+		}
+		h[i] = h[kid]
+		h[i].heapIdx = i
+		i = kid
+	}
+	h[i] = p
+	p.heapIdx = i
+}
+
+// popNext removes the earliest pending event, advances the clock to it, and
+// returns its process marked running. It returns nil if no event is pending.
+func (e *Engine) popNext() *Proc {
+	n := len(e.heap)
+	if n == 0 {
+		e.running = nil
+		return nil
+	}
+	p := e.heap[0]
+	n--
+	last := e.heap[n]
+	e.heap[n] = nil
+	e.heap = e.heap[:n]
+	if n > 0 {
+		e.heap[0] = last
+		last.heapIdx = 0
+		e.siftDown(0)
+	}
+	p.heapIdx = -1
+	if p.at > e.now {
+		e.now = p.at
+	}
+	e.stats.Events++
+	e.running = p
+	p.state = stateRunning
+	return p
+}
+
+// endRun signals Run that no pending event remains.
+func (e *Engine) endRun() {
+	e.running = nil
+	e.done <- struct{}{}
 }
 
 // Run executes the simulation until no events remain. It returns nil on a
 // clean finish (all processes completed) and a *DeadlockError if processes
-// remain blocked with nothing runnable. Run must be called exactly once.
+// remain blocked with nothing runnable. Run must be called exactly once;
+// a second call panics.
 func (e *Engine) Run() error {
-	for e.queue.Len() > 0 {
-		ev := heap.Pop(&e.queue).(event)
-		if ev.p.state != stateReady || ev.p.pendingSeq != ev.seq {
-			// Stale entry (process was rescheduled); skip.
-			continue
-		}
-		if ev.at > e.now {
-			e.now = ev.at
-		}
-		e.stats.Events++
-		e.running = ev.p
-		ev.p.state = stateRunning
-		ev.p.resume <- struct{}{}
-		<-e.control
-		e.running = nil
+	if e.started {
+		panic("sim: Engine.Run called more than once")
+	}
+	e.started = true
+	// Dispatch is a chain of direct goroutine-to-goroutine handoffs: each
+	// parking process resumes the next scheduled one itself, and control
+	// returns here only when the event queue is empty.
+	if first := e.popNext(); first != nil {
+		first.resume <- struct{}{}
+		<-e.done
 	}
 	if e.live > 0 {
 		// Everything left alive is blocked: deadlock.
@@ -264,11 +377,22 @@ func (e *Engine) Run() error {
 	return nil
 }
 
-// park hands control back to the engine loop and waits to be resumed.
+// park suspends the calling process and transfers control to the next
+// scheduled event. If that event is the caller's own (the common case on an
+// uncontended timeline), the clock advances in place with no goroutine
+// switch at all.
 func (p *Proc) park() {
-	p.eng.control <- ctrlYield
+	e := p.eng
+	next := e.popNext()
+	if next == p {
+		return // own event is next: no context switch needed
+	}
+	if next != nil {
+		next.resume <- struct{}{}
+	} else {
+		e.endRun()
+	}
 	<-p.resume
-	p.state = stateRunning
 }
 
 // mustBeRunning panics unless p is the currently executing process. All
@@ -279,14 +403,59 @@ func (p *Proc) mustBeRunning(op string) {
 	}
 }
 
+// Charge lazily adds d nanoseconds of virtual time to the calling process's
+// local clock without suspending it. The charge becomes visible to other
+// processes at the next synchronization point (Advance, Sync, Block, queue
+// and barrier operations, exit), or immediately once the accumulated slice
+// reaches the engine's lookahead threshold. d must be >= 0.
+func (p *Proc) Charge(d int64) {
+	p.mustBeRunning("Charge")
+	if d < 0 {
+		panic("sim: Charge with negative duration")
+	}
+	p.local += d
+	p.eng.stats.Charges++
+	if p.local >= p.eng.lookahead {
+		p.sync()
+	}
+}
+
+// Sync flushes the calling process's local clock: if any lazily charged time
+// is pending, the process reschedules at its true local time and parks until
+// the shared clock catches up. It is a no-op when nothing is pending. Every
+// operation that observes or mutates cross-process state must Sync first;
+// the primitives in this package and the machine layer do so automatically.
+func (p *Proc) Sync() {
+	p.mustBeRunning("Sync")
+	p.sync()
+}
+
+func (p *Proc) sync() {
+	if p.local == 0 {
+		return
+	}
+	e := p.eng
+	d := p.local
+	p.local = 0
+	e.stats.Flushes++
+	e.schedule(p, e.now+d)
+	p.park()
+}
+
+// LocalNow returns the calling process's view of the current virtual time:
+// the shared clock plus any lazily charged local time.
+func (p *Proc) LocalNow() int64 { return p.eng.now + p.local }
+
 // Advance charges d nanoseconds of virtual time to the calling process: the
 // process is suspended and resumes once the clock has advanced past all other
-// work scheduled in the interim. d must be >= 0.
+// work scheduled in the interim. Any lazily charged local time is flushed
+// first. d must be >= 0.
 func (p *Proc) Advance(d int64) {
 	p.mustBeRunning("Advance")
 	if d < 0 {
 		panic("sim: Advance with negative duration")
 	}
+	p.sync()
 	p.eng.schedule(p, p.eng.now+d)
 	p.park()
 }
@@ -296,9 +465,11 @@ func (p *Proc) Advance(d int64) {
 func (p *Proc) Yield() { p.Advance(0) }
 
 // Block suspends the calling process indefinitely; some other process must
-// call Unblock to resume it. reason appears in deadlock reports.
+// call Unblock to resume it. reason appears in deadlock reports. The local
+// clock is flushed first, so the process blocks at its true local time.
 func (p *Proc) Block(reason string) {
 	p.mustBeRunning("Block")
+	p.sync()
 	p.state = stateBlocked
 	p.blockedOn = reason
 	p.eng.blocked++
@@ -308,8 +479,13 @@ func (p *Proc) Block(reason string) {
 
 // Unblock makes a blocked process runnable again at the current virtual time
 // (plus delay nanoseconds). It must be called from the running process or
-// from engine setup, never on a process that is not blocked.
+// from engine setup, never on a process that is not blocked. A running
+// caller's local clock is flushed first, so the wake happens at the caller's
+// true current time.
 func (e *Engine) Unblock(p *Proc, delay int64) {
+	if r := e.running; r != nil && r.local > 0 {
+		r.sync()
+	}
 	if p.state != stateBlocked {
 		panic(fmt.Sprintf("sim: Unblock of proc %d %q in state %v", p.ID, p.Name, p.state))
 	}

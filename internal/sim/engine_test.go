@@ -396,3 +396,17 @@ func TestProcAccessors(t *testing.T) {
 		t.Error("empty String()")
 	}
 }
+
+func TestRunTwicePanics(t *testing.T) {
+	e := New()
+	e.Spawn("once", 0, func(p *Proc) { p.Advance(5) })
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("second Run did not panic")
+		}
+	}()
+	_ = e.Run()
+}

@@ -21,15 +21,22 @@ func (q *WaitQueue) Name() string { return q.name }
 func (q *WaitQueue) Len() int { return len(q.procs) }
 
 // Wait blocks the calling process on the queue until some other process
-// wakes it with WakeOne or WakeAll.
+// wakes it with WakeOne or WakeAll. The caller's local clock is flushed
+// before it joins the queue, so FIFO order reflects true arrival times.
 func (q *WaitQueue) Wait(p *Proc) {
+	p.mustBeRunning("WaitQueue.Wait")
+	p.sync()
 	q.procs = append(q.procs, p)
 	p.Block(q.name)
 }
 
 // WakeOne unblocks the longest-waiting process, if any, after delay
 // nanoseconds of virtual time. It reports whether a process was woken.
+// A running caller's local clock is flushed before the queue is examined.
 func (q *WaitQueue) WakeOne(e *Engine, delay int64) bool {
+	if r := e.running; r != nil && r.local > 0 {
+		r.sync()
+	}
 	if len(q.procs) == 0 {
 		return false
 	}
@@ -42,7 +49,11 @@ func (q *WaitQueue) WakeOne(e *Engine, delay int64) bool {
 
 // WakeAll unblocks every waiting process (in FIFO order, all at the same
 // virtual instant plus delay). It returns the number of processes woken.
+// A running caller's local clock is flushed before the queue is examined.
 func (q *WaitQueue) WakeAll(e *Engine, delay int64) int {
+	if r := e.running; r != nil && r.local > 0 {
+		r.sync()
+	}
 	n := len(q.procs)
 	for _, p := range q.procs {
 		e.Unblock(p, delay)

@@ -175,12 +175,16 @@ func (u *US) managerLoop(w *Worker) {
 func (u *US) execute(w *Worker, slot int) {
 	pt := u.pending[slot]
 	u.free = append(u.free, slot)
-	w.P.Advance(u.Cfg.TaskWrapNs)
+	// The wrap overhead is pure manager time: charge it lazily so it merges
+	// into the task body's first sync point instead of costing an engine event.
+	w.P.Charge(u.Cfg.TaskWrapNs)
 	pt.fn(w, pt.index)
 	w.TasksRun++
 	u.stats.TasksExecuted++
-	// Completion counter lives with the generator on node 0.
+	// Completion counter lives with the generator on node 0. Flush after the
+	// atomic so the decrement is visible at the reference's completion time.
 	u.OS.M.Atomic(w.P, 0)
+	w.P.Sync()
 	u.remaining--
 	if u.remaining == 0 {
 		u.doneEvent.Post(w.P, 0)
@@ -263,6 +267,7 @@ var ErrSharedLimit = errors.New("us: shared memory limit (16 MB) exceeded")
 // requests from all workers funnel through one lock on node 0; with the
 // parallel allocator each worker uses its node-local lock (Ellis & Olson).
 func (u *US) Alloc(w *Worker, node, size int) (int, error) {
+	w.P.Sync() // observe the shared heap at the caller's true time
 	if u.allocated+int64(size) > MaxSharedBytes {
 		return 0, ErrSharedLimit
 	}
