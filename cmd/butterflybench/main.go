@@ -9,6 +9,8 @@
 //	butterflybench -all [-quick]
 //	butterflybench -all -timing            # wall-clock + events/sec per experiment
 //	butterflybench -all -cpuprofile cpu.pb # profile the simulator itself
+//	butterflybench -experiment hotspot -probe                 # contention report (stderr)
+//	butterflybench -experiment hotspot -trace-out trace.json  # Chrome/Perfetto trace
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 
 	"butterfly/internal/core"
 	"butterfly/internal/machine"
+	"butterfly/internal/probe"
 	"butterfly/internal/sim"
 )
 
@@ -30,6 +33,8 @@ func main() {
 		all        = flag.Bool("all", false, "run every experiment")
 		quick      = flag.Bool("quick", false, "reduced-scale run (fast smoke test)")
 		timing     = flag.Bool("timing", false, "report per-experiment wall-clock time and simulated events/sec on stderr")
+		probeOn    = flag.Bool("probe", false, "attach observability probes and print a contention report per machine on stderr")
+		traceOut   = flag.String("trace-out", "", "record a Chrome trace-event JSON of the run to this file (implies -probe)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	)
 	flag.Parse()
@@ -48,6 +53,12 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
+	opts := runOpts{
+		timing:   *timing,
+		probe:    *probeOn || *traceOut != "",
+		traceOut: *traceOut,
+	}
+
 	switch {
 	case *list:
 		fmt.Printf("%-10s %s\n", "ID", "TITLE")
@@ -61,7 +72,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("===== %s: %s =====\npaper: %s\n\n", e.ID, e.Title, e.Paper)
-		if err := runOne(e, *quick, *timing); err != nil {
+		if err := runOne(e, *quick, opts); err != nil {
 			fmt.Fprintf(os.Stderr, "butterflybench: %v\n", err)
 			os.Exit(1)
 		}
@@ -69,7 +80,7 @@ func main() {
 		for _, e := range core.Experiments() {
 			fmt.Printf("\n===== %s: %s =====\n", e.ID, e.Title)
 			fmt.Printf("paper: %s\n\n", e.Paper)
-			if err := runOne(e, *quick, *timing); err != nil {
+			if err := runOne(e, *quick, opts); err != nil {
 				fmt.Fprintf(os.Stderr, "butterflybench: experiment %s: %v\n", e.ID, err)
 				os.Exit(1)
 			}
@@ -80,28 +91,98 @@ func main() {
 	}
 }
 
+// runOpts bundles the observation switches threaded through runOne.
+type runOpts struct {
+	timing   bool
+	probe    bool
+	traceOut string
+}
+
+// probedMachine pairs a machine with the probe attached to it (and, when a
+// trace is requested, the recorder collecting its event stream).
+type probedMachine struct {
+	m   *machine.Machine
+	pr  *probe.Probe
+	rec *probe.Recorder
+}
+
 // runOne executes one experiment, optionally reporting how fast the
-// simulator itself ran it: wall-clock time and engine events per second of
-// wall time, aggregated over every machine the experiment builds. The report
-// goes to stderr so timed runs still produce byte-identical tables.
-func runOne(e core.Experiment, quick, timing bool) error {
-	if !timing {
+// simulator itself ran it (wall-clock time and engine events per second) and
+// optionally attaching observability probes. Probe reports, timing lines, and
+// the trace file all stay off stdout so instrumented runs still produce
+// byte-identical tables.
+func runOne(e core.Experiment, quick bool, opts runOpts) error {
+	if !opts.timing && !opts.probe {
 		return e.Run(os.Stdout, quick)
 	}
 	var engines []*sim.Engine
-	machine.SetNewHook(func(m *machine.Machine) { engines = append(engines, m.E) })
+	var probed []probedMachine
+	machine.SetNewHook(func(m *machine.Machine) {
+		engines = append(engines, m.E)
+		if opts.probe {
+			pm := probedMachine{m: m}
+			if opts.traceOut != "" {
+				pm.rec = &probe.Recorder{}
+				pm.pr = probe.New(pm.rec)
+			} else {
+				pm.pr = probe.New(nil)
+			}
+			m.AttachProbe(pm.pr)
+			probed = append(probed, pm)
+		}
+	})
 	defer machine.SetNewHook(nil)
 	start := time.Now()
 	err := e.Run(os.Stdout, quick)
 	wall := time.Since(start)
-	var events uint64
-	var vtime int64
-	for _, eng := range engines {
-		events += eng.Stats().Events
-		vtime += eng.Now()
+	if opts.timing {
+		var events, parks, flushes uint64
+		var vtime int64
+		maxHeap := 0
+		for _, eng := range engines {
+			st := eng.Stats()
+			events += st.Events
+			parks += st.Parks
+			flushes += st.LazyFlushes
+			if st.MaxHeapDepth > maxHeap {
+				maxHeap = st.MaxHeapDepth
+			}
+			vtime += eng.Now()
+		}
+		fmt.Fprintf(os.Stderr, "[timing] %-10s wall=%-12s machines=%-3d events=%-9d events/sec=%.0f vtime=%s parks=%d lazyflushes=%d maxheap=%d\n",
+			e.ID, wall.Round(time.Microsecond), len(engines), events,
+			float64(events)/wall.Seconds(), time.Duration(vtime), parks, flushes, maxHeap)
 	}
-	fmt.Fprintf(os.Stderr, "[timing] %-10s wall=%-12s machines=%-3d events=%-9d events/sec=%.0f vtime=%s\n",
-		e.ID, wall.Round(time.Microsecond), len(engines), events,
-		float64(events)/wall.Seconds(), time.Duration(vtime))
+	if opts.probe {
+		for i, pm := range probed {
+			fmt.Fprintf(os.Stderr, "\n[probe] %s machine %d/%d\n", e.ID, i+1, len(probed))
+			pm.pr.Metrics().WriteReport(os.Stderr, pm.m.E.Now(), 8)
+		}
+	}
+	if opts.traceOut != "" {
+		if werr := writeTrace(opts.traceOut, e.ID, probed); werr != nil && err == nil {
+			err = werr
+		}
+	}
 	return err
+}
+
+// writeTrace merges every probed machine's event stream into one Chrome
+// trace-event JSON file, one pid per machine.
+func writeTrace(path, expID string, probed []probedMachine) error {
+	var all []probe.ChromeEvent
+	for i, pm := range probed {
+		label := fmt.Sprintf("%s machine %d (N=%d)", expID, i, pm.m.N())
+		all = append(all, probe.EventsToChrome(i, label, pm.rec.Events)...)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace-out: %w", err)
+	}
+	defer f.Close()
+	if err := probe.WriteChromeJSON(f, all); err != nil {
+		return fmt.Errorf("trace-out: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "[probe] wrote %d trace events to %s\n", len(all), path)
+	return nil
 }

@@ -6,6 +6,7 @@
 //	moviola -demo           # record the buggy odd-even merge sort and show its deadlock
 //	moviola -demo -dot      # same, as Graphviz DOT
 //	moviola -demo -procs 8  # bigger sort
+//	moviola -demo -trace-out trace.json  # replay graph as a Chrome/Perfetto trace
 package main
 
 import (
@@ -15,15 +16,17 @@ import (
 	"os"
 
 	"butterfly/internal/apps/msort"
+	"butterfly/internal/probe"
 	"butterfly/internal/replay"
 )
 
 func main() {
 	var (
-		demo  = flag.Bool("demo", false, "record the Figure 6 deadlock demo and render it")
-		dot   = flag.Bool("dot", false, "emit Graphviz DOT instead of the ASCII timeline")
-		procs = flag.Int("procs", 4, "sort processes for the demo")
-		buggy = flag.Bool("buggy", true, "use the deadlocking protocol")
+		demo     = flag.Bool("demo", false, "record the Figure 6 deadlock demo and render it")
+		dot      = flag.Bool("dot", false, "emit Graphviz DOT instead of the ASCII timeline")
+		procs    = flag.Int("procs", 4, "sort processes for the demo")
+		buggy    = flag.Bool("buggy", true, "use the deadlocking protocol")
+		traceOut = flag.String("trace-out", "", "also write the recorded log as Chrome trace-event JSON to this file")
 	)
 	flag.Parse()
 
@@ -44,6 +47,13 @@ func main() {
 		fmt.Printf("execution completed normally (%d keys sorted in %d rounds)\n\n",
 			len(res.Sorted), res.Rounds)
 	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, res.Log); err != nil {
+			fmt.Fprintf(os.Stderr, "moviola: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[moviola] wrote %d log entries to %s\n", len(res.Log), *traceOut)
+	}
 	g := replay.BuildGraph(res.Log)
 	if *dot {
 		fmt.Print(g.RenderDOT())
@@ -52,4 +62,46 @@ func main() {
 	fmt.Println("partial order of recorded events (one column per process):")
 	fmt.Println()
 	fmt.Print(g.RenderASCII())
+}
+
+// writeTrace renders the recorded access log in the same Chrome trace-event
+// JSON format the simulator's probes emit, one thread track per process, so
+// replay graphs and contention traces open in the same viewer.
+func writeTrace(path string, log []replay.Entry) error {
+	tids := map[string]int{}
+	var events []probe.ChromeEvent
+	events = append(events, probe.ChromeEvent{
+		Name: "process_name", Ph: "M", Pid: 0,
+		Args: map[string]any{"name": "moviola replay log"},
+	})
+	for _, en := range log {
+		tid, ok := tids[en.Proc]
+		if !ok {
+			tid = len(tids)
+			tids[en.Proc] = tid
+			events = append(events, probe.ChromeEvent{
+				Name: "thread_name", Ph: "M", Pid: 0, Tid: tid,
+				Args: map[string]any{"name": en.Proc},
+			})
+		}
+		name := fmt.Sprintf("read obj %d", en.Obj)
+		if en.Write {
+			name = fmt.Sprintf("write obj %d", en.Obj)
+		}
+		events = append(events, probe.ChromeEvent{
+			Name: name, Cat: "replay", Ph: "i", S: "t",
+			Ts: float64(en.Time) / 1e3, Pid: 0, Tid: tid,
+			Args: map[string]any{
+				"version": en.Version,
+				"readers": en.Readers,
+				"write":   en.Write,
+			},
+		})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return probe.WriteChromeJSON(f, events)
 }

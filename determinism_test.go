@@ -22,6 +22,7 @@ import (
 
 	"butterfly/internal/core"
 	"butterfly/internal/machine"
+	"butterfly/internal/probe"
 	"butterfly/internal/sim"
 )
 
@@ -29,10 +30,17 @@ var updateGolden = flag.Bool("update", false, "rewrite testdata golden files")
 
 // experimentFingerprint runs one experiment at quick scale and reduces every
 // engine it builds to (machines, Σ final virtual time, Σ events executed).
-func experimentFingerprint(t *testing.T, e core.Experiment) string {
+// When probed is non-nil, every machine gets an observability probe feeding
+// that sink attached — used to prove observation never perturbs the physics.
+func experimentFingerprint(t *testing.T, e core.Experiment, probed *probe.Counter) string {
 	t.Helper()
 	var engines []*sim.Engine
-	machine.SetNewHook(func(m *machine.Machine) { engines = append(engines, m.E) })
+	machine.SetNewHook(func(m *machine.Machine) {
+		engines = append(engines, m.E)
+		if probed != nil {
+			m.AttachProbe(probe.New(probed))
+		}
+	})
 	defer machine.SetNewHook(nil)
 	if err := e.Run(io.Discard, true); err != nil {
 		t.Fatalf("experiment %s: %v", e.ID, err)
@@ -49,7 +57,7 @@ func experimentFingerprint(t *testing.T, e core.Experiment) string {
 func TestExperimentDeterminism(t *testing.T) {
 	var lines []string
 	for _, e := range core.Experiments() {
-		lines = append(lines, experimentFingerprint(t, e))
+		lines = append(lines, experimentFingerprint(t, e, nil))
 	}
 	got := strings.Join(lines, "\n") + "\n"
 
@@ -85,6 +93,26 @@ func TestExperimentDeterminism(t *testing.T) {
 		}
 		if g != w {
 			t.Errorf("determinism drift:\n  got  %s\n  want %s", g, w)
+		}
+	}
+}
+
+// TestProbesDoNotPerturb runs every experiment twice — probes off, then
+// probes on with a counting sink — and demands identical fingerprints. This
+// pins the probe subsystem's core contract: attaching observation changes
+// nothing about the simulation (no extra events, no clock drift, no dispatch
+// reordering), so any measurement the probe reports describes the same
+// execution the tables were generated from.
+func TestProbesDoNotPerturb(t *testing.T) {
+	for _, e := range core.Experiments() {
+		bare := experimentFingerprint(t, e, nil)
+		var c probe.Counter
+		probed := experimentFingerprint(t, e, &c)
+		if bare != probed {
+			t.Errorf("probe perturbed %s:\n  off %s\n  on  %s", e.ID, bare, probed)
+		}
+		if c.Total() == 0 {
+			t.Errorf("probe recorded no events for %s; instrumentation is not wired through", e.ID)
 		}
 	}
 }

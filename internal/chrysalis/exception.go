@@ -28,6 +28,9 @@ func (t *ThrowError) Error() string {
 // returns the ThrowError; a normal completion returns nil.
 func (os *OS) Catch(p *sim.Proc, body func()) (caught *ThrowError) {
 	p.Charge(os.Costs.CatchEnter)
+	if pr := os.M.Probe(); pr != nil {
+		pr.Prim(p.LocalNow(), p.ID, p.Node, "catch", os.Costs.CatchEnter+os.Costs.CatchExit)
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			if te, ok := r.(*ThrowError); ok {
@@ -47,5 +50,8 @@ func (os *OS) Catch(p *sim.Proc, body func()) (caught *ThrowError) {
 // would suspend the process for a debugger; we panic).
 func (os *OS) Throw(p *sim.Proc, code int, msg string) {
 	p.Advance(os.Costs.Throw)
+	if pr := os.M.Probe(); pr != nil {
+		pr.Prim(p.LocalNow(), p.ID, p.Node, "throw", os.Costs.Throw)
+	}
 	panic(&ThrowError{Code: code, Msg: msg})
 }

@@ -96,6 +96,9 @@ func (os *OS) MakeObj(p *sim.Proc, node, size int, owner *Object) (*Object, erro
 	}
 	if p != nil {
 		p.Advance(os.Costs.MakeObj)
+		if pr := os.M.Probe(); pr != nil {
+			pr.Prim(p.LocalNow(), p.ID, node, "make_obj", os.Costs.MakeObj)
+		}
 	}
 	off := 0
 	if rounded > 0 {
@@ -168,11 +171,17 @@ func (pr *Process) MapObj(o *Object) (int, error) {
 		return 0, fmt.Errorf("chrysalis: cannot map %s object", o.Kind)
 	}
 	pr.P.Advance(pr.OS.Costs.MapObj)
+	if probe := pr.OS.M.Probe(); probe != nil {
+		probe.Prim(pr.P.LocalNow(), pr.P.ID, o.Node, "map_obj", pr.OS.Costs.MapObj)
+	}
 	return pr.AS.Map(o.Node, o.Off, o.Size)
 }
 
 // UnmapObj removes a segment from the process's address space.
 func (pr *Process) UnmapObj(slot int) error {
 	pr.P.Advance(pr.OS.Costs.UnmapObj)
+	if probe := pr.OS.M.Probe(); probe != nil {
+		probe.Prim(pr.P.LocalNow(), pr.P.ID, pr.P.Node, "unmap_obj", pr.OS.Costs.UnmapObj)
+	}
 	return pr.AS.Unmap(slot)
 }

@@ -135,6 +135,10 @@ func (os *OS) MakeProcess(creator *sim.Proc, name string, node, nSegs int, body 
 		creator.Sync()
 		wait := os.template.acquireFor(os.M.E.Now(), os.Costs.ProcCreateSerial)
 		creator.Advance(wait + os.Costs.ProcCreateSerial + os.Costs.ProcCreateLocal)
+		if pr := os.M.Probe(); pr != nil {
+			pr.Prim(creator.LocalNow(), creator.ID, node, "make_process",
+				wait+os.Costs.ProcCreateSerial+os.Costs.ProcCreateLocal)
+		}
 	}
 	as, err := memory.NewAddressSpace(os.M.Nodes[node].SARs, nSegs)
 	if err != nil {
@@ -167,6 +171,9 @@ func Self(p *sim.Proc) *Process {
 func (os *OS) DestroyProcess(caller *sim.Proc, pr *Process) {
 	if caller != nil {
 		caller.Advance(os.Costs.ProcDestroy)
+		if p := os.M.Probe(); p != nil {
+			p.Prim(caller.LocalNow(), caller.ID, pr.P.Node, "destroy_process", os.Costs.ProcDestroy)
+		}
 	}
 	os.DeleteObj(nil, pr.Root)
 	if pr.AS != nil {

@@ -44,6 +44,9 @@ func (e *Event) Post(p *sim.Proc, datum uint32) {
 	// The microcode charge is lazy; flush it before touching the event's
 	// shared state so the post lands at the operation's completion time.
 	p.Sync()
+	if pr := e.os.M.Probe(); pr != nil {
+		pr.Prim(p.LocalNow(), p.ID, e.obj.Node, "event.post", e.os.Costs.EventPost)
+	}
 	e.datum = datum
 	if e.wq.Len() > 0 {
 		e.posted = false
@@ -61,6 +64,9 @@ func (e *Event) Wait(p *sim.Proc) uint32 {
 	}
 	e.os.M.Microcode(p, e.obj.Node, e.os.Costs.EventWait)
 	p.Sync()
+	if pr := e.os.M.Probe(); pr != nil {
+		pr.Prim(p.LocalNow(), p.ID, e.obj.Node, "event.wait", e.os.Costs.EventWait)
+	}
 	if e.posted {
 		e.posted = false
 		return e.datum
@@ -111,6 +117,9 @@ func (q *DualQueue) ID() ObjID { return q.obj.ID }
 func (q *DualQueue) Enqueue(p *sim.Proc, datum uint32) {
 	q.os.M.Microcode(p, q.obj.Node, q.os.Costs.DualEnqueue)
 	p.Sync()
+	if pr := q.os.M.Probe(); pr != nil {
+		pr.QueueOp(p.LocalNow(), p.ID, q.obj.Node, true, fmt.Sprintf("dq%d", q.obj.ID))
+	}
 	if q.waiters.Len() > 0 {
 		// Hand the datum directly to the first waiter.
 		q.wakeFirstWith(datum)
@@ -131,6 +140,9 @@ func (q *DualQueue) wakeFirstWith(datum uint32) {
 func (q *DualQueue) Dequeue(p *sim.Proc) uint32 {
 	q.os.M.Microcode(p, q.obj.Node, q.os.Costs.DualDequeue)
 	p.Sync()
+	if pr := q.os.M.Probe(); pr != nil {
+		pr.QueueOp(p.LocalNow(), p.ID, q.obj.Node, false, fmt.Sprintf("dq%d", q.obj.ID))
+	}
 	if len(q.data) > 0 {
 		d := q.data[0]
 		q.data = q.data[1:]
@@ -148,6 +160,9 @@ func (q *DualQueue) Dequeue(p *sim.Proc) uint32 {
 func (q *DualQueue) TryDequeue(p *sim.Proc) (datum uint32, ok bool) {
 	q.os.M.Microcode(p, q.obj.Node, q.os.Costs.DualDequeue)
 	p.Sync()
+	if pr := q.os.M.Probe(); pr != nil {
+		pr.QueueOp(p.LocalNow(), p.ID, q.obj.Node, false, fmt.Sprintf("dq%d", q.obj.ID))
+	}
 	if len(q.data) == 0 {
 		return 0, false
 	}

@@ -16,6 +16,7 @@ import (
 
 	"butterfly/internal/calendar"
 	"butterfly/internal/memory"
+	"butterfly/internal/probe"
 	"butterfly/internal/sim"
 	"butterfly/internal/switchnet"
 )
@@ -105,7 +106,30 @@ type Machine struct {
 	sweepMods     []*memory.Module
 	sweepRefMods  []*memory.Module
 	commitScratch calendar.Scratch
+
+	// probe, when non-nil, is the machine-wide observability probe, shared
+	// with the engine, the network, and every memory module.
+	probe *probe.Probe
 }
+
+// AttachProbe threads an observability probe through every layer of the
+// machine: the engine (dispatch/park/flush events), the switch network
+// (port traversals), and each node's memory module (reference occupancy and
+// queueing). Pass nil to detach. Probes are purely observational — virtual
+// time, dispatch order, and all statistics are unaffected — and a detached
+// probe costs each hot path one nil check.
+func (m *Machine) AttachProbe(p *probe.Probe) {
+	m.probe = p
+	m.E.SetProbe(p)
+	m.Net.SetProbe(p)
+	for _, n := range m.Nodes {
+		n.Mem.SetProbe(p)
+	}
+}
+
+// Probe returns the attached probe, or nil. Layers above the machine
+// (Chrysalis, the programming models) emit their events through it.
+func (m *Machine) Probe() *probe.Probe { return m.probe }
 
 // Stats aggregates machine-level reference counters.
 type Stats struct {

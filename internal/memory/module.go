@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"butterfly/internal/calendar"
+	"butterfly/internal/probe"
 )
 
 // Module is one node's memory: a single server with a fixed per-word cycle
@@ -29,7 +30,13 @@ type Module struct {
 	cal   calendar.Calendar
 	alloc *FirstFit
 	stats ModuleStats
+	// probe, when non-nil, observes every reference served (occupancy,
+	// queueing delay, local/remote origin). Purely observational.
+	probe *probe.Probe
 }
+
+// SetProbe attaches an observability probe (nil detaches).
+func (m *Module) SetProbe(p *probe.Probe) { m.probe = p }
 
 // ModuleStats counts traffic through one memory module.
 type ModuleStats struct {
@@ -75,6 +82,9 @@ func (m *Module) Service(now int64, words int, local bool) (start, done int64) {
 	} else {
 		m.stats.RemoteWords += uint64(words)
 	}
+	if pr := m.probe; pr != nil {
+		pr.MemRef(start, dur, start-now, m.Node, words, local)
+	}
 	return start, done
 }
 
@@ -101,6 +111,11 @@ func (m *Module) ServiceRun(now int64, words int, gap int64, local bool) (done i
 		m.stats.LocalWords += uint64(words)
 	} else {
 		m.stats.RemoteWords += uint64(words)
+	}
+	if pr := m.probe; pr != nil {
+		// One aggregate event for the whole run: the span starts at arrival
+		// and Dur is the true occupancy (the per-word gaps are elided).
+		pr.MemRef(now, int64(words)*m.CycleNs, wait, m.Node, words, local)
 	}
 	return lastStart + m.CycleNs
 }
@@ -143,6 +158,9 @@ func (m *Module) ServiceBatch(now int64, words int, local bool) (start, done int
 	} else {
 		m.stats.RemoteWords += uint64(words)
 	}
+	if pr := m.probe; pr != nil {
+		pr.MemRef(start, dur, start-now, m.Node, words, local)
+	}
 	return start, done
 }
 
@@ -164,6 +182,9 @@ func (m *Module) ServiceRunBatch(now int64, words int, gap int64, local bool) (d
 		m.stats.LocalWords += uint64(words)
 	} else {
 		m.stats.RemoteWords += uint64(words)
+	}
+	if pr := m.probe; pr != nil {
+		pr.MemRef(now, int64(words)*m.CycleNs, wait, m.Node, words, local)
 	}
 	return lastStart + m.CycleNs
 }

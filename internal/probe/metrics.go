@@ -1,0 +1,340 @@
+package probe
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+)
+
+// MemMetrics aggregates one memory module's traffic, split by origin. The
+// module is a single port shared by its owner and the network, so the remote
+// share of BusyNs is exactly the paper's "stolen" memory-cycle fraction.
+type MemMetrics struct {
+	LocalBusyNs  int64
+	RemoteBusyNs int64
+	LocalWaitNs  int64
+	RemoteWaitNs int64
+	LocalWords   uint64
+	RemoteWords  uint64
+}
+
+// BusyNs is the module's total occupancy.
+func (m MemMetrics) BusyNs() int64 { return m.LocalBusyNs + m.RemoteBusyNs }
+
+// StealFraction is the share of module occupancy consumed by remote
+// references — the cycle-steal fraction of E5. Zero when idle.
+func (m MemMetrics) StealFraction() float64 {
+	if b := m.BusyNs(); b > 0 {
+		return float64(m.RemoteBusyNs) / float64(b)
+	}
+	return 0
+}
+
+// PortMetrics aggregates one switch output port.
+type PortMetrics struct {
+	BusyNs  int64
+	WaitNs  int64
+	Packets uint64
+}
+
+// Hist is a log2 histogram of queueing delays in nanoseconds: bucket i counts
+// waits in [2^(i-1), 2^i) (bucket 0 counts zero-wait references).
+type Hist struct {
+	Buckets [48]uint64
+}
+
+func (h *Hist) add(waitNs int64) {
+	i := 0
+	if waitNs > 0 {
+		i = bits.Len64(uint64(waitNs))
+		if i >= len(h.Buckets) {
+			i = len(h.Buckets) - 1
+		}
+	}
+	h.Buckets[i]++
+}
+
+// Total counts all recorded waits.
+func (h *Hist) Total() uint64 {
+	var n uint64
+	for _, v := range h.Buckets {
+		n += v
+	}
+	return n
+}
+
+// Metrics is the aggregated view of one probe's event stream. Per-module and
+// per-process slices grow on demand, so a Metrics never needs to know the
+// machine's shape in advance.
+type Metrics struct {
+	// Mem is indexed by node (memory module).
+	Mem []MemMetrics
+	// Ports is indexed by [stage][port].
+	Ports [][]PortMetrics
+	// WaitHist pools the queueing delays of memory and switch reservations.
+	WaitHist Hist
+
+	// Per-process virtual-time breakdowns, indexed by engine proc ID. With
+	// lazy clocks a process "computes" while parked on its own flush wake-up,
+	// so ComputeNs (flushed charge) is a subset of WaitNs; idle scheduling
+	// delay is WaitNs - ComputeNs.
+	ProcRunNs     []int64 // dispatched and running (usually ~0 under lazy charging)
+	ProcComputeNs []int64 // lazily charged compute time, attributed at flush
+	ProcWaitNs    []int64 // parked awaiting a scheduled event (Advance/flush)
+	ProcBlockedNs []int64 // blocked on a queue or event
+
+	// Event counters.
+	Spawns     uint64
+	Dispatches uint64
+	Parks      uint64
+	Flushes    uint64
+	Blocks     uint64
+	Enqueues   uint64
+	Dequeues   uint64
+	Prims      uint64
+	MsgSends   uint64
+	MsgRecvs   uint64
+}
+
+func (m *Metrics) memGrow(node int) {
+	for len(m.Mem) <= node {
+		m.Mem = append(m.Mem, MemMetrics{})
+	}
+}
+
+func (m *Metrics) portGrow(stage, port int) {
+	for len(m.Ports) <= stage {
+		m.Ports = append(m.Ports, nil)
+	}
+	for len(m.Ports[stage]) <= port {
+		m.Ports[stage] = append(m.Ports[stage], PortMetrics{})
+	}
+}
+
+func (m *Metrics) procGrow(proc int) {
+	for len(m.ProcRunNs) <= proc {
+		m.ProcRunNs = append(m.ProcRunNs, 0)
+		m.ProcComputeNs = append(m.ProcComputeNs, 0)
+		m.ProcWaitNs = append(m.ProcWaitNs, 0)
+		m.ProcBlockedNs = append(m.ProcBlockedNs, 0)
+	}
+}
+
+// MemUtilization returns the busiest module's occupancy fraction of the
+// elapsed virtual time, and its node index. elapsedNs must be positive.
+func (m *Metrics) MemUtilization(elapsedNs int64) (frac float64, node int) {
+	var best int64
+	node = -1
+	for i := range m.Mem {
+		if b := m.Mem[i].BusyNs(); b > best {
+			best, node = b, i
+		}
+	}
+	if elapsedNs <= 0 {
+		return 0, node
+	}
+	return float64(best) / float64(elapsedNs), node
+}
+
+// PortUtilization returns the busiest switch port's occupancy fraction of
+// the elapsed virtual time, with its stage and port.
+func (m *Metrics) PortUtilization(elapsedNs int64) (frac float64, stage, port int) {
+	var best int64
+	stage, port = -1, -1
+	for s := range m.Ports {
+		for p := range m.Ports[s] {
+			if b := m.Ports[s][p].BusyNs; b > best {
+				best, stage, port = b, s, p
+			}
+		}
+	}
+	if elapsedNs <= 0 {
+		return 0, stage, port
+	}
+	return float64(best) / float64(elapsedNs), stage, port
+}
+
+// MeanPortUtilization returns the average occupancy fraction across the
+// switch ports that carried any traffic — the aggregate "how busy is the
+// switch" number E6 is about (a single funnel port can be moderately busy
+// while the network as a whole idles).
+func (m *Metrics) MeanPortUtilization(elapsedNs int64) float64 {
+	var busy int64
+	active := 0
+	for s := range m.Ports {
+		for p := range m.Ports[s] {
+			if m.Ports[s][p].Packets > 0 {
+				active++
+				busy += m.Ports[s][p].BusyNs
+			}
+		}
+	}
+	if active == 0 || elapsedNs <= 0 {
+		return 0
+	}
+	return float64(busy) / float64(active) / float64(elapsedNs)
+}
+
+// WriteReport renders the contention report: per-module occupancy split into
+// local and remote (the cycle-steal fraction), switch-port occupancy, the
+// wait histogram, per-process run/wait/blocked breakdowns, and the event
+// counters. elapsedNs is the engine's final virtual time (the utilization
+// denominator); topN bounds the per-module and per-process tables (<=0 means
+// 8).
+func (m *Metrics) WriteReport(w io.Writer, elapsedNs int64, topN int) {
+	if topN <= 0 {
+		topN = 8
+	}
+	us := func(ns int64) float64 { return float64(ns) / 1e3 }
+	pct := func(ns int64) float64 {
+		if elapsedNs <= 0 {
+			return 0
+		}
+		return 100 * float64(ns) / float64(elapsedNs)
+	}
+
+	fmt.Fprintf(w, "probe report: %.3f ms of virtual time\n", float64(elapsedNs)/1e6)
+
+	// Memory modules, busiest first.
+	order := make([]int, 0, len(m.Mem))
+	for i := range m.Mem {
+		if m.Mem[i].BusyNs() > 0 {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if x, y := m.Mem[order[a]].BusyNs(), m.Mem[order[b]].BusyNs(); x != y {
+			return x > y
+		}
+		return order[a] < order[b]
+	})
+	fmt.Fprintf(w, "\nmemory modules (top %d of %d active, by occupancy):\n", min(topN, len(order)), len(order))
+	fmt.Fprintf(w, "%6s %8s %8s %8s %8s %12s %14s\n",
+		"node", "busy%", "local%", "remote%", "steal", "words L/R", "localWait us/w")
+	for i, n := range order {
+		if i >= topN {
+			break
+		}
+		mm := m.Mem[n]
+		perWord := 0.0
+		if mm.LocalWords > 0 {
+			perWord = us(mm.LocalWaitNs) / float64(mm.LocalWords)
+		}
+		fmt.Fprintf(w, "%6d %7.2f%% %7.2f%% %7.2f%% %8.3f %12s %14.2f\n",
+			n, pct(mm.BusyNs()), pct(mm.LocalBusyNs), pct(mm.RemoteBusyNs),
+			mm.StealFraction(),
+			fmt.Sprintf("%d/%d", mm.LocalWords, mm.RemoteWords), perWord)
+	}
+
+	// Switch ports: summary plus the single busiest port.
+	var portBusy, portWait int64
+	var packets uint64
+	active := 0
+	for s := range m.Ports {
+		for p := range m.Ports[s] {
+			pm := m.Ports[s][p]
+			if pm.Packets == 0 {
+				continue
+			}
+			active++
+			portBusy += pm.BusyNs
+			portWait += pm.WaitNs
+			packets += pm.Packets
+		}
+	}
+	maxFrac, stage, port := m.PortUtilization(elapsedNs)
+	memFrac, memNode := m.MemUtilization(elapsedNs)
+	fmt.Fprintf(w, "\nswitch ports: %d active, %d hops, busiest port %.3f%% busy",
+		active, packets, 100*maxFrac)
+	if stage >= 0 {
+		fmt.Fprintf(w, " (stage %d port %d)", stage, port)
+	}
+	fmt.Fprintf(w, "\n  total port occupancy %.3f ms, total port wait %.3f ms, mean active-port occupancy %.3f%%\n",
+		float64(portBusy)/1e6, float64(portWait)/1e6, 100*m.MeanPortUtilization(elapsedNs))
+	if memFrac > 0 && maxFrac >= 0 {
+		fmt.Fprintf(w, "  busiest memory (node %d) is %.2f%% busy — %.0fx the busiest switch port\n",
+			memNode, 100*memFrac, safeRatio(memFrac, maxFrac))
+	}
+
+	// Wait histogram.
+	if total := m.WaitHist.Total(); total > 0 {
+		fmt.Fprintf(w, "\nreservation wait histogram (%d reservations):\n", total)
+		last := 0
+		for i, v := range m.WaitHist.Buckets {
+			if v > 0 {
+				last = i
+			}
+		}
+		for i := 0; i <= last; i++ {
+			v := m.WaitHist.Buckets[i]
+			if v == 0 {
+				continue
+			}
+			label := "0"
+			if i > 0 {
+				label = fmt.Sprintf("<%s", humanNs(int64(1)<<uint(i)))
+			}
+			fmt.Fprintf(w, "  %8s %10d (%5.1f%%)\n", label, v, 100*float64(v)/float64(total))
+		}
+	}
+
+	// Per-process breakdowns, longest-computing first. Compute is the lazily
+	// charged (flushed) time; idle is scheduling wait net of that compute.
+	procs := make([]int, 0, len(m.ProcRunNs))
+	for i := range m.ProcRunNs {
+		if m.ProcRunNs[i]+m.ProcWaitNs[i]+m.ProcBlockedNs[i] > 0 {
+			procs = append(procs, i)
+		}
+	}
+	compute := func(id int) int64 { return m.ProcRunNs[id] + m.ProcComputeNs[id] }
+	sort.Slice(procs, func(a, b int) bool {
+		if x, y := compute(procs[a]), compute(procs[b]); x != y {
+			return x > y
+		}
+		return procs[a] < procs[b]
+	})
+	fmt.Fprintf(w, "\nprocesses (top %d of %d, by compute time):\n", min(topN, len(procs)), len(procs))
+	fmt.Fprintf(w, "%6s %12s %12s %12s\n", "proc", "compute ms", "idle ms", "blocked ms")
+	for i, id := range procs {
+		if i >= topN {
+			break
+		}
+		idle := m.ProcWaitNs[id] - m.ProcComputeNs[id]
+		if idle < 0 {
+			idle = 0
+		}
+		fmt.Fprintf(w, "%6d %12.3f %12.3f %12.3f\n", id,
+			float64(compute(id))/1e6, float64(idle)/1e6, float64(m.ProcBlockedNs[id])/1e6)
+	}
+
+	fmt.Fprintf(w, "\ncounters: spawns=%d dispatches=%d parks=%d flushes=%d blocks=%d enq=%d deq=%d prims=%d send=%d recv=%d\n",
+		m.Spawns, m.Dispatches, m.Parks, m.Flushes, m.Blocks,
+		m.Enqueues, m.Dequeues, m.Prims, m.MsgSends, m.MsgRecvs)
+}
+
+func safeRatio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func humanNs(ns int64) string {
+	switch {
+	case ns >= 1_000_000_000:
+		return fmt.Sprintf("%ds", ns/1_000_000_000)
+	case ns >= 1_000_000:
+		return fmt.Sprintf("%dms", ns/1_000_000)
+	case ns >= 1_000:
+		return fmt.Sprintf("%dus", ns/1_000)
+	}
+	return fmt.Sprintf("%dns", ns)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -21,6 +21,8 @@ package sim
 import (
 	"fmt"
 	"sort"
+
+	"butterfly/internal/probe"
 )
 
 // procState tracks the lifecycle of a simulated process.
@@ -76,6 +78,14 @@ type Proc struct {
 	// not yet flushed into the event queue.
 	local int64
 
+	// Probe bookkeeping, maintained only while a probe is attached:
+	// dispatchedAt is when the current run slice began, parkedAt when the
+	// process last suspended, parkedBlocked whether that suspension was a
+	// Block (vs a scheduled park).
+	dispatchedAt  int64
+	parkedAt      int64
+	parkedBlocked bool
+
 	// Heap bookkeeping: at/seq order the pending resumption, heapIdx is the
 	// process's slot in the engine's event heap (-1 when not queued). A
 	// process has at most one pending event, so the heap needs no stale
@@ -114,11 +124,13 @@ func (e *DeadlockError) Error() string {
 // Stats aggregates engine-level counters, useful for benchmarking the
 // simulator itself and for sanity checks in tests.
 type Stats struct {
-	Events    uint64 // process resumptions executed
-	Spawned   int    // processes ever created
-	Completed int    // processes that ran to completion
-	Charges   uint64 // Charge calls (lazy, no park)
-	Flushes   uint64 // local-clock flushes (park at accumulated time)
+	Events       uint64 // process resumptions executed
+	Spawned      int    // processes ever created
+	Completed    int    // processes that ran to completion
+	Charges      uint64 // Charge calls (lazy, no park)
+	Parks        uint64 // process suspensions (incl. same-proc fast path)
+	LazyFlushes  uint64 // local-clock flushes (park at accumulated time)
+	MaxHeapDepth int    // high-water mark of the pending-event heap
 }
 
 // DefaultLookahead is the default bound on how much virtual time a process
@@ -141,8 +153,10 @@ type Engine struct {
 	started   bool
 	stats     Stats
 
-	// trace, when non-nil, receives a line for every state transition.
-	trace func(string)
+	// probe, when non-nil, receives a typed event for every state
+	// transition (see internal/probe). Probes are purely observational; a
+	// nil probe costs the hot paths one pointer check.
+	probe *probe.Probe
 }
 
 // New creates an empty simulation engine at virtual time zero.
@@ -150,15 +164,13 @@ func New() *Engine {
 	return &Engine{done: make(chan struct{}, 1), lookahead: DefaultLookahead}
 }
 
-// SetTrace installs a trace sink (e.g. collecting into a slice in tests).
-// Pass nil to disable tracing.
-func (e *Engine) SetTrace(fn func(string)) { e.trace = fn }
+// SetProbe attaches an observability probe (nil detaches). Attach before
+// Run: events for processes spawned earlier carry partial histories. The
+// probe replaces the former string-callback trace hook with typed events.
+func (e *Engine) SetProbe(p *probe.Probe) { e.probe = p }
 
-func (e *Engine) tracef(format string, args ...any) {
-	if e.trace != nil {
-		e.trace(fmt.Sprintf("[%10d] ", e.now) + fmt.Sprintf(format, args...))
-	}
-}
+// Probe returns the attached probe, or nil.
+func (e *Engine) Probe() *probe.Probe { return e.probe }
 
 // Now returns the current virtual time in nanoseconds. A process that has
 // charged time lazily since its last synchronization point is logically ahead
@@ -218,7 +230,10 @@ func (e *Engine) Spawn(name string, node int, fn func(p *Proc)) *Proc {
 			p.finishedAt = e.now
 			e.live--
 			e.stats.Completed++
-			e.tracef("proc %d %q done", p.ID, p.Name)
+			if pr := e.probe; pr != nil {
+				pr.ProcRun(p.dispatchedAt, e.now-p.dispatchedAt, p.ID)
+				pr.ProcDone(e.now, p.ID)
+			}
 			// Hand control to the next scheduled process directly; this
 			// goroutine is finished and never parks again.
 			if next := e.popNext(); next != nil {
@@ -235,7 +250,10 @@ func (e *Engine) Spawn(name string, node int, fn func(p *Proc)) *Proc {
 		fn(p)
 	}()
 	e.schedule(p, e.now)
-	e.tracef("spawn proc %d %q on node %d", p.ID, p.Name, node)
+	if pr := e.probe; pr != nil {
+		p.parkedAt = e.now
+		pr.ProcSpawn(e.now, p.ID, node, p.Name)
+	}
 	return p
 }
 
@@ -254,6 +272,9 @@ func (e *Engine) schedule(p *Proc, at int64) {
 		p.heapIdx = len(e.heap)
 		e.heap = append(e.heap, p)
 		e.siftUp(p.heapIdx)
+		if n := len(e.heap); n > e.stats.MaxHeapDepth {
+			e.stats.MaxHeapDepth = n
+		}
 	} else if !e.siftUp(p.heapIdx) {
 		e.siftDown(p.heapIdx)
 	}
@@ -338,6 +359,11 @@ func (e *Engine) popNext() *Proc {
 	e.stats.Events++
 	e.running = p
 	p.state = stateRunning
+	if pr := e.probe; pr != nil {
+		pr.ProcDispatch(e.now, p.ID, e.now-p.parkedAt, p.parkedBlocked)
+		p.dispatchedAt = e.now
+		p.parkedBlocked = false
+	}
 	return p
 }
 
@@ -383,6 +409,12 @@ func (e *Engine) Run() error {
 // switch at all.
 func (p *Proc) park() {
 	e := p.eng
+	e.stats.Parks++
+	if pr := e.probe; pr != nil {
+		pr.ProcRun(p.dispatchedAt, e.now-p.dispatchedAt, p.ID)
+		p.parkedAt = e.now
+		p.parkedBlocked = p.state == stateBlocked
+	}
 	next := e.popNext()
 	if next == p {
 		return // own event is next: no context switch needed
@@ -437,7 +469,10 @@ func (p *Proc) sync() {
 	e := p.eng
 	d := p.local
 	p.local = 0
-	e.stats.Flushes++
+	e.stats.LazyFlushes++
+	if pr := e.probe; pr != nil {
+		pr.ProcFlush(e.now, p.ID, d)
+	}
 	e.schedule(p, e.now+d)
 	p.park()
 }
@@ -473,7 +508,9 @@ func (p *Proc) Block(reason string) {
 	p.state = stateBlocked
 	p.blockedOn = reason
 	p.eng.blocked++
-	p.eng.tracef("proc %d %q blocks on %s", p.ID, p.Name, reason)
+	if pr := p.eng.probe; pr != nil {
+		pr.ProcBlock(p.eng.now, p.ID, reason)
+	}
 	p.park()
 }
 
@@ -492,7 +529,9 @@ func (e *Engine) Unblock(p *Proc, delay int64) {
 	e.blocked--
 	p.blockedOn = ""
 	e.schedule(p, e.now+delay)
-	e.tracef("proc %d %q unblocked", p.ID, p.Name)
+	if pr := e.probe; pr != nil {
+		pr.ProcUnblock(e.now, p.ID)
+	}
 }
 
 // Exit terminates the calling process immediately, as if its body function

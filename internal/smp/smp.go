@@ -167,6 +167,9 @@ func (f *Family) deliver(sender *sim.Proc, dst *Member, msg Message) {
 		os.M.BlockCopy(sender, sender.Node, dst.node, msg.Words)
 	}
 	// Post the descriptor.
+	if pr := os.M.Probe(); pr != nil {
+		pr.MsgSend(sender.LocalNow(), sender.ID, dst.node, msg.Words, "smp")
+	}
 	slot := dst.put(msg)
 	dst.inbox.Enqueue(sender, uint32(slot))
 	f.stats.MessagesSent++
@@ -248,6 +251,9 @@ func (m *Member) Recv() Message {
 	slot := int(m.inbox.Dequeue(m.P))
 	msg := m.mailbox[slot]
 	m.free = append(m.free, slot)
+	if pr := m.Fam.OS.M.Probe(); pr != nil {
+		pr.MsgRecv(m.P.LocalNow(), m.P.ID, m.node, msg.Words, "smp")
+	}
 	return msg
 }
 
@@ -261,6 +267,9 @@ func (m *Member) TryRecv() (msg Message, ok bool) {
 	slot := int(d)
 	msg = m.mailbox[slot]
 	m.free = append(m.free, slot)
+	if pr := m.Fam.OS.M.Probe(); pr != nil {
+		pr.MsgRecv(m.P.LocalNow(), m.P.ID, m.node, msg.Words, "smp")
+	}
 	return msg, true
 }
 

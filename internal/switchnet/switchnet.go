@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"butterfly/internal/calendar"
+	"butterfly/internal/probe"
 )
 
 // Radix is the fan-in/fan-out of each switch element (4 on the Butterfly).
@@ -66,7 +67,13 @@ type Network struct {
 	// traffic.
 	ports [][]calendar.Calendar
 	stats Stats
+	// probe, when non-nil, observes every port traversal (occupancy and
+	// queueing per stage/port). Purely observational.
+	probe *probe.Probe
 }
+
+// SetProbe attaches an observability probe (nil detaches).
+func (n *Network) SetProbe(p *probe.Probe) { n.probe = p }
 
 // New builds a network for the given configuration. The node count may be
 // any positive number; it is rounded up to a power of the radix internally
@@ -161,6 +168,9 @@ func (n *Network) Transit(now int64, src, dst, bytes int) int64 {
 		port := n.portAt(src, dst, s)
 		start := n.ports[s][port].Reserve(t, svc)
 		n.stats.ContentionNs += start - t
+		if pr := n.probe; pr != nil {
+			pr.SwitchHop(start, svc, start-t, s, port)
+		}
 		// The port is occupied while the packet streams through it;
 		// cut-through routing lets the head proceed after HopLatency.
 		t = start + n.cfg.HopLatency
