@@ -11,6 +11,8 @@
 //	butterflybench -all -cpuprofile cpu.pb # profile the simulator itself
 //	butterflybench -experiment hotspot -probe                 # contention report (stderr)
 //	butterflybench -experiment hotspot -trace-out trace.json  # Chrome/Perfetto trace
+//	butterflybench -experiment fig5 -faults 'drop 0.001; kill 7 @ 20ms'
+//	butterflybench -experiment hotspot -faults @sched.txt -fault-seed 42
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"time"
 
 	"butterfly/internal/core"
+	"butterfly/internal/fault"
 	"butterfly/internal/machine"
 	"butterfly/internal/probe"
 	"butterfly/internal/sim"
@@ -36,8 +39,25 @@ func main() {
 		probeOn    = flag.Bool("probe", false, "attach observability probes and print a contention report per machine on stderr")
 		traceOut   = flag.String("trace-out", "", "record a Chrome trace-event JSON of the run to this file (implies -probe)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		faults     = flag.String("faults", "", "fault schedule: directives like 'seed 7; drop 0.001; kill 5 @ 10ms', or @file to read one")
+		faultSeed  = flag.Uint64("fault-seed", 0, "override the fault schedule's random seed (requires -faults)")
 	)
 	flag.Parse()
+
+	if *faults != "" {
+		cfg, err := fault.ParseConfig(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "butterflybench: -faults: %v\n", err)
+			os.Exit(1)
+		}
+		if *faultSeed != 0 {
+			cfg.Seed = *faultSeed
+		}
+		fault.SetAmbient(cfg)
+	} else if *faultSeed != 0 {
+		fmt.Fprintln(os.Stderr, "butterflybench: -fault-seed has no effect without -faults")
+		os.Exit(1)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -112,13 +132,19 @@ type probedMachine struct {
 // the trace file all stay off stdout so instrumented runs still produce
 // byte-identical tables.
 func runOne(e core.Experiment, quick bool, opts runOpts) error {
-	if !opts.timing && !opts.probe {
+	// The ambient -faults schedule is attached to every machine the
+	// experiment boots — unless the experiment manages its own injectors.
+	injectFaults := fault.Ambient() != nil && fault.Ambient().Enabled() && !e.ManagesFaults
+	if !opts.timing && !opts.probe && !injectFaults {
 		return e.Run(os.Stdout, quick)
 	}
 	var engines []*sim.Engine
 	var probed []probedMachine
 	machine.SetNewHook(func(m *machine.Machine) {
 		engines = append(engines, m.E)
+		if injectFaults {
+			m.AttachFaults(fault.NewInjector(*fault.Ambient()))
+		}
 		if opts.probe {
 			pm := probedMachine{m: m}
 			if opts.traceOut != "" {

@@ -59,6 +59,11 @@ type Thread struct {
 	blockedOn string
 	body      func(t *Thread)
 	joiners   []*Thread
+	// timedSeq is a generation counter for timed blocks: each block bumps
+	// it, so stale deadline entries from an earlier block never expire the
+	// thread's current one. timedOut reports how the last timed block ended.
+	timedSeq uint64
+	timedOut bool
 }
 
 // Farm is the per-process coroutine scheduler plus thread table.
@@ -77,8 +82,20 @@ type Farm struct {
 	// pendingWake records that a wakeup post is owed because the farm may
 	// be blocked in its scheduler.
 	idle bool
+	// timed holds the pending deadlines of threads blocked with a timeout;
+	// the scheduler expires them and bounds its idle waits by the nearest.
+	timed []timedWaiter
 
 	stats Stats
+}
+
+// timedWaiter is one thread's pending timed-block deadline. seq snapshots
+// the thread's generation counter so a wake-then-reblock cannot be expired
+// by a stale entry.
+type timedWaiter struct {
+	t        *Thread
+	seq      uint64
+	deadline int64
 }
 
 // Stats counts farm activity.
@@ -172,11 +189,19 @@ func (f *Farm) kick(waker *sim.Proc) {
 // scheduleLoop runs threads until none are alive.
 func (f *Farm) scheduleLoop() {
 	for f.live > 0 {
+		f.expireTimed()
 		if len(f.runnable) == 0 {
-			// Block the whole process until a Chrysalis event arrives.
+			// Block the whole process until a Chrysalis event arrives — or,
+			// when threads hold timed blocks, until the nearest deadline.
 			f.idle = true
 			f.stats.Idles++
-			f.wakeup.Wait(f.P)
+			if dl, pending := f.nextDeadline(); pending {
+				if wait := dl - f.P.LocalNow(); wait > 0 {
+					f.wakeup.WaitTimeout(f.P, wait)
+				}
+			} else {
+				f.wakeup.Wait(f.P)
+			}
 			f.idle = false
 			continue
 		}
@@ -224,13 +249,66 @@ func (t *Thread) YieldThread() {
 	t.park()
 }
 
+// expireTimed requeues every timed-blocked thread whose deadline has
+// passed, marking it timed out. Stale entries (the thread was woken, or
+// finished, or re-blocked since) are discarded.
+func (f *Farm) expireTimed() {
+	if len(f.timed) == 0 {
+		return
+	}
+	now := f.P.LocalNow()
+	kept := f.timed[:0]
+	for _, e := range f.timed {
+		if e.seq != e.t.timedSeq || e.t.state != threadBlocked {
+			continue
+		}
+		if now >= e.deadline {
+			e.t.timedOut = true
+			e.t.state = threadReady
+			f.runnable = append(f.runnable, e.t)
+			continue
+		}
+		kept = append(kept, e)
+	}
+	f.timed = kept
+}
+
+// nextDeadline returns the earliest live timed-block deadline.
+func (f *Farm) nextDeadline() (dl int64, pending bool) {
+	for _, e := range f.timed {
+		if e.seq != e.t.timedSeq || e.t.state != threadBlocked {
+			continue
+		}
+		if !pending || e.deadline < dl {
+			dl, pending = e.deadline, true
+		}
+	}
+	return dl, pending
+}
+
 // BlockThread suspends the thread until another thread (possibly in another
 // farm) calls Unblock.
 func (t *Thread) BlockThread(reason string) {
 	t.mustBeCurrent("BlockThread")
+	t.timedSeq++ // invalidate any stale timed entry from an earlier block
 	t.state = threadBlocked
 	t.blockedOn = reason
 	t.park()
+}
+
+// BlockThreadTimeout suspends the thread until Unblock or until d
+// nanoseconds of virtual time elapse, whichever comes first. It reports
+// whether the block timed out. A timed-out thread is requeued by its own
+// scheduler, so a lost wake-up can never hang the farm.
+func (t *Thread) BlockThreadTimeout(reason string, d int64) (timedOut bool) {
+	t.mustBeCurrent("BlockThreadTimeout")
+	t.timedSeq++
+	t.timedOut = false
+	t.state = threadBlocked
+	t.blockedOn = reason
+	t.Farm.timed = append(t.Farm.timed, timedWaiter{t: t, seq: t.timedSeq, deadline: t.Farm.P.LocalNow() + d})
+	t.park()
+	return t.timedOut
 }
 
 // Unblock makes a blocked thread runnable. waker is the process performing

@@ -140,6 +140,49 @@ func (c *Channel) Recv(t *Thread) (payload any, words int) {
 	return msg.payload, msg.words
 }
 
+// RecvTimeout is Recv bounded by d nanoseconds of virtual time: ok is false
+// if no message arrived before the deadline. On timeout the thread has
+// withdrawn from the receiver queue, so a later Send is not misdelivered.
+func (c *Channel) RecvTimeout(t *Thread, d int64) (payload any, words int, ok bool) {
+	t.mustBeCurrent("Channel.RecvTimeout")
+	c.chargeTouch(t)
+	if len(c.buf) > 0 {
+		msg := c.buf[0]
+		c.buf = c.buf[:copy(c.buf, c.buf[1:])]
+		if msg.words > 0 && msg.from != t.Farm.P.Node {
+			c.os.BlockCopy(t.P(), msg.from, t.Farm.P.Node, msg.words)
+			t.P().Sync()
+		}
+		c.admitSender(t.P())
+		return msg.payload, msg.words, true
+	}
+	if len(c.sendersQ) > 0 {
+		s := c.sendersQ[0]
+		c.sendersQ = c.sendersQ[:copy(c.sendersQ, c.sendersQ[1:])]
+		msg := c.pendingSend[s]
+		delete(c.pendingSend, s)
+		if msg.words > 0 && msg.from != t.Farm.P.Node {
+			c.os.BlockCopy(t.P(), msg.from, t.Farm.P.Node, msg.words)
+			t.P().Sync()
+		}
+		s.Unblock(t.P())
+		return msg.payload, msg.words, true
+	}
+	c.recvQ = append(c.recvQ, t)
+	if t.BlockThreadTimeout("antfarm channel recv", d) {
+		for i, r := range c.recvQ {
+			if r == t {
+				c.recvQ = append(c.recvQ[:i], c.recvQ[i+1:]...)
+				break
+			}
+		}
+		return nil, 0, false
+	}
+	msg := c.handoff[t]
+	delete(c.handoff, t)
+	return msg.payload, msg.words, true
+}
+
 // TryRecv returns immediately; ok is false when no buffered message exists.
 func (c *Channel) TryRecv(t *Thread) (payload any, words int, ok bool) {
 	t.mustBeCurrent("Channel.TryRecv")

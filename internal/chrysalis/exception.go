@@ -3,6 +3,7 @@ package chrysalis
 import (
 	"fmt"
 
+	"butterfly/internal/fault"
 	"butterfly/internal/sim"
 )
 
@@ -20,6 +21,34 @@ func (t *ThrowError) Error() string {
 	return fmt.Sprintf("chrysalis throw %d: %s", t.Code, t.Msg)
 }
 
+// TerminatesProcess implements sim.Terminator: a throw with no enclosing
+// Catch terminates the throwing process (the real system would suspend it
+// for a debugger), never the whole machine.
+func (t *ThrowError) TerminatesProcess() bool { return true }
+
+// Exception codes for hardware faults surfaced by the injector. The trap
+// handler (Catch) converts a fault.RefError into a ThrowError carrying one
+// of these, so application code catches injected faults exactly like any
+// other Chrysalis exception.
+const (
+	CodeNodeDown   = 0x700 // remote reference to a failed node
+	CodePacketLoss = 0x701 // switch packet dropped, PNC retries exhausted
+	CodeParity     = 0x702 // memory-module parity error
+)
+
+// codeForFault maps an injected fault kind to its exception code.
+func codeForFault(k fault.Kind) int {
+	switch k {
+	case fault.NodeDown:
+		return CodeNodeDown
+	case fault.PacketLoss:
+		return CodePacketLoss
+	case fault.Parity:
+		return CodeParity
+	}
+	return CodeParity
+}
+
 // Catch runs body inside a protected block, modelled after the MacLISP
 // catch/throw mechanism Chrysalis borrowed. Entering and leaving the block
 // costs about 70 µs in total — expensive enough that "a highly-tuned program
@@ -32,11 +61,15 @@ func (os *OS) Catch(p *sim.Proc, body func()) (caught *ThrowError) {
 		pr.Prim(p.LocalNow(), p.ID, p.Node, "catch", os.Costs.CatchEnter+os.Costs.CatchExit)
 	}
 	defer func() {
-		if r := recover(); r != nil {
-			if te, ok := r.(*ThrowError); ok {
-				caught = te
-				return
-			}
+		switch r := recover().(type) {
+		case nil:
+		case *ThrowError:
+			caught = r
+		case *fault.RefError:
+			// Hardware trap inside the protected block: Chrysalis's trap
+			// handler rethrows it as an ordinary exception.
+			caught = &ThrowError{Code: codeForFault(r.Kind), Msg: r.Error()}
+		default:
 			panic(r)
 		}
 	}()
@@ -46,8 +79,10 @@ func (os *OS) Catch(p *sim.Proc, body func()) (caught *ThrowError) {
 }
 
 // Throw unwinds to the nearest enclosing Catch on this process's stack.
-// Throwing outside any protected block is a fatal error (the real system
-// would suspend the process for a debugger; we panic).
+// A throw outside any protected block terminates the throwing process (the
+// real system would suspend it for a debugger): ThrowError implements
+// sim.Terminator, so the engine completes the process and records the value,
+// retrievable via Proc.Fatal.
 func (os *OS) Throw(p *sim.Proc, code int, msg string) {
 	p.Advance(os.Costs.Throw)
 	if pr := os.M.Probe(); pr != nil {

@@ -1,0 +1,116 @@
+package chrysalis
+
+import (
+	"testing"
+
+	"butterfly/internal/fault"
+	"butterfly/internal/machine"
+	"butterfly/internal/sim"
+)
+
+// TestCatchRethrowInHandler models the common Chrysalis idiom of catching an
+// exception, doing local cleanup, and rethrowing it to the caller's handler:
+// the rethrown value must unwind to the next enclosing Catch with its code
+// and message intact.
+func TestCatchRethrowInHandler(t *testing.T) {
+	boot(t, 2, func(os *OS, self *Process) {
+		cleaned := false
+		outer := os.Catch(self.P, func() {
+			inner := os.Catch(self.P, func() {
+				os.Throw(self.P, 0x42, "dual queue overflow")
+			})
+			if inner == nil {
+				t.Fatal("inner handler saw nothing")
+			}
+			cleaned = true
+			os.Throw(self.P, inner.Code, inner.Msg) // rethrow after cleanup
+		})
+		if !cleaned {
+			t.Error("handler cleanup did not run before the rethrow")
+		}
+		if outer == nil || outer.Code != 0x42 || outer.Msg != "dual queue overflow" {
+			t.Errorf("rethrown exception mangled: %+v", outer)
+		}
+	})
+}
+
+// TestUncaughtThrowTerminatesProcess pins the no-handler path: a throw
+// outside any protected block terminates the throwing process only (the real
+// system suspends it for a debugger), never the machine. Sibling processes
+// keep running and the engine completes normally.
+func TestUncaughtThrowTerminatesProcess(t *testing.T) {
+	m := machine.New(machine.DefaultConfig(4))
+	os := New(m)
+	var afterThrow, siblingRan bool
+	thrower, err := os.MakeProcess(nil, "thrower", 1, 16, func(self *Process) {
+		self.P.Advance(10 * sim.Microsecond)
+		os.Throw(self.P, 0x13, "unhandled segment violation")
+		afterThrow = true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.MakeProcess(nil, "sibling", 2, 16, func(self *Process) {
+		self.P.Advance(1 * sim.Millisecond)
+		siblingRan = true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.E.Run(); err != nil {
+		t.Fatalf("Run: %v (an uncaught throw must never crash the machine)", err)
+	}
+	if afterThrow {
+		t.Error("code after an uncaught throw executed")
+	}
+	if !siblingRan {
+		t.Error("sibling process did not survive the uncaught throw")
+	}
+	if !thrower.P.Done() {
+		t.Error("throwing process never completed")
+	}
+	te, ok := thrower.P.Fatal().(*ThrowError)
+	if !ok || te.Code != 0x13 {
+		t.Errorf("Fatal() = %#v, want the uncaught ThrowError", thrower.P.Fatal())
+	}
+}
+
+// TestCatchConvertsInjectedFaults verifies the trap-handler path: a hardware
+// fault (fault.RefError) raised inside a protected block surfaces as an
+// ordinary Chrysalis exception carrying the matching 0x70x code.
+func TestCatchConvertsInjectedFaults(t *testing.T) {
+	cases := []struct {
+		kind fault.Kind
+		code int
+	}{
+		{fault.NodeDown, CodeNodeDown},
+		{fault.PacketLoss, CodePacketLoss},
+		{fault.Parity, CodeParity},
+	}
+	boot(t, 2, func(os *OS, self *Process) {
+		for _, tc := range cases {
+			caught := os.Catch(self.P, func() {
+				panic(&fault.RefError{Kind: tc.kind, Node: 1, Time: self.P.LocalNow()})
+			})
+			if caught == nil {
+				t.Fatalf("fault kind %v not converted to an exception", tc.kind)
+			}
+			if caught.Code != tc.code {
+				t.Errorf("fault kind %v → code %#x, want %#x", tc.kind, caught.Code, tc.code)
+			}
+		}
+	})
+}
+
+// TestCatchPassesForeignPanics: a panic that is neither a ThrowError nor a
+// RefError is a simulator bug, not a modelled exception — Catch must not
+// swallow it.
+func TestCatchPassesForeignPanics(t *testing.T) {
+	boot(t, 2, func(os *OS, self *Process) {
+		defer func() {
+			if recover() == nil {
+				t.Error("Catch swallowed a foreign panic")
+			}
+		}()
+		os.Catch(self.P, func() { panic("simulator bug") })
+	})
+}

@@ -75,6 +75,27 @@ func (e *Event) Wait(p *sim.Proc) uint32 {
 	return e.datum
 }
 
+// WaitTimeout is Wait bounded by d nanoseconds of virtual time: ok is false
+// if the timeout expired before a post arrived. Only the owner may wait.
+func (e *Event) WaitTimeout(p *sim.Proc, d int64) (datum uint32, ok bool) {
+	if Self(p) != e.owner {
+		panic(fmt.Sprintf("chrysalis: process %q waits on event %d it does not own", p.Name, e.obj.ID))
+	}
+	e.os.M.Microcode(p, e.obj.Node, e.os.Costs.EventWait)
+	p.Sync()
+	if pr := e.os.M.Probe(); pr != nil {
+		pr.Prim(p.LocalNow(), p.ID, e.obj.Node, "event.wait", e.os.Costs.EventWait)
+	}
+	if e.posted {
+		e.posted = false
+		return e.datum, true
+	}
+	if e.wq.WaitTimeout(p, d) {
+		return 0, false
+	}
+	return e.datum, true
+}
+
 // Posted reports whether a post is pending.
 func (e *Event) Posted() bool { return e.posted }
 
@@ -120,20 +141,32 @@ func (q *DualQueue) Enqueue(p *sim.Proc, datum uint32) {
 	if pr := q.os.M.Probe(); pr != nil {
 		pr.QueueOp(p.LocalNow(), p.ID, q.obj.Node, true, fmt.Sprintf("dq%d", q.obj.ID))
 	}
-	if q.waiters.Len() > 0 {
-		// Hand the datum directly to the first waiter.
-		q.wakeFirstWith(datum)
+	if q.waiters.Len() > 0 && q.wakeFirstWith(datum) {
+		// The datum was handed directly to a live waiter.
 		return
 	}
 	q.data = append(q.data, datum)
 }
 
-// wakeFirstWith hands datum to the longest-waiting dequeuer and wakes it.
-func (q *DualQueue) wakeFirstWith(datum uint32) {
-	p := q.order[0]
-	q.order = q.order[1:]
-	q.handoff[p] = datum
-	q.waiters.WakeOne(q.os.M.E, 0)
+// wakeFirstWith hands datum to the longest-waiting live dequeuer and wakes
+// it, discarding waiters killed by a node failure. It reports whether a
+// waiter took the datum (false means every queued waiter was dead and the
+// caller should buffer it instead). order and waiters stay consistent:
+// both are FIFO with killed entries interleaved identically, so the skip
+// loops pop the same live process.
+func (q *DualQueue) wakeFirstWith(datum uint32) bool {
+	for len(q.order) > 0 {
+		p := q.order[0]
+		q.order = q.order[1:]
+		if p.Killed() {
+			q.waiters.Remove(p)
+			continue
+		}
+		q.handoff[p] = datum
+		q.waiters.WakeOne(q.os.M.E, 0)
+		return true
+	}
+	return false
 }
 
 // Dequeue removes the oldest datum, blocking if the queue is empty.
@@ -153,6 +186,36 @@ func (q *DualQueue) Dequeue(p *sim.Proc) uint32 {
 	d := q.handoff[p]
 	delete(q.handoff, p)
 	return d
+}
+
+// DequeueTimeout is Dequeue bounded by d nanoseconds of virtual time: ok is
+// false if the timeout expired with the queue still empty. It is the
+// survival primitive for processes whose peers may die mid-protocol.
+func (q *DualQueue) DequeueTimeout(p *sim.Proc, d int64) (datum uint32, ok bool) {
+	q.os.M.Microcode(p, q.obj.Node, q.os.Costs.DualDequeue)
+	p.Sync()
+	if pr := q.os.M.Probe(); pr != nil {
+		pr.QueueOp(p.LocalNow(), p.ID, q.obj.Node, false, fmt.Sprintf("dq%d", q.obj.ID))
+	}
+	if len(q.data) > 0 {
+		v := q.data[0]
+		q.data = q.data[1:]
+		return v, true
+	}
+	q.order = append(q.order, p)
+	if q.waiters.WaitTimeout(p, d) {
+		// Timed out: withdraw from the waiter order too.
+		for i, w := range q.order {
+			if w == p {
+				q.order = append(q.order[:i], q.order[i+1:]...)
+				break
+			}
+		}
+		return 0, false
+	}
+	v := q.handoff[p]
+	delete(q.handoff, p)
+	return v, true
 }
 
 // TryDequeue removes the oldest datum without blocking; ok is false if the

@@ -61,6 +61,10 @@ type Experiment struct {
 	// Run executes the experiment, writing its table to w. quick selects a
 	// reduced-scale variant for tests and smoke runs.
 	Run func(w io.Writer, quick bool) error
+	// ManagesFaults marks experiments that attach their own fault injectors;
+	// the driver must not also attach the ambient -faults configuration to
+	// their machines.
+	ManagesFaults bool
 }
 
 // registry is populated by experiments.go.

@@ -1,0 +1,241 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"butterfly/internal/sim"
+)
+
+func TestParseConfig(t *testing.T) {
+	cfg, err := ParseConfig("seed 7; drop 0.001; parity 0.0001; retries 4; backoff 20us; kill 5 @ 10ms; kill 9 2000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 7 || cfg.DropProb != 0.001 || cfg.ParityProb != 0.0001 {
+		t.Errorf("probabilistic knobs wrong: %+v", cfg)
+	}
+	if cfg.MaxRetries != 4 || cfg.BackoffNs != 20*sim.Microsecond {
+		t.Errorf("retry knobs wrong: %+v", cfg)
+	}
+	want := []NodeFailure{{Node: 5, At: 10 * sim.Millisecond}, {Node: 9, At: 2 * sim.Millisecond}}
+	if len(cfg.Failures) != len(want) {
+		t.Fatalf("failures = %v, want %v", cfg.Failures, want)
+	}
+	for i := range want {
+		if cfg.Failures[i] != want[i] {
+			t.Errorf("failure[%d] = %v, want %v", i, cfg.Failures[i], want[i])
+		}
+	}
+}
+
+func TestParseConfigCommentsAndNewlines(t *testing.T) {
+	cfg, err := ParseConfig("# a whole-line comment\nkill 3 @ 1ms # trailing comment\n\ndrop 0.5\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Failures) != 1 || cfg.Failures[0] != (NodeFailure{Node: 3, At: sim.Millisecond}) {
+		t.Errorf("failures = %v", cfg.Failures)
+	}
+	if cfg.DropProb != 0.5 {
+		t.Errorf("drop = %v, want 0.5", cfg.DropProb)
+	}
+}
+
+func TestParseConfigFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sched.txt")
+	if err := os.WriteFile(path, []byte("seed 42\nkill 2 @ 5ms\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := ParseConfig("@" + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 42 || len(cfg.Failures) != 1 {
+		t.Errorf("parsed %+v", cfg)
+	}
+}
+
+func TestParseConfigDefaults(t *testing.T) {
+	cfg, err := ParseConfig("drop 0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.MaxRetries != DefaultMaxRetries || cfg.BackoffNs != DefaultBackoffNs {
+		t.Errorf("defaults not applied: %+v", cfg)
+	}
+	if !cfg.Enabled() {
+		t.Error("config with drops should be Enabled")
+	}
+	empty, err := ParseConfig("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Enabled() {
+		t.Error("empty config must not be Enabled")
+	}
+}
+
+func TestParseConfigErrors(t *testing.T) {
+	for _, spec := range []string{
+		"drop 1.5",                    // probability out of range
+		"drop -0.1",                   // negative probability
+		"kill -3 @ 1ms",               // negative node
+		"kill 3 @ -1ms",               // negative time
+		"kill 3",                      // missing time
+		"backoff 10parsecs",           // bad unit
+		"frobnicate 1",                // unknown directive
+		"@/nonexistent/schedule/file", // unreadable file
+	} {
+		if _, err := ParseConfig(spec); err == nil {
+			t.Errorf("ParseConfig(%q) accepted an invalid spec", spec)
+		}
+	}
+}
+
+// TestPacketAttemptsDeterminism pins the core reproducibility property: two
+// injectors with the same seed draw bit-identical fault sequences.
+func TestPacketAttemptsDeterminism(t *testing.T) {
+	cfg := Config{Seed: 123, DropProb: 0.4}
+	a, b := NewInjector(cfg), NewInjector(cfg)
+	for i := 0; i < 10_000; i++ {
+		ea, aa, oka := a.PacketAttempts()
+		eb, ab, okb := b.PacketAttempts()
+		if ea != eb || aa != ab || oka != okb {
+			t.Fatalf("draw %d diverged: (%d,%d,%v) vs (%d,%d,%v)", i, ea, aa, oka, eb, ab, okb)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Errorf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	if a.Stats().Drops == 0 || a.Stats().Retransmits == 0 {
+		t.Errorf("0.4 drop probability over 10k draws produced no activity: %+v", a.Stats())
+	}
+}
+
+func TestPacketAttemptsBoundedRetries(t *testing.T) {
+	// DropProb 1: every attempt drops, so every transaction must exhaust
+	// MaxRetries and fail — never loop forever.
+	inj := NewInjector(Config{Seed: 1, DropProb: 1, MaxRetries: 3})
+	extra, attempts, ok := inj.PacketAttempts()
+	if ok {
+		t.Error("guaranteed-drop transaction reported success")
+	}
+	if attempts != 4 {
+		t.Errorf("attempts = %d, want MaxRetries+1 = 4", attempts)
+	}
+	if extra <= 0 {
+		t.Error("retransmissions consumed no time")
+	}
+	if inj.Stats().DropFailures != 1 {
+		t.Errorf("DropFailures = %d, want 1", inj.Stats().DropFailures)
+	}
+}
+
+func TestBindKillsScheduledNodes(t *testing.T) {
+	e := sim.New()
+	inj := NewInjector(Config{Failures: []NodeFailure{
+		{Node: 2, At: 100},
+		{Node: 1, At: 300},
+	}})
+	var died []int
+	inj.Bind(e, 4, func(node int) { died = append(died, node) })
+
+	var victimLast, survivorLast int64
+	victim := e.Spawn("victim", 2, func(p *sim.Proc) {
+		for i := 0; i < 100; i++ {
+			p.Advance(10)
+			victimLast = p.LocalNow()
+		}
+	})
+	e.Spawn("survivor", 3, func(p *sim.Proc) {
+		for i := 0; i < 50; i++ {
+			p.Advance(10)
+			survivorLast = p.LocalNow()
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(died) != 2 || died[0] != 2 || died[1] != 1 {
+		t.Errorf("onDeath order = %v, want [2 1] (time order, not schedule order)", died)
+	}
+	if !victim.Done() || !victim.Killed() {
+		t.Error("proc on failed node not killed")
+	}
+	if victimLast > 100 {
+		t.Errorf("victim advanced to %d, past its node's death at 100", victimLast)
+	}
+	if survivorLast != 500 {
+		t.Errorf("survivor stopped at %d, want 500", survivorLast)
+	}
+	if !inj.NodeDead(2, 100) || inj.NodeDead(2, 99) {
+		t.Error("NodeDead wrong around the death instant")
+	}
+	if inj.NodeDead(3, 1<<40) {
+		t.Error("NodeDead true for a node never scheduled to die")
+	}
+	if inj.Stats().NodesFailed != 2 {
+		t.Errorf("NodesFailed = %d, want 2", inj.Stats().NodesFailed)
+	}
+}
+
+func TestBindPanicsOnNodeZeroKill(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Bind accepted a schedule that kills node 0")
+		}
+	}()
+	NewInjector(Config{Failures: []NodeFailure{{Node: 0, At: 1}}}).Bind(sim.New(), 4, nil)
+}
+
+func TestBindIgnoresOutOfRangeNodes(t *testing.T) {
+	e := sim.New()
+	inj := NewInjector(Config{Failures: []NodeFailure{{Node: 100, At: 50}}})
+	inj.Bind(e, 4, func(int) { t.Error("onDeath called for a node outside the machine") })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if inj.Stats().NodesFailed != 0 {
+		t.Error("out-of-range failure executed")
+	}
+}
+
+func TestCatchRef(t *testing.T) {
+	fire := func() (err error) {
+		defer CatchRef(&err)
+		panic(&RefError{Kind: NodeDown, Node: 3, Time: 42})
+	}
+	err := fire()
+	var re *RefError
+	if !errors.As(err, &re) || re.Kind != NodeDown || re.Node != 3 {
+		t.Fatalf("CatchRef returned %v", err)
+	}
+	clean := func() (err error) {
+		defer CatchRef(&err)
+		return nil
+	}
+	if err := clean(); err != nil {
+		t.Errorf("CatchRef invented an error: %v", err)
+	}
+	// Non-RefError panics must pass through untouched.
+	other := func() (err error) {
+		defer func() {
+			if recover() == nil {
+				t.Error("CatchRef swallowed a foreign panic")
+			}
+		}()
+		defer CatchRef(&err)
+		panic("unrelated")
+	}
+	_ = other()
+}
+
+func TestRefErrorTerminatesProcess(t *testing.T) {
+	var _ sim.Terminator = (*RefError)(nil)
+	if !(&RefError{}).TerminatesProcess() {
+		t.Error("RefError must terminate the raising process when uncaught")
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"butterfly/internal/antfarm"
 	"butterfly/internal/chrysalis"
+	"butterfly/internal/fault"
 	"butterfly/internal/sim"
 )
 
@@ -29,6 +30,11 @@ type Config struct {
 	// MarshalNsPerWord is the per-word cost of gathering/scattering message
 	// parameters.
 	MarshalNsPerWord int64
+	// CallTimeoutNs bounds how long a caller waits for a reply; 0 (the
+	// default) blocks forever. Set it under fault injection so a call to a
+	// process whose node dies mid-conversation returns ErrTimeout instead of
+	// hanging the calling thread.
+	CallTimeoutNs int64
 	// Farm tunes the embedded coroutine scheduler.
 	Farm antfarm.Config
 }
@@ -69,6 +75,7 @@ type Stats struct {
 	CallsIssued   uint64
 	CallsServiced uint64
 	Exceptions    uint64
+	Timeouts      uint64 // calls abandoned after CallTimeoutNs
 }
 
 // request is the on-the-wire form of a call.
@@ -176,6 +183,7 @@ var (
 	ErrLinkDestroyed = errors.New("lynx: link has been destroyed")
 	ErrNotAnEnd      = errors.New("lynx: calling process holds no end of this link")
 	ErrDown          = errors.New("lynx: remote process has shut down")
+	ErrTimeout       = errors.New("lynx: call timed out awaiting reply")
 )
 
 // Link is a movable, destroyable connection between two processes.
@@ -249,16 +257,40 @@ func (lp *Proc) Call(t *antfarm.Thread, l *Link, op string, args any, words int)
 	if callee.down {
 		return nil, ErrDown
 	}
+	if lp.OS.M.NodeFailed(callee.Node) {
+		return nil, ErrDown
+	}
 	lp.stats.CallsIssued++
 	t.P().Advance(lp.Cfg.CallNs + int64(words)*lp.Cfg.MarshalNsPerWord)
 	replyCh := antfarm.NewChannelOn(lp.OS, lp.Node, 1)
-	callee.reqCh.Send(t, request{link: l, op: op, args: args, words: words, replyCh: replyCh}, words)
-	v, _ := replyCh.Recv(t)
+	if err := lp.sendRequest(t, callee, request{link: l, op: op, args: args, words: words, replyCh: replyCh}, words); err != nil {
+		return nil, err
+	}
+	var v any
+	if lp.Cfg.CallTimeoutNs > 0 {
+		var ok bool
+		v, _, ok = replyCh.RecvTimeout(t, lp.Cfg.CallTimeoutNs)
+		if !ok {
+			lp.stats.Timeouts++
+			return nil, ErrTimeout
+		}
+	} else {
+		v, _ = replyCh.Recv(t)
+	}
 	msg := v.(replyMsg)
 	if msg.errText != "" {
 		return nil, &RemoteError{Op: op, Process: callee.Name, Text: msg.errText}
 	}
 	return msg.payload, nil
+}
+
+// sendRequest delivers a request to the callee's channel, converting a
+// reference-fault panic (the callee's node failing mid-send, or an
+// exhausted retransmission) into an error on the calling thread.
+func (lp *Proc) sendRequest(t *antfarm.Thread, callee *Proc, req request, words int) (err error) {
+	defer fault.CatchRef(&err)
+	callee.reqCh.Send(t, req, words)
+	return nil
 }
 
 // RemoteError is an exception raised in a remote handler and re-raised at

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"butterfly/internal/calendar"
+	"butterfly/internal/fault"
 	"butterfly/internal/memory"
 	"butterfly/internal/probe"
 	"butterfly/internal/sim"
@@ -110,6 +111,10 @@ type Machine struct {
 	// probe, when non-nil, is the machine-wide observability probe, shared
 	// with the engine, the network, and every memory module.
 	probe *probe.Probe
+	// faults, when non-nil, is the machine's fault injector: every reference
+	// consults it for node deaths, packet drops, and parity errors. Like the
+	// probe, absence costs each hot path one nil check.
+	faults *fault.Injector
 }
 
 // AttachProbe threads an observability probe through every layer of the
@@ -130,6 +135,93 @@ func (m *Machine) AttachProbe(p *probe.Probe) {
 // Probe returns the attached probe, or nil. Layers above the machine
 // (Chrysalis, the programming models) emit their events through it.
 func (m *Machine) Probe() *probe.Probe { return m.probe }
+
+// AttachFaults arms a fault injector on the machine: its schedule of node
+// deaths is bound to the engine (a daemon process executes each one,
+// marking the node's memory module failed and killing the node's
+// processes), and every subsequent memory reference consults the injector
+// for drop and parity fates. Attach at most once, before Run. A machine
+// without an injector pays one nil check per reference and behaves exactly
+// as before.
+func (m *Machine) AttachFaults(f *fault.Injector) {
+	if m.faults != nil {
+		panic("machine: AttachFaults called twice")
+	}
+	if f == nil {
+		return
+	}
+	m.faults = f
+	f.Bind(m.E, m.Cfg.Nodes, func(node int) {
+		m.Nodes[node].Mem.SetFailed(true)
+	})
+}
+
+// Faults returns the attached fault injector, or nil.
+func (m *Machine) Faults() *fault.Injector { return m.faults }
+
+// NodeFailed reports whether node is dead at the current virtual time.
+// Runtime layers use it to route work away from failed nodes.
+func (m *Machine) NodeFailed(node int) bool {
+	return m.faults != nil && m.faults.NodeDead(node, m.E.Now())
+}
+
+// preFault guards a reference from p to node: a process whose own node has
+// died exits immediately (its processor no longer runs), and a reference to
+// a dead node raises NodeDown. Called only when an injector is attached.
+func (m *Machine) preFault(p *sim.Proc, node int) {
+	now := m.E.Now()
+	if m.faults.NodeDead(p.Node, now) {
+		p.Exit()
+	}
+	if m.faults.NodeDead(node, now) {
+		m.raiseFault(p, node, fault.NodeDown)
+	}
+}
+
+// raiseFault records the fault on the probe and panics the corresponding
+// *fault.RefError — the simulated hardware trap. chrysalis.Catch converts it
+// into a catchable ThrowError; an unhandled one terminates only p.
+func (m *Machine) raiseFault(p *sim.Proc, node int, kind fault.Kind) {
+	if pr := m.probe; pr != nil {
+		pr.Fault(m.E.Now(), p.ID, node, kind.String())
+	}
+	panic(&fault.RefError{Kind: kind, Node: node, Time: m.E.Now()})
+}
+
+// refFault draws the fate of one reference burst against node: extraNs is
+// retransmission backoff latency to charge, and failed reports that the
+// burst ultimately failed with kind. remote bursts risk packet drops; all
+// bursts risk parity errors. One drop draw covers the whole burst — drop
+// recovery is per switch transaction, and modelling it per word would break
+// the folded single-pass calendar paths for no observable gain.
+func (m *Machine) refFault(node int, remote bool) (extraNs int64, kind fault.Kind, failed bool) {
+	f := m.faults
+	if remote && f.DropsEnabled() {
+		extra, attempts, ok := f.PacketAttempts()
+		extraNs += extra
+		if attempts > 1 {
+			m.Net.NoteDrops(attempts - 1)
+		}
+		if !ok {
+			return extraNs, fault.PacketLoss, true
+		}
+	}
+	if f.ParityEnabled() && f.ParityHit() {
+		return extraNs, fault.Parity, true
+	}
+	return extraNs, 0, false
+}
+
+// chargeFaulty charges p for a reference of duration d to node, adding any
+// injected retransmission latency and raising the drawn fault after the
+// charge. Called only when an injector is attached.
+func (m *Machine) chargeFaulty(p *sim.Proc, node int, remote bool, d int64) {
+	extra, kind, failed := m.refFault(node, remote)
+	p.Charge(d + extra)
+	if failed {
+		m.raiseFault(p, node, kind)
+	}
+}
 
 // Stats aggregates machine-level reference counters.
 type Stats struct {
@@ -250,12 +342,20 @@ func (m *Machine) access(p *sim.Proc, node, words int) {
 	if words <= 0 {
 		words = 1
 	}
+	faulty := m.faults != nil
+	if faulty {
+		m.preFault(p, node)
+	}
 	n := m.node(node)
 	if node == p.Node {
 		// Local: processor overhead once, then the module streams the words.
 		m.stats.LocalRefs++
 		now := m.E.Now()
 		_, done := n.Mem.Service(now+m.Cfg.LocalOverheadNs, words, true)
+		if faulty {
+			m.chargeFaulty(p, node, false, done-now)
+			return
+		}
 		p.Charge(done - now)
 		return
 	}
@@ -270,6 +370,10 @@ func (m *Machine) access(p *sim.Proc, node, words int) {
 		// the per-word loop folds into a single calendar pass.
 		gap := m.Cfg.PNCOverheadNs + 2*m.wordTransit
 		done := n.Mem.ServiceRun(now+m.Cfg.PNCOverheadNs+m.wordTransit, words, gap, false)
+		if faulty {
+			m.chargeFaulty(p, node, true, done+m.wordTransit-now)
+			return
+		}
 		p.Charge(done + m.wordTransit - now)
 		return
 	}
@@ -279,6 +383,10 @@ func (m *Machine) access(p *sim.Proc, node, words int) {
 		t = m.transit(t, p.Node, node, wordBytes)
 		_, t = n.Mem.Service(t, 1, false)
 		t = m.transit(t, node, p.Node, wordBytes)
+	}
+	if faulty {
+		m.chargeFaulty(p, node, true, t-now)
+		return
 	}
 	p.Charge(t - now)
 }
@@ -294,6 +402,13 @@ func (m *Machine) BlockCopy(p *sim.Proc, src, dst, words int) {
 	if words <= 0 {
 		return
 	}
+	faulty := m.faults != nil
+	if faulty {
+		m.preFault(p, src)
+		if dst != src {
+			m.preFault(p, dst)
+		}
+	}
 	sn, dn := m.node(src), m.node(dst)
 	m.stats.BlockCopies++
 	now := m.E.Now()
@@ -301,6 +416,10 @@ func (m *Machine) BlockCopy(p *sim.Proc, src, dst, words int) {
 	if src == dst {
 		// Local copy: read + write through the one module.
 		_, t = sn.Mem.Service(t, 2*words, src == p.Node)
+		if faulty {
+			m.chargeFaulty(p, src, src != p.Node, t-now)
+			return
+		}
 		p.Charge(t - now)
 		return
 	}
@@ -319,6 +438,15 @@ func (m *Machine) BlockCopy(p *sim.Proc, src, dst, words int) {
 	if dDone < nDone {
 		dDone = nDone
 	}
+	if faulty {
+		// Blame the remote end of the transfer for any drawn fault.
+		rnode := dst
+		if rnode == p.Node {
+			rnode = src
+		}
+		m.chargeFaulty(p, rnode, true, dDone-now)
+		return
+	}
 	p.Charge(dDone - now)
 }
 
@@ -330,11 +458,19 @@ func (m *Machine) BlockCopy(p *sim.Proc, src, dst, words int) {
 func (m *Machine) Atomic(p *sim.Proc, node int) {
 	p.Sync()
 	m.maybePrune()
+	faulty := m.faults != nil
+	if faulty {
+		m.preFault(p, node)
+	}
 	n := m.node(node)
 	m.stats.AtomicOps++
 	now := m.E.Now()
 	if node == p.Node {
 		_, done := n.Mem.Service(now+m.Cfg.LocalOverheadNs, 2, true)
+		if faulty {
+			m.chargeFaulty(p, node, false, done-now)
+			return
+		}
 		p.Charge(done - now)
 		return
 	}
@@ -342,6 +478,10 @@ func (m *Machine) Atomic(p *sim.Proc, node int) {
 	t = m.transit(t, p.Node, node, wordBytes)
 	_, t = n.Mem.Service(t, 2, false)
 	t = m.transit(t, node, p.Node, wordBytes)
+	if faulty {
+		m.chargeFaulty(p, node, true, t-now)
+		return
+	}
 	p.Charge(t - now)
 }
 
@@ -368,6 +508,15 @@ func (m *Machine) Sweep(p *sim.Proc, items int, computeNs int64, refs []Ref) {
 	if items <= 0 {
 		return
 	}
+	faulty := m.faults != nil
+	if faulty {
+		m.preFault(p, p.Node)
+		for _, r := range refs {
+			if r.Node != p.Node {
+				m.preFault(p, r.Node)
+			}
+		}
+	}
 	now := m.E.Now()
 	t := now
 	fixedNet := m.Cfg.NoSwitchContention
@@ -390,6 +539,10 @@ func (m *Machine) Sweep(p *sim.Proc, items int, computeNs int64, refs []Ref) {
 		}
 	}
 	m.sweepRefMods = mods
+	var failNode int
+	var failKind fault.Kind
+	failed := false
+outer:
 	for it := 0; it < items; it++ {
 		t += computeNs
 		for j, r := range refs {
@@ -398,31 +551,46 @@ func (m *Machine) Sweep(p *sim.Proc, items int, computeNs int64, refs []Ref) {
 				continue
 			}
 			mod := mods[j]
-			if r.Node == p.Node {
+			switch {
+			case r.Node == p.Node:
 				m.stats.LocalRefs++
 				_, t = mod.ServiceBatch(t+m.Cfg.LocalOverheadNs, words, true)
-				continue
-			}
-			m.stats.RemoteRefs += uint64(words)
-			if fixedNet {
+			case fixedNet:
+				m.stats.RemoteRefs += uint64(words)
 				t = mod.ServiceRunBatch(t+lead, words, gap, false) + m.wordTransit
-				continue
+			default:
+				m.stats.RemoteRefs += uint64(words)
+				for w := 0; w < words; w++ {
+					t += m.Cfg.PNCOverheadNs
+					t = m.transit(t, p.Node, r.Node, wordBytes)
+					_, t = mod.ServiceBatch(t, 1, false)
+					t = m.transit(t, r.Node, p.Node, wordBytes)
+				}
 			}
-			for w := 0; w < words; w++ {
-				t += m.Cfg.PNCOverheadNs
-				t = m.transit(t, p.Node, r.Node, wordBytes)
-				_, t = mod.ServiceBatch(t, 1, false)
-				t = m.transit(t, r.Node, p.Node, wordBytes)
+			if faulty {
+				// One fate draw per reference group. On failure the sweep
+				// stops here: the work already booked happened, the rest of
+				// the sweep never does.
+				extra, kind, bad := m.refFault(r.Node, r.Node != p.Node)
+				t += extra
+				if bad {
+					failNode, failKind, failed = r.Node, kind, true
+					break outer
+				}
 			}
 		}
 	}
 	// Commit before Charge: Charge may flush and park, handing the token to
-	// another process that must see the completed schedule.
+	// another process that must see the completed schedule. A drawn fault is
+	// raised only after both, so batches are never left open.
 	for _, mod := range m.sweepMods {
 		mod.CommitBatchScratch(&m.commitScratch)
 	}
 	m.sweepMods = m.sweepMods[:0]
 	p.Charge(t - now)
+	if failed {
+		m.raiseFault(p, failNode, failKind)
+	}
 }
 
 // Microcode charges p for a PNC-microcoded operation (event post, dual
@@ -433,6 +601,10 @@ func (m *Machine) Sweep(p *sim.Proc, items int, computeNs int64, refs []Ref) {
 func (m *Machine) Microcode(p *sim.Proc, node int, busyNs int64) {
 	p.Sync()
 	m.maybePrune()
+	faulty := m.faults != nil
+	if faulty {
+		m.preFault(p, node)
+	}
 	n := m.node(node)
 	words := int(busyNs / m.Cfg.MemCycleNs)
 	if words < 1 {
@@ -449,6 +621,10 @@ func (m *Machine) Microcode(p *sim.Proc, node int, busyNs int64) {
 	_, t = n.Mem.Service(t, words, node == p.Node)
 	if node != p.Node {
 		t = m.transit(t, node, p.Node, wordBytes)
+	}
+	if faulty {
+		m.chargeFaulty(p, node, node != p.Node, t-now)
+		return
 	}
 	p.Charge(t - now)
 }

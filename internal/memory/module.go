@@ -30,6 +30,10 @@ type Module struct {
 	cal   calendar.Calendar
 	alloc *FirstFit
 	stats ModuleStats
+	// failed marks the module dead (its node was failed by the fault
+	// injector): allocation requests are rejected. Reference-level rejection
+	// is handled above, in the machine layer, which knows the issuer.
+	failed bool
 	// probe, when non-nil, observes every reference served (occupancy,
 	// queueing delay, local/remote origin). Purely observational.
 	probe *probe.Probe
@@ -200,8 +204,23 @@ func (m *Module) Stats() ModuleStats { return m.stats }
 // ResetStats zeroes the counters (occupancy is retained).
 func (m *Module) ResetStats() { m.stats = ModuleStats{} }
 
+// SetFailed marks the module dead or alive. A dead module rejects storage
+// allocation; the machine layer additionally fails every reference to it.
+func (m *Module) SetFailed(failed bool) { m.failed = failed }
+
+// Failed reports whether the module has been marked dead.
+func (m *Module) Failed() bool { return m.failed }
+
+// ErrModuleFailed is returned by Alloc on a dead module.
+var ErrModuleFailed = errors.New("memory: module failed")
+
 // Alloc reserves size bytes in the module and returns the byte offset.
-func (m *Module) Alloc(size int) (int, error) { return m.alloc.Alloc(size) }
+func (m *Module) Alloc(size int) (int, error) {
+	if m.failed {
+		return 0, ErrModuleFailed
+	}
+	return m.alloc.Alloc(size)
+}
 
 // Free releases a previously allocated range.
 func (m *Module) Free(off, size int) error { return m.alloc.Free(off, size) }

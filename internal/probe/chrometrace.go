@@ -126,6 +126,23 @@ func EventsToChrome(pid int, label string, events []Event) []ChromeEvent {
 				ce.Args = map[string]any{"words": ev.Words}
 			}
 			out = append(out, ce)
+		case KindFault:
+			// Faults render as global instants so they stand out when
+			// scrubbing: on the issuing process's track when known, else on
+			// the affected node's memory track.
+			tid := ev.Proc
+			if tid < 0 {
+				tid = tidMemBase + ev.Node
+				if !memSeen[ev.Node] {
+					memSeen[ev.Node] = true
+					meta(tid, fmt.Sprintf("mem module %d", ev.Node))
+				}
+			}
+			out = append(out, ChromeEvent{
+				Name: "fault: " + ev.Name, Cat: "fault", Ph: "i", S: "g",
+				Ts: usTs(ev.Time), Pid: pid, Tid: tid,
+				Args: map[string]any{"node": ev.Node},
+			})
 		case KindDispatch, KindUnblock:
 			// High-frequency bookkeeping instants; the compute spans already
 			// show the schedule, so these stay out of the export to keep

@@ -95,6 +95,19 @@ type Metrics struct {
 	Prims      uint64
 	MsgSends   uint64
 	MsgRecvs   uint64
+	Faults     uint64
+
+	// FaultLog retains every injected-fault record, in occurrence order.
+	// Empty (and unreported) when no fault injector is attached.
+	FaultLog []FaultRecord
+}
+
+// FaultRecord is one injected-fault observation.
+type FaultRecord struct {
+	Time int64  // virtual time of the fault
+	Proc int    // process issuing the failed reference, -1 for node deaths
+	Node int    // affected node
+	What string // fault label: "node-down", "packet-loss", "parity"
 }
 
 func (m *Metrics) memGrow(node int) {
@@ -308,9 +321,44 @@ func (m *Metrics) WriteReport(w io.Writer, elapsedNs int64, topN int) {
 			float64(compute(id))/1e6, float64(idle)/1e6, float64(m.ProcBlockedNs[id])/1e6)
 	}
 
-	fmt.Fprintf(w, "\ncounters: spawns=%d dispatches=%d parks=%d flushes=%d blocks=%d enq=%d deq=%d prims=%d send=%d recv=%d\n",
+	// Injected faults. Reported only when an injector actually fired, so
+	// fault-free probe reports stay byte-identical to the pre-fault tree.
+	if m.Faults > 0 {
+		byWhat := map[string]uint64{}
+		for _, f := range m.FaultLog {
+			byWhat[f.What]++
+		}
+		whats := make([]string, 0, len(byWhat))
+		for k := range byWhat {
+			whats = append(whats, k)
+		}
+		sort.Strings(whats)
+		fmt.Fprintf(w, "\ninjected faults: %d total (", m.Faults)
+		for i, k := range whats {
+			if i > 0 {
+				fmt.Fprintf(w, ", ")
+			}
+			fmt.Fprintf(w, "%s=%d", k, byWhat[k])
+		}
+		fmt.Fprintf(w, ")\n")
+		shown := len(m.FaultLog)
+		if shown > topN {
+			shown = topN
+		}
+		fmt.Fprintf(w, "  first %d:\n", shown)
+		for _, f := range m.FaultLog[:shown] {
+			fmt.Fprintf(w, "  t=%-12.3fms node=%-4d proc=%-5d %s\n",
+				float64(f.Time)/1e6, f.Node, f.Proc, f.What)
+		}
+	}
+
+	fmt.Fprintf(w, "\ncounters: spawns=%d dispatches=%d parks=%d flushes=%d blocks=%d enq=%d deq=%d prims=%d send=%d recv=%d",
 		m.Spawns, m.Dispatches, m.Parks, m.Flushes, m.Blocks,
 		m.Enqueues, m.Dequeues, m.Prims, m.MsgSends, m.MsgRecvs)
+	if m.Faults > 0 {
+		fmt.Fprintf(w, " faults=%d", m.Faults)
+	}
+	fmt.Fprintf(w, "\n")
 }
 
 func safeRatio(a, b float64) float64 {

@@ -60,6 +60,10 @@ const (
 	// KindMsgRecv: a model-level message was received (Proc, Node, Words,
 	// Name).
 	KindMsgRecv
+	// KindFault: the fault injector acted (Node = affected node, Proc = the
+	// process issuing the failed reference or -1, Name = fault label like
+	// "node-down", "packet-loss", "parity").
+	KindFault
 
 	numKinds
 )
@@ -95,6 +99,8 @@ func (k Kind) String() string {
 		return "send"
 	case KindMsgRecv:
 		return "recv"
+	case KindFault:
+		return "fault"
 	}
 	return "invalid"
 }
@@ -291,4 +297,13 @@ func (p *Probe) MsgSend(t int64, proc, dstNode, words int, model string) {
 func (p *Probe) MsgRecv(t int64, proc, srcNode, words int, model string) {
 	p.met.MsgRecvs++
 	p.emit(Event{Kind: KindMsgRecv, Time: t, Proc: proc, Node: srcNode, Words: words, Name: model})
+}
+
+// Fault records an injected fault hitting the simulation: a node death, an
+// exhausted packet-retry sequence, or a parity error. proc is the process
+// that issued the failing reference, or -1 for machine-level events.
+func (p *Probe) Fault(t int64, proc, node int, what string) {
+	p.met.Faults++
+	p.met.FaultLog = append(p.met.FaultLog, FaultRecord{Time: t, Proc: proc, Node: node, What: what})
+	p.emit(Event{Kind: KindFault, Time: t, Proc: proc, Node: node, Name: what})
 }

@@ -70,7 +70,11 @@ type Proc struct {
 	resume     chan struct{}
 	state      procState
 	blockedOn  string // reason string while blocked, for deadlock reports
-	exited     bool   // set when terminated via Exit
+	exited     bool   // set when terminated via Exit or Kill
+	killed     bool   // terminated from outside via Engine.Kill (node failure)
+	finishing  bool   // body has returned; the completion handler is running
+	timedWait  bool   // parked on a timeout event while logically waiting on a queue
+	fatal      any    // Terminator panic value that ended the process, if any
 	spawnedAt  int64
 	finishedAt int64
 
@@ -223,8 +227,13 @@ func (e *Engine) Spawn(name string, node int, fn func(p *Proc)) *Proc {
 		// continues even if fn terminates via runtime.Goexit (e.g. t.Fatal
 		// in a test body) — otherwise the engine would wait forever.
 		defer func() {
+			p.finishing = true
 			if p.local > 0 {
-				p.sync() // complete at the process's true local time
+				if p.killed {
+					p.local = 0 // a killed process's unflushed time never happened
+				} else {
+					p.sync() // complete at the process's true local time
+				}
 			}
 			p.state = stateDone
 			p.finishedAt = e.now
@@ -243,11 +252,23 @@ func (e *Engine) Spawn(name string, node int, fn func(p *Proc)) *Proc {
 			}
 		}()
 		defer func() {
-			if r := recover(); r != nil && r != errExit {
-				panic(r) // real panic: propagate (crashes the test)
+			r := recover()
+			if r == nil || r == errExit {
+				return
 			}
+			if t, ok := r.(Terminator); ok && t.TerminatesProcess() {
+				// An unhandled process-fatal condition (a Chrysalis throw
+				// with no enclosing catch, an uncaught hardware fault):
+				// only the raising process dies, not the simulation.
+				p.exited = true
+				p.fatal = r
+				return
+			}
+			panic(r) // real panic: propagate (crashes the test)
 		}()
-		fn(p)
+		if !p.killed {
+			fn(p)
+		}
 	}()
 	e.schedule(p, e.now)
 	if pr := e.probe; pr != nil {
@@ -259,6 +280,16 @@ func (e *Engine) Spawn(name string, node int, fn func(p *Proc)) *Proc {
 
 // errExit is the sentinel panic value used by Proc.Exit.
 var errExit = new(int)
+
+// Terminator is implemented by panic values that terminate only the raising
+// process rather than the whole simulation — the software analogue of a
+// hardware trap delivered to one processor. chrysalis.ThrowError and
+// fault.RefError implement it; the spawn wrapper recovers such values and
+// completes the process (recording the value, retrievable via Proc.Fatal)
+// instead of crashing the run.
+type Terminator interface {
+	TerminatesProcess() bool
+}
 
 // schedule enqueues a resumption of p at time at and marks it ready.
 func (e *Engine) schedule(p *Proc, at int64) {
@@ -417,6 +448,9 @@ func (p *Proc) park() {
 	}
 	next := e.popNext()
 	if next == p {
+		if p.killed && !p.finishing {
+			panic(errExit) // killed while parked: die at the resumption point
+		}
 		return // own event is next: no context switch needed
 	}
 	if next != nil {
@@ -425,6 +459,9 @@ func (p *Proc) park() {
 		e.endRun()
 	}
 	<-p.resume
+	if p.killed && !p.finishing {
+		panic(errExit) // killed while parked: die at the resumption point
+	}
 }
 
 // mustBeRunning panics unless p is the currently executing process. All
@@ -523,6 +560,19 @@ func (e *Engine) Unblock(p *Proc, delay int64) {
 	if r := e.running; r != nil && r.local > 0 {
 		r.sync()
 	}
+	if p.timedWait {
+		// The process is waiting with a timeout: it is stateReady with a
+		// pending timeout event in the heap, not stateBlocked. Clearing
+		// timedWait before the event fires is what signals "woken, not
+		// timed out" to BlockTimeout; rescheduling moves the wake earlier.
+		p.timedWait = false
+		p.blockedOn = ""
+		e.schedule(p, e.now+delay)
+		if pr := e.probe; pr != nil {
+			pr.ProcUnblock(e.now, p.ID)
+		}
+		return
+	}
 	if p.state != stateBlocked {
 		panic(fmt.Sprintf("sim: Unblock of proc %d %q in state %v", p.ID, p.Name, p.state))
 	}
@@ -542,11 +592,72 @@ func (p *Proc) Exit() {
 	panic(errExit)
 }
 
+// Kill terminates another process from outside, modelling a node failure: the
+// victim never runs user code again. A blocked or waiting victim is
+// rescheduled at the current time so its goroutine unwinds promptly (its park
+// panics the exit sentinel at the resumption point); a ready victim dies at
+// its next dispatch. Any lazily charged local time the victim has accumulated
+// is discarded — a killed process's unflushed work never happened. Killing
+// the running process is not allowed (use Exit); killing a completed or
+// already killed process is a no-op.
+func (e *Engine) Kill(p *Proc) {
+	if p == nil || p.state == stateDone || p.killed {
+		return
+	}
+	if p == e.running {
+		panic(fmt.Sprintf("sim: Kill of running proc %d %q (use Exit)", p.ID, p.Name))
+	}
+	if r := e.running; r != nil && r.local > 0 {
+		r.sync()
+	}
+	p.killed = true
+	p.exited = true
+	if p.state == stateBlocked {
+		e.blocked--
+	}
+	p.blockedOn = ""
+	p.timedWait = false
+	e.schedule(p, e.now)
+}
+
+// BlockTimeout suspends the calling process until either Unblock is called on
+// it or d nanoseconds of virtual time elapse, whichever comes first. It
+// returns true if the wait timed out. Unlike Block, the process stays in the
+// event heap (with a pending timeout event), so a forgotten waiter can never
+// deadlock the simulation. reason appears in probe traces. d must be >= 0.
+func (p *Proc) BlockTimeout(reason string, d int64) (timedOut bool) {
+	p.mustBeRunning("BlockTimeout")
+	if d < 0 {
+		panic("sim: BlockTimeout with negative duration")
+	}
+	e := p.eng
+	p.sync()
+	p.timedWait = true
+	p.blockedOn = reason
+	if pr := e.probe; pr != nil {
+		pr.ProcBlock(e.now, p.ID, reason)
+	}
+	e.schedule(p, e.now+d)
+	p.park()
+	timedOut = p.timedWait
+	p.timedWait = false
+	p.blockedOn = ""
+	return timedOut
+}
+
 // Blocked reports whether the process is currently blocked.
 func (p *Proc) Blocked() bool { return p.state == stateBlocked }
 
 // Done reports whether the process has completed.
 func (p *Proc) Done() bool { return p.state == stateDone }
+
+// Killed reports whether the process was terminated from outside via
+// Engine.Kill (a node failure). Wait queues use this to skip dead waiters.
+func (p *Proc) Killed() bool { return p.killed }
+
+// Fatal returns the Terminator panic value that ended the process (an
+// uncaught throw or hardware fault), or nil if it exited normally.
+func (p *Proc) Fatal() any { return p.fatal }
 
 // Engine returns the engine this process belongs to.
 func (p *Proc) Engine() *Engine { return p.eng }

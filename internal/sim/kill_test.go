@@ -1,0 +1,204 @@
+package sim
+
+import "testing"
+
+func TestKillRunnableProc(t *testing.T) {
+	e := New()
+	var reached bool
+	victim := e.Spawn("victim", 1, func(p *Proc) {
+		p.Advance(100)
+		reached = true // must never run: the kill lands at t=50
+	})
+	e.Spawn("killer", 0, func(p *Proc) {
+		p.Advance(50)
+		e.Kill(victim)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if reached {
+		t.Error("killed proc executed code past its kill point")
+	}
+	if !victim.Done() || !victim.Killed() {
+		t.Errorf("victim Done=%v Killed=%v, want true/true", victim.Done(), victim.Killed())
+	}
+}
+
+func TestKillBlockedProc(t *testing.T) {
+	e := New()
+	var woke bool
+	victim := e.Spawn("victim", 1, func(p *Proc) {
+		p.Block("forever")
+		woke = true
+	})
+	e.Spawn("killer", 0, func(p *Proc) {
+		p.Advance(10)
+		e.Kill(victim)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if woke {
+		t.Error("killed proc resumed past its block")
+	}
+	if !victim.Done() {
+		t.Error("killed blocked proc never completed")
+	}
+}
+
+func TestKillDiscardsUnflushedLocalClock(t *testing.T) {
+	e := New()
+	victim := e.Spawn("victim", 1, func(p *Proc) {
+		p.Charge(1_000_000) // lazy: never synced before the kill
+		p.Block("wait")
+	})
+	e.Spawn("killer", 0, func(p *Proc) {
+		p.Advance(10)
+		e.Kill(victim)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := e.Now(); got != 10 {
+		t.Errorf("engine Now = %d, want 10 (victim's unflushed charge must be discarded)", got)
+	}
+}
+
+func TestKillIsIdempotentAndIgnoresDone(t *testing.T) {
+	e := New()
+	done := e.Spawn("done", 0, func(p *Proc) { p.Advance(1) })
+	victim := e.Spawn("victim", 1, func(p *Proc) { p.Block("forever") })
+	e.Spawn("killer", 0, func(p *Proc) {
+		p.Advance(5)
+		e.Kill(done) // no-op: already finished
+		e.Kill(victim)
+		e.Kill(victim) // no-op: already killed
+		e.Kill(nil)    // no-op
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if done.Killed() {
+		t.Error("Kill of a finished proc marked it killed")
+	}
+	if !victim.Done() || !victim.Killed() {
+		t.Error("victim not terminated")
+	}
+}
+
+func TestBlockTimeoutExpires(t *testing.T) {
+	e := New()
+	var timedOut bool
+	var at int64
+	e.Spawn("waiter", 0, func(p *Proc) {
+		p.Advance(100)
+		timedOut = p.BlockTimeout("nothing coming", 250)
+		at = p.LocalNow()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !timedOut {
+		t.Error("BlockTimeout with no Unblock must report timeout")
+	}
+	if at != 350 {
+		t.Errorf("woke at %d, want 350", at)
+	}
+}
+
+func TestBlockTimeoutWokenEarly(t *testing.T) {
+	e := New()
+	var timedOut bool
+	var at int64
+	waiter := e.Spawn("waiter", 0, func(p *Proc) {
+		timedOut = p.BlockTimeout("waiting for poster", 1_000)
+		at = p.LocalNow()
+	})
+	e.Spawn("poster", 1, func(p *Proc) {
+		p.Advance(40)
+		e.Unblock(waiter, 0)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if timedOut {
+		t.Error("unblocked-before-deadline wait reported a timeout")
+	}
+	if at != 40 {
+		t.Errorf("woke at %d, want 40", at)
+	}
+	if got := e.Now(); got >= 1_000 {
+		t.Errorf("engine ran to %d: the expired deadline entry was not cancelled", got)
+	}
+}
+
+// terminator is a Terminator-implementing panic value, standing in for
+// fault.RefError / chrysalis.ThrowError without importing either.
+type terminator struct{ msg string }
+
+func (terminator) TerminatesProcess() bool { return true }
+
+func TestTerminatorPanicCompletesProcess(t *testing.T) {
+	e := New()
+	var after bool
+	p1 := e.Spawn("thrower", 0, func(p *Proc) {
+		p.Advance(10)
+		panic(terminator{"unhandled exception"})
+	})
+	e.Spawn("bystander", 1, func(p *Proc) {
+		p.Advance(50)
+		after = true
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v (a Terminator panic must kill only its process)", err)
+	}
+	if !p1.Done() {
+		t.Error("thrower did not complete")
+	}
+	if tv, ok := p1.Fatal().(terminator); !ok || tv.msg != "unhandled exception" {
+		t.Errorf("Fatal() = %#v, want the panic value", p1.Fatal())
+	}
+	if !after {
+		t.Error("bystander was not scheduled after the terminator panic")
+	}
+}
+
+func TestWaitQueueSkipsKilledWaiters(t *testing.T) {
+	e := New()
+	q := NewWaitQueue("test")
+	var liveWoke bool
+	dead := e.Spawn("dead", 1, func(p *Proc) { q.Wait(p) })
+	e.Spawn("live", 2, func(p *Proc) {
+		p.Advance(5)
+		q.Wait(p)
+		liveWoke = true
+	})
+	e.Spawn("driver", 0, func(p *Proc) {
+		p.Advance(10)
+		e.Kill(dead)
+		p.Advance(10)
+		q.WakeOne(e, 0) // must pass over the killed head and wake the live waiter
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !liveWoke {
+		t.Error("WakeOne woke the killed waiter instead of the live one")
+	}
+}
+
+func TestWaitTimeoutRemovesFromQueue(t *testing.T) {
+	e := New()
+	q := NewWaitQueue("test")
+	e.Spawn("waiter", 0, func(p *Proc) {
+		if !q.WaitTimeout(p, 100) {
+			t.Error("WaitTimeout with no waker must time out")
+		}
+		if q.Len() != 0 {
+			t.Errorf("timed-out waiter still queued (len=%d)", q.Len())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}

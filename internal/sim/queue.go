@@ -30,33 +30,57 @@ func (q *WaitQueue) Wait(p *Proc) {
 	p.Block(q.name)
 }
 
-// WakeOne unblocks the longest-waiting process, if any, after delay
-// nanoseconds of virtual time. It reports whether a process was woken.
+// WaitTimeout blocks the calling process on the queue for at most d
+// nanoseconds of virtual time. It reports whether the wait timed out (true)
+// rather than being woken (false). On timeout the process has already been
+// removed from the queue.
+func (q *WaitQueue) WaitTimeout(p *Proc, d int64) (timedOut bool) {
+	p.mustBeRunning("WaitQueue.WaitTimeout")
+	p.sync()
+	q.procs = append(q.procs, p)
+	if p.BlockTimeout(q.name, d) {
+		q.Remove(p)
+		return true
+	}
+	return false
+}
+
+// WakeOne unblocks the longest-waiting live process, if any, after delay
+// nanoseconds of virtual time. Processes killed while waiting (their node
+// failed) are discarded silently. It reports whether a process was woken.
 // A running caller's local clock is flushed before the queue is examined.
 func (q *WaitQueue) WakeOne(e *Engine, delay int64) bool {
 	if r := e.running; r != nil && r.local > 0 {
 		r.sync()
 	}
-	if len(q.procs) == 0 {
-		return false
+	for len(q.procs) > 0 {
+		p := q.procs[0]
+		copy(q.procs, q.procs[1:])
+		q.procs = q.procs[:len(q.procs)-1]
+		if p.killed {
+			continue
+		}
+		e.Unblock(p, delay)
+		return true
 	}
-	p := q.procs[0]
-	copy(q.procs, q.procs[1:])
-	q.procs = q.procs[:len(q.procs)-1]
-	e.Unblock(p, delay)
-	return true
+	return false
 }
 
-// WakeAll unblocks every waiting process (in FIFO order, all at the same
-// virtual instant plus delay). It returns the number of processes woken.
-// A running caller's local clock is flushed before the queue is examined.
+// WakeAll unblocks every live waiting process (in FIFO order, all at the same
+// virtual instant plus delay), discarding killed waiters. It returns the
+// number of processes woken. A running caller's local clock is flushed before
+// the queue is examined.
 func (q *WaitQueue) WakeAll(e *Engine, delay int64) int {
 	if r := e.running; r != nil && r.local > 0 {
 		r.sync()
 	}
-	n := len(q.procs)
+	n := 0
 	for _, p := range q.procs {
+		if p.killed {
+			continue
+		}
 		e.Unblock(p, delay)
+		n++
 	}
 	q.procs = q.procs[:0]
 	return n
@@ -89,3 +113,6 @@ func Seconds(ns int64) float64 { return float64(ns) / 1e9 }
 
 // Micros converts a virtual-time duration in nanoseconds to float microseconds.
 func Micros(ns int64) float64 { return float64(ns) / 1e3 }
+
+// Millis converts a virtual-time duration in nanoseconds to float milliseconds.
+func Millis(ns int64) float64 { return float64(ns) / 1e6 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"butterfly/internal/chrysalis"
+	"butterfly/internal/fault"
 	"butterfly/internal/sim"
 )
 
@@ -86,6 +87,9 @@ func (m *Member) Node() int { return m.node }
 // ErrNotNeighbours is returned for sends outside the family topology.
 var ErrNotNeighbours = errors.New("smp: destination is not a neighbour in the family topology")
 
+// ErrPeerDead is returned when the destination member's node has failed.
+var ErrPeerDead = errors.New("smp: peer's node has failed")
+
 // NewFamily creates an n-member family on the given nodes (one member per
 // node, in order; the fixed allocation algorithm the paper notes "can lead
 // to an imbalance in processor load"). creator, if non-nil, pays process
@@ -134,9 +138,15 @@ func (f *Family) Stats() Stats { return f.stats }
 
 // deliver places msg into dst's mailbox and posts its inbox. The sender
 // pays: buffer management (SAR cache or a 1 ms map plus eventual unmap), a
-// block copy of the payload to the receiver's node, and the enqueue.
-func (f *Family) deliver(sender *sim.Proc, dst *Member, msg Message) {
+// block copy of the payload to the receiver's node, and the enqueue. Under
+// fault injection it returns ErrPeerDead for a failed destination and the
+// *fault.RefError of a reference that failed mid-delivery.
+func (f *Family) deliver(sender *sim.Proc, dst *Member, msg Message) (err error) {
+	defer fault.CatchRef(&err)
 	os := f.OS
+	if os.M.NodeFailed(dst.node) {
+		return ErrPeerDead
+	}
 	// Buffer management on the sender side.
 	key := bufferKey{family: f, member: dst.ID}
 	var cache *sarCache
@@ -174,6 +184,7 @@ func (f *Family) deliver(sender *sim.Proc, dst *Member, msg Message) {
 	dst.inbox.Enqueue(sender, uint32(slot))
 	f.stats.MessagesSent++
 	f.stats.WordsSent += uint64(msg.Words)
+	return nil
 }
 
 // memberOf maps a simulated process back to its SMP member, if any.
@@ -220,8 +231,28 @@ func (m *Member) Send(dst, tag, words int, payload any) error {
 	if !m.Fam.Topo.Connected(m.ID, dst, len(m.Fam.Members)) {
 		return ErrNotNeighbours
 	}
-	m.Fam.deliver(m.P, m.Fam.Members[dst], Message{From: m.ID, Tag: tag, Words: words, Payload: payload})
-	return nil
+	return m.Fam.deliver(m.P, m.Fam.Members[dst], Message{From: m.ID, Tag: tag, Words: words, Payload: payload})
+}
+
+// SendRetry is Send with bounded retransmission of transient failures
+// (packet loss, parity): up to attempts tries before giving up with the
+// last error. A dead peer fails immediately — retrying cannot revive it.
+func (m *Member) SendRetry(dst, tag, words int, payload any, attempts int) error {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		err = m.Send(dst, tag, words, payload)
+		if err == nil {
+			return nil
+		}
+		var re *fault.RefError
+		if !errors.As(err, &re) || re.Kind == fault.NodeDown {
+			return err // permanent: dead peer, bad destination
+		}
+	}
+	return err
 }
 
 // SendUp transmits to the parent-family member that created this family.
@@ -230,8 +261,7 @@ func (m *Member) SendUp(tag, words int, payload any) error {
 		return errors.New("smp: family has no parent")
 	}
 	pf := m.Fam.parent.Fam
-	pf.deliver(m.P, m.Fam.parent, Message{From: ^m.ID, Tag: tag, Words: words, Payload: payload})
-	return nil
+	return pf.deliver(m.P, m.Fam.parent, Message{From: ^m.ID, Tag: tag, Words: words, Payload: payload})
 }
 
 // SendDown lets a member that created a child family message one of its
@@ -240,8 +270,7 @@ func (m *Member) SendDown(child *Family, dst, tag, words int, payload any) error
 	if child.parent != m {
 		return errors.New("smp: not the creator of that family")
 	}
-	child.deliver(m.P, child.Members[dst], Message{From: ParentID, Tag: tag, Words: words, Payload: payload})
-	return nil
+	return child.deliver(m.P, child.Members[dst], Message{From: ParentID, Tag: tag, Words: words, Payload: payload})
 }
 
 // Recv blocks until a message arrives and returns it. Messages from any
@@ -255,6 +284,24 @@ func (m *Member) Recv() Message {
 		pr.MsgRecv(m.P.LocalNow(), m.P.ID, m.node, msg.Words, "smp")
 	}
 	return msg
+}
+
+// RecvTimeout is Recv bounded by d nanoseconds of virtual time: ok is false
+// if no message arrived before the deadline. It is how a family survives a
+// lost peer — a member waiting on a sender whose node died resumes instead
+// of blocking forever.
+func (m *Member) RecvTimeout(d int64) (msg Message, ok bool) {
+	v, ok := m.inbox.DequeueTimeout(m.P, d)
+	if !ok {
+		return Message{}, false
+	}
+	slot := int(v)
+	msg = m.mailbox[slot]
+	m.free = append(m.free, slot)
+	if pr := m.Fam.OS.M.Probe(); pr != nil {
+		pr.MsgRecv(m.P.LocalNow(), m.P.ID, m.node, msg.Words, "smp")
+	}
+	return msg, true
 }
 
 // TryRecv returns the next message without blocking; ok is false if none is

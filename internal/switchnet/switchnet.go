@@ -51,6 +51,7 @@ type Stats struct {
 	Packets      uint64 // packets routed
 	TotalHops    uint64 // switch stages traversed
 	ContentionNs int64  // total time spent waiting for busy ports
+	Dropped      uint64 // packets dropped in flight and retransmitted (fault injection)
 }
 
 // Network is the multistage interconnection network. It tracks per-port
@@ -178,6 +179,17 @@ func (n *Network) Transit(now int64, src, dst, bytes int) int64 {
 	}
 	// Delivery completes when the tail clears the last stage.
 	return t + svc
+}
+
+// NoteDrops records n packet drops injected by the fault layer. The machine
+// charges the retransmission latency itself (the retried packets never
+// re-reserve switch ports — a modelling simplification that keeps drop
+// recovery out of the port calendars); the network only keeps the count so
+// switch statistics reflect the loss.
+func (n *Network) NoteDrops(drops int) {
+	if drops > 0 {
+		n.stats.Dropped += uint64(drops)
+	}
 }
 
 // Prune discards port reservations that ended before now; callers invoke it

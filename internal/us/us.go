@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"butterfly/internal/chrysalis"
+	"butterfly/internal/fault"
 	"butterfly/internal/sim"
 )
 
@@ -75,6 +76,9 @@ type US struct {
 	taskQ   *chrysalis.DualQueue
 	pending []pendingTask
 	free    []int // free slots in pending
+	// orphans holds tasks stranded on workers killed by a node failure; the
+	// generator adopts and re-enqueues them on its next poll.
+	orphans []pendingTask
 
 	managers  []*chrysalis.Process
 	workers   []*Worker
@@ -93,12 +97,21 @@ type Stats struct {
 	TasksExecuted uint64
 	Generations   uint64
 	AllocRequests uint64
+	// Fault-tolerance counters (all zero without an injector).
+	TasksRetried       uint64 // transient failures re-enqueued for another try
+	TasksFailed        uint64 // tasks abandoned after MaxTaskTries (or permanent faults)
+	TasksRedistributed uint64 // orphaned tasks of dead workers re-enqueued by the generator
 }
 
 type pendingTask struct {
 	fn    Task
 	index int
+	tries int // failed attempts so far
 }
+
+// MaxTaskTries bounds how many times a task that failed with a transient
+// fault (packet loss, parity) runs before it is abandoned.
+const MaxTaskTries = 3
 
 // poison is the queue datum that tells a manager to shut down.
 const poison = ^uint32(0)
@@ -160,10 +173,21 @@ func Initialize(os *chrysalis.OS, cfg Config, program func(w *Worker)) (*US, err
 	return u, nil
 }
 
-// managerLoop dequeues and executes tasks until poisoned.
+// managerLoop dequeues and executes tasks until poisoned. Under fault
+// injection a transient fault on the dequeue reference is retried (the task
+// queue lives on node 0, which never fails); a manager whose own node dies
+// is killed by the injector and never returns here.
 func (u *US) managerLoop(w *Worker) {
+	faulty := u.OS.M.Faults() != nil
 	for {
-		d := u.taskQ.Dequeue(w.P)
+		var d uint32
+		if faulty {
+			if protect(func() { d = u.taskQ.Dequeue(w.P) }) != nil {
+				continue
+			}
+		} else {
+			d = u.taskQ.Dequeue(w.P)
+		}
 		if d == poison {
 			return
 		}
@@ -175,6 +199,10 @@ func (u *US) managerLoop(w *Worker) {
 func (u *US) execute(w *Worker, slot int) {
 	pt := u.pending[slot]
 	u.free = append(u.free, slot)
+	if u.OS.M.Faults() != nil {
+		u.executeFaulty(w, pt)
+		return
+	}
 	// The wrap overhead is pure manager time: charge it lazily so it merges
 	// into the task body's first sync point instead of costing an engine event.
 	w.P.Charge(u.Cfg.TaskWrapNs)
@@ -191,16 +219,87 @@ func (u *US) execute(w *Worker, slot int) {
 	}
 }
 
+// protect runs fn, converting a reference-fault panic into an error.
+func protect(fn func()) (err error) {
+	defer fault.CatchRef(&err)
+	fn()
+	return err
+}
+
+// runTask runs the task body with reference faults caught.
+func (u *US) runTask(w *Worker, pt pendingTask) (err error) {
+	defer fault.CatchRef(&err)
+	pt.fn(w, pt.index)
+	return nil
+}
+
+// executeFaulty is execute under fault injection: the task body's reference
+// faults are caught (transient ones re-enqueue the task, up to
+// MaxTaskTries), and a worker killed mid-task leaves its task in orphans
+// for the generator to redistribute.
+func (u *US) executeFaulty(w *Worker, pt pendingTask) {
+	done := false    // the task's fate is settled (requeued, failed, or completed)
+	counted := false // remaining has been decremented
+	defer func() {
+		// The worker's node died mid-task. Only pure-Go accounting is legal
+		// here — a dead processor cannot charge time: strand the task for
+		// the generator to adopt, or finish the count if only that was left.
+		if w.P.Killed() {
+			if !done {
+				u.orphans = append(u.orphans, pt)
+			} else if !counted {
+				u.remaining--
+			}
+		}
+	}()
+	w.P.Charge(u.Cfg.TaskWrapNs)
+	err := u.runTask(w, pt)
+	w.TasksRun++
+	u.stats.TasksExecuted++
+	if err != nil {
+		var re *fault.RefError
+		if errors.As(err, &re) && re.Kind != fault.NodeDown && pt.tries+1 < MaxTaskTries {
+			retry := pt
+			retry.tries++
+			if protect(func() { u.enqueue(w.P, retry) }) == nil {
+				done = true
+				u.stats.TasksRetried++
+				return
+			}
+		}
+		u.stats.TasksFailed++
+	}
+	done = true
+	// Completion accounting must not strand the generation, so even the
+	// bookkeeping references are protected: a fault there costs only the
+	// time charge, the Go-state count still settles.
+	_ = protect(func() {
+		u.OS.M.Atomic(w.P, 0)
+		w.P.Sync()
+	})
+	u.remaining--
+	counted = true
+	if u.remaining == 0 {
+		_ = protect(func() { u.doneEvent.Post(w.P, 0) })
+	}
+}
+
 // enqueueTask registers fn(index) and enqueues its descriptor.
 func (u *US) enqueueTask(p *sim.Proc, fn Task, index int) {
+	u.enqueue(p, pendingTask{fn: fn, index: index})
+}
+
+// enqueue registers a pending task (preserving its retry count) and
+// enqueues its descriptor.
+func (u *US) enqueue(p *sim.Proc, pt pendingTask) {
 	var slot int
 	if n := len(u.free); n > 0 {
 		slot = u.free[n-1]
 		u.free = u.free[:n-1]
-		u.pending[slot] = pendingTask{fn, index}
+		u.pending[slot] = pt
 	} else {
 		slot = len(u.pending)
-		u.pending = append(u.pending, pendingTask{fn, index})
+		u.pending = append(u.pending, pt)
 	}
 	u.taskQ.Enqueue(p, uint32(slot))
 }
@@ -220,6 +319,10 @@ func (u *US) GenOnIndex(w *Worker, n int, fn Task) {
 	for i := 0; i < n; i++ {
 		u.enqueueTask(w.P, fn, i)
 	}
+	if u.OS.M.Faults() != nil {
+		u.genOnIndexFaulty(w)
+		return
+	}
 	// Work alongside the managers until the queue drains.
 	for {
 		d, ok := u.taskQ.TryDequeue(w.P)
@@ -237,6 +340,56 @@ func (u *US) GenOnIndex(w *Worker, n int, fn Task) {
 	// it cannot leak into the next generation.
 	if u.remaining > 0 || u.doneEvent.Posted() {
 		u.doneEvent.Wait(w.P)
+	}
+}
+
+// genPollNs is the generator's poll period while waiting out a generation
+// under fault injection: each tick it re-checks for tasks orphaned by dead
+// workers and redistributes them. A completion post still wakes it early.
+const genPollNs = 2 * sim.Millisecond
+
+// genOnIndexFaulty is GenOnIndex's wait phase when an injector is attached.
+// The straggler wait cannot be a bare event wait: the worker holding the
+// final task may be killed, so the generator polls, adopting orphaned tasks
+// and re-enqueueing them until the count settles.
+func (u *US) genOnIndexFaulty(w *Worker) {
+	for {
+		// Work alongside the managers.
+		for {
+			d, ok := u.taskQ.TryDequeue(w.P)
+			if !ok {
+				break
+			}
+			if d == poison {
+				u.taskQ.Enqueue(w.P, d)
+				break
+			}
+			u.execute(w, int(d))
+		}
+		// Adopt tasks stranded on dead workers.
+		if len(u.orphans) > 0 {
+			orphans := u.orphans
+			u.orphans = nil
+			for _, pt := range orphans {
+				u.stats.TasksRedistributed++
+				if protect(func() { u.enqueue(w.P, pt) }) != nil {
+					// The re-enqueue reference itself failed: give up on
+					// this task rather than strand the generation.
+					u.stats.TasksFailed++
+					u.remaining--
+				}
+			}
+			continue
+		}
+		if u.remaining <= 0 {
+			if u.doneEvent.Posted() {
+				u.doneEvent.Wait(w.P) // consume the pending post
+			}
+			return
+		}
+		// Stragglers remain on other workers: sleep until the completion
+		// post or the next orphan-check tick, whichever comes first.
+		u.doneEvent.WaitTimeout(w.P, genPollNs)
 	}
 }
 
