@@ -7,23 +7,36 @@
 //	butterflybench -list
 //	butterflybench -experiment fig5
 //	butterflybench -all [-quick]
+//	butterflybench -all -parallel 4        # run experiments concurrently (lab scheduler)
+//	butterflybench -all -cache             # reuse content-addressed cached results
+//	butterflybench -all -json              # structured per-experiment results on stdout
 //	butterflybench -all -timing            # wall-clock + events/sec per experiment
 //	butterflybench -all -cpuprofile cpu.pb # profile the simulator itself
 //	butterflybench -experiment hotspot -probe                 # contention report (stderr)
 //	butterflybench -experiment hotspot -trace-out trace.json  # Chrome/Perfetto trace
 //	butterflybench -experiment fig5 -faults 'drop 0.001; kill 7 @ 20ms'
 //	butterflybench -experiment hotspot -faults @sched.txt -fault-seed 42
+//
+// Experiment runs are deterministic and independent, so -parallel N fans
+// them out over the lab's worker pool and reassembles stdout in experiment
+// order — byte-identical to a sequential run, just faster on multi-core
+// hosts. -cache short-circuits experiments whose fingerprint (spec + code
+// version) already has a stored result.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"butterfly/internal/core"
 	"butterfly/internal/fault"
+	"butterfly/internal/lab"
 	"butterfly/internal/machine"
 	"butterfly/internal/probe"
 	"butterfly/internal/sim"
@@ -35,28 +48,40 @@ func main() {
 		expID      = flag.String("experiment", "", "run one experiment by id")
 		all        = flag.Bool("all", false, "run every experiment")
 		quick      = flag.Bool("quick", false, "reduced-scale run (fast smoke test)")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for -all (1 = sequential in-process)")
+		useCache   = flag.Bool("cache", false, "serve identical runs from the content-addressed result cache")
+		noCache    = flag.Bool("no-cache", false, "force execution even if -cache is set")
+		cacheDir   = flag.String("cache-dir", lab.DefaultCacheDir, "result cache directory")
+		jsonOut    = flag.Bool("json", false, "emit structured per-experiment results as JSON on stdout")
 		timing     = flag.Bool("timing", false, "report per-experiment wall-clock time and simulated events/sec on stderr")
 		probeOn    = flag.Bool("probe", false, "attach observability probes and print a contention report per machine on stderr")
-		traceOut   = flag.String("trace-out", "", "record a Chrome trace-event JSON of the run to this file (implies -probe)")
+		traceOut   = flag.String("trace-out", "", "record a Chrome trace-event JSON of the run to this file (implies -probe, forces sequential)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		faults     = flag.String("faults", "", "fault schedule: directives like 'seed 7; drop 0.001; kill 5 @ 10ms', or @file to read one")
 		faultSeed  = flag.Uint64("fault-seed", 0, "override the fault schedule's random seed (requires -faults)")
 	)
 	flag.Parse()
 
+	// An explicit -fault-seed of 0 must not be confused with "flag absent":
+	// presence is what flag.Visit reports, so seed 0 works and garbage was
+	// already rejected by the flag package's uint64 parser.
+	seedSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "fault-seed" {
+			seedSet = true
+		}
+	})
+	if seedSet && *faults == "" {
+		fmt.Fprintln(os.Stderr, "butterflybench: -fault-seed has no effect without -faults")
+		os.Exit(1)
+	}
 	if *faults != "" {
-		cfg, err := fault.ParseConfig(*faults)
-		if err != nil {
+		// Parse eagerly so a bad schedule fails before any experiment runs,
+		// whichever execution path is taken.
+		if _, err := fault.ParseConfig(*faults); err != nil {
 			fmt.Fprintf(os.Stderr, "butterflybench: -faults: %v\n", err)
 			os.Exit(1)
 		}
-		if *faultSeed != 0 {
-			cfg.Seed = *faultSeed
-		}
-		fault.SetAmbient(cfg)
-	} else if *faultSeed != 0 {
-		fmt.Fprintln(os.Stderr, "butterflybench: -fault-seed has no effect without -faults")
-		os.Exit(1)
 	}
 
 	if *cpuprofile != "" {
@@ -73,41 +98,222 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	opts := runOpts{
-		timing:   *timing,
-		probe:    *probeOn || *traceOut != "",
-		traceOut: *traceOut,
+	if *parallel < 1 {
+		fmt.Fprintln(os.Stderr, "butterflybench: -parallel must be >= 1")
+		os.Exit(1)
+	}
+	cacheOn := *useCache && !*noCache
+
+	// -all submits through the lab scheduler (parallel workers, optional
+	// cache, ordered reassembly); single experiments run in-process unless
+	// caching or JSON output was requested. Trace export needs the machine
+	// hook on the main goroutine, so it forces the in-process path.
+	useLab := (*all || cacheOn || *jsonOut) && *traceOut == ""
+	if *traceOut != "" && (cacheOn || *jsonOut) {
+		fmt.Fprintln(os.Stderr, "butterflybench: -trace-out requires in-process sequential execution (drop -cache/-json)")
+		os.Exit(1)
 	}
 
+	var seeds []core.Experiment
 	switch {
 	case *list:
 		fmt.Printf("%-10s %s\n", "ID", "TITLE")
 		for _, e := range core.Experiments() {
 			fmt.Printf("%-10s %s\n", e.ID, e.Title)
 		}
+		return
 	case *expID != "":
 		e, ok := core.Lookup(*expID)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "butterflybench: unknown experiment %q (try -list)\n", *expID)
 			os.Exit(1)
 		}
+		seeds = []core.Experiment{e}
+	case *all:
+		seeds = core.Experiments()
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if useLab {
+		runViaLab(seeds, labOpts{
+			quick:     *quick,
+			parallel:  *parallel,
+			cacheOn:   cacheOn,
+			cacheDir:  *cacheDir,
+			jsonOut:   *jsonOut,
+			timing:    *timing,
+			probe:     *probeOn,
+			faults:    *faults,
+			faultSeed: ptrIf(seedSet, *faultSeed),
+			headers:   *all, // -all prints the banner between experiments
+		})
+		return
+	}
+
+	// Sequential in-process path.
+	if *faults != "" {
+		cfg, err := fault.ParseConfig(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "butterflybench: -faults: %v\n", err)
+			os.Exit(1)
+		}
+		if seedSet {
+			cfg.Seed = *faultSeed
+		}
+		fault.SetAmbient(cfg)
+	}
+	opts := runOpts{
+		timing:   *timing,
+		probe:    *probeOn || *traceOut != "",
+		traceOut: *traceOut,
+	}
+	if *expID != "" {
+		e := seeds[0]
 		fmt.Printf("===== %s: %s =====\npaper: %s\n\n", e.ID, e.Title, e.Paper)
 		if err := runOne(e, *quick, opts); err != nil {
 			fmt.Fprintf(os.Stderr, "butterflybench: %v\n", err)
 			os.Exit(1)
 		}
-	case *all:
-		for _, e := range core.Experiments() {
-			fmt.Printf("\n===== %s: %s =====\n", e.ID, e.Title)
-			fmt.Printf("paper: %s\n\n", e.Paper)
-			if err := runOne(e, *quick, opts); err != nil {
-				fmt.Fprintf(os.Stderr, "butterflybench: experiment %s: %v\n", e.ID, err)
-				os.Exit(1)
-			}
+		return
+	}
+	for _, e := range seeds {
+		fmt.Printf("\n===== %s: %s =====\n", e.ID, e.Title)
+		fmt.Printf("paper: %s\n\n", e.Paper)
+		if err := runOne(e, *quick, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "butterflybench: experiment %s: %v\n", e.ID, err)
+			os.Exit(1)
 		}
-	default:
-		flag.Usage()
-		os.Exit(2)
+	}
+}
+
+// ptrIf returns &v when set, else nil.
+func ptrIf(set bool, v uint64) *uint64 {
+	if !set {
+		return nil
+	}
+	return &v
+}
+
+// labOpts bundles the lab execution path's switches.
+type labOpts struct {
+	quick     bool
+	parallel  int
+	cacheOn   bool
+	cacheDir  string
+	jsonOut   bool
+	timing    bool
+	probe     bool
+	faults    string
+	faultSeed *uint64
+	headers   bool
+}
+
+// jsonResult is the -json wire form of one experiment's structured result.
+type jsonResult struct {
+	ID           string   `json:"id"`
+	Title        string   `json:"title"`
+	Rows         []string `json:"rows"`
+	Machines     int      `json:"machines"`
+	Events       uint64   `json:"events"`
+	VTimeNs      int64    `json:"vtime_ns"`
+	WallNs       int64    `json:"wall_ns"`
+	EventsPerSec float64  `json:"events_per_sec"`
+	CacheHit     bool     `json:"cache_hit"`
+	Attempts     int      `json:"attempts,omitempty"`
+	Fingerprint  string   `json:"fingerprint"`
+}
+
+// runViaLab submits every experiment to an in-process lab scheduler and
+// reassembles output in experiment order. Stdout is byte-identical to the
+// sequential path (or a JSON document with -json); timing, probe reports,
+// and cache accounting go to stderr.
+func runViaLab(exps []core.Experiment, o labOpts) {
+	var cache *lab.Cache
+	if o.cacheOn {
+		cache = lab.OpenCache(o.cacheDir)
+	}
+	sched := lab.NewScheduler(lab.Config{Workers: o.parallel, QueueDepth: len(exps) + 1, Cache: cache})
+
+	start := time.Now()
+	jobs := make([]*lab.Job, 0, len(exps))
+	for _, e := range exps {
+		spec := core.Spec{
+			Experiment: e.ID,
+			Quick:      o.quick,
+			Probe:      o.probe,
+			Faults:     o.faults,
+			FaultSeed:  o.faultSeed,
+		}
+		j, err := sched.Submit(spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "butterflybench: submit %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		jobs = append(jobs, j)
+	}
+
+	var jsonResults []jsonResult
+	for i, j := range jobs {
+		e := exps[i]
+		res, err := j.Wait()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "butterflybench: experiment %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if o.jsonOut {
+			jsonResults = append(jsonResults, jsonResult{
+				ID:           e.ID,
+				Title:        e.Title,
+				Rows:         strings.Split(strings.TrimRight(res.Table, "\n"), "\n"),
+				Machines:     res.Machines,
+				Events:       res.Events,
+				VTimeNs:      res.VTimeNs,
+				WallNs:       res.WallNs,
+				EventsPerSec: res.EventsPerSec(),
+				CacheHit:     res.CacheHit,
+				Attempts:     res.Attempts,
+				Fingerprint:  res.Fingerprint,
+			})
+		} else {
+			if o.headers {
+				fmt.Printf("\n===== %s: %s =====\n", e.ID, e.Title)
+				fmt.Printf("paper: %s\n\n", e.Paper)
+			} else {
+				fmt.Printf("===== %s: %s =====\npaper: %s\n\n", e.ID, e.Title, e.Paper)
+			}
+			fmt.Print(res.Table)
+		}
+		if o.timing {
+			served := "miss"
+			if res.CacheHit {
+				served = "hit"
+			}
+			fmt.Fprintf(os.Stderr, "[timing] %-10s wall=%-12s machines=%-3d events=%-9d events/sec=%.0f vtime=%s cache=%s\n",
+				e.ID, time.Duration(res.WallNs).Round(time.Microsecond), res.Machines, res.Events,
+				res.EventsPerSec(), time.Duration(res.VTimeNs), served)
+		}
+		if o.probe && res.ProbeReport != "" {
+			fmt.Fprintf(os.Stderr, "\n%s", res.ProbeReport)
+		}
+	}
+	if o.jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonResults); err != nil {
+			fmt.Fprintf(os.Stderr, "butterflybench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if o.timing {
+		line := fmt.Sprintf("[timing] total      wall=%-12s workers=%d jobs=%d",
+			time.Since(start).Round(time.Microsecond), o.parallel, len(jobs))
+		if cache != nil {
+			cs := cache.Stats()
+			line += fmt.Sprintf(" cache-hits=%d cache-misses=%d", cs.Hits, cs.Misses)
+		}
+		fmt.Fprintln(os.Stderr, line)
 	}
 }
 

@@ -1,0 +1,100 @@
+// Command butterflyd serves the experiment lab over HTTP: submit jobs
+// against the paper's experiment registry, poll their status, fetch result
+// tables, and watch queue/cache metrics. Simulations run concurrently on a
+// worker pool; identical jobs are served from the content-addressed result
+// cache without re-execution.
+//
+// Usage:
+//
+//	butterflyd                          # listen on :7788, GOMAXPROCS workers
+//	butterflyd -addr :9000 -workers 4
+//	butterflyd -no-cache                # always execute
+//	butterflyd -cache-dir /tmp/labcache
+//
+// API quickstart:
+//
+//	curl -s localhost:7788/experiments
+//	curl -s -X POST localhost:7788/jobs -d '{"experiment":"numa","quick":true}'
+//	curl -s localhost:7788/jobs/j0001-xxxxxxxx          # status + queue position
+//	curl -s localhost:7788/jobs/j0001-xxxxxxxx/result   # the table
+//	curl -s -X POST localhost:7788/sweeps -d '{"base":{"experiment":"numa","quick":true},"axes":[{"field":"nodes","values":["8..128:*2"]}]}'
+//	curl -s localhost:7788/metrics
+//
+// SIGINT/SIGTERM shut down gracefully: intake stops, queued and in-flight
+// jobs drain (bounded by -drain-timeout), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"butterfly/internal/core"
+	"butterfly/internal/lab"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":7788", "listen address")
+		workers      = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queueDepth   = flag.Int("queue", 256, "bounded work queue depth")
+		cacheDir     = flag.String("cache-dir", lab.DefaultCacheDir, "content-addressed result cache directory")
+		noCache      = flag.Bool("no-cache", false, "disable the result cache (always execute)")
+		drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "how long shutdown waits for queued and in-flight jobs")
+	)
+	flag.Parse()
+	log.SetPrefix("butterflyd: ")
+	log.SetFlags(log.LstdFlags)
+
+	var cache *lab.Cache
+	if !*noCache {
+		cache = lab.OpenCache(*cacheDir)
+	}
+	sched := lab.NewScheduler(lab.Config{Workers: *workers, QueueDepth: *queueDepth, Cache: cache})
+
+	srv := &http.Server{Addr: *addr, Handler: lab.NewServer(sched)}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("serving %d experiments on %s (%d workers, queue %d, cache %s)",
+			len(core.Experiments()), *addr, sched.Workers(), *queueDepth, cacheDesc(cache))
+		errCh <- srv.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		log.Fatalf("serve: %v", err)
+	case got := <-sig:
+		log.Printf("%v: draining (timeout %s)", got, *drainTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop accepting connections first, then drain the job queue.
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := sched.Shutdown(ctx); err != nil {
+		log.Printf("drain incomplete, jobs canceled: %v", err)
+		os.Exit(1)
+	}
+	m := sched.Metrics()
+	log.Printf("drained: %d completed, %d failed, %d canceled, cache hit rate %.0f%%",
+		m.Completed, m.Failed, m.Canceled, 100*m.CacheHitRate)
+}
+
+// cacheDesc names the cache for the startup log line.
+func cacheDesc(c *lab.Cache) string {
+	if c == nil {
+		return "off"
+	}
+	return fmt.Sprintf("%q", c.Dir())
+}

@@ -14,6 +14,7 @@ package antfarm
 
 import (
 	"fmt"
+	"sync"
 
 	"butterfly/internal/chrysalis"
 	"butterfly/internal/sim"
@@ -121,19 +122,34 @@ func Run(self *chrysalis.Process, cfg Config, main func(t *Thread)) *Farm {
 		yield: make(chan struct{}),
 	}
 	f.wakeup = f.OS.NewEvent(self)
+	farmsMu.Lock()
 	farms[self] = f
+	farmsMu.Unlock()
 	f.Spawn("main", main)
 	f.scheduleLoop()
+	farmsMu.Lock()
 	delete(farms, self)
+	farmsMu.Unlock()
 	return f
 }
 
-// farms maps Chrysalis processes to their farms (the simulation is
-// single-threaded, so a plain map is safe).
-var farms = map[*chrysalis.Process]*Farm{}
+// farms maps Chrysalis processes to their farms. One simulation is
+// single-threaded, but the experiment lab runs independent simulations
+// concurrently on separate OS threads, and this is the one package-level
+// mutable table they share — hence the mutex. Keys never collide across
+// simulations (each machine has its own processes), so the lock protects
+// only the map structure, never logical state.
+var (
+	farmsMu sync.Mutex
+	farms   = map[*chrysalis.Process]*Farm{}
+)
 
 // FarmOf returns the farm running inside a Chrysalis process, or nil.
-func FarmOf(pr *chrysalis.Process) *Farm { return farms[pr] }
+func FarmOf(pr *chrysalis.Process) *Farm {
+	farmsMu.Lock()
+	defer farmsMu.Unlock()
+	return farms[pr]
+}
 
 // Spawn creates a new thread in this farm. It may be called from any thread
 // of any farm (remote spawn: "facilities for starting remote coroutines");

@@ -70,8 +70,17 @@ type Experiment struct {
 // registry is populated by experiments.go.
 var registry []Experiment
 
-// register adds an experiment at package init time.
-func register(e Experiment) { registry = append(registry, e) }
+// register adds an experiment at package init time. Duplicate ids would make
+// Lookup (and every job fingerprint derived from an id) ambiguous, so they
+// are rejected loudly.
+func register(e Experiment) {
+	for _, x := range registry {
+		if x.ID == e.ID {
+			panic(fmt.Sprintf("core: duplicate experiment id %q", e.ID))
+		}
+	}
+	registry = append(registry, e)
+}
 
 // Experiments lists every registered experiment in registration order.
 func Experiments() []Experiment {

@@ -1,0 +1,135 @@
+package lab
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"butterfly/internal/core"
+)
+
+// DefaultCacheDir is where butterflybench and butterflyd keep result blobs
+// by default, next to the committed experiment outputs in results/.
+const DefaultCacheDir = "results/cache"
+
+// Cache is the content-addressed result store: fingerprint → result blob on
+// disk. A hit short-circuits execution entirely, which is sound because a
+// fingerprint names a deterministic simulation salted with the code version.
+// All methods are safe for concurrent use — distinct fingerprints touch
+// distinct files, and identical fingerprints write identical bytes (last
+// atomic rename wins).
+type Cache struct {
+	dir string
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	writes atomic.Uint64
+}
+
+// CacheStats is a point-in-time snapshot of cache traffic.
+type CacheStats struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	Writes uint64 `json:"writes"`
+}
+
+// HitRate is hits / (hits + misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// OpenCache returns a cache rooted at dir ("" means DefaultCacheDir). The
+// directory is created on first write, so opening a cache never touches the
+// filesystem.
+func OpenCache(dir string) *Cache {
+	if dir == "" {
+		dir = DefaultCacheDir
+	}
+	return &Cache{dir: dir}
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// Stats returns a snapshot of cache traffic counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Writes: c.writes.Load()}
+}
+
+// path shards blobs by the first fingerprint byte to keep directories small.
+func (c *Cache) path(fp string) string {
+	return filepath.Join(c.dir, fp[:2], fp+".json")
+}
+
+// Get looks up a result by fingerprint. On a hit the returned result is
+// marked CacheHit with Attempts zeroed (this process never executed it); the
+// recorded WallNs of the producing run is preserved so hit reporting can say
+// how much time the cache saved. A corrupt blob counts as a miss.
+func (c *Cache) Get(fp string) (*core.Result, bool) {
+	b, err := os.ReadFile(c.path(fp))
+	if err != nil {
+		c.misses.Add(1)
+		return nil, false
+	}
+	var r core.Result
+	if err := json.Unmarshal(b, &r); err != nil || r.Fingerprint != fp {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	r.CacheHit = true
+	r.Attempts = 0
+	return &r, true
+}
+
+// Put stores a result under its fingerprint, atomically (temp file + rename)
+// so a concurrent Get never observes a partial blob.
+func (c *Cache) Put(r *core.Result) error {
+	if r.Fingerprint == "" {
+		return errors.New("lab: Put of result without fingerprint")
+	}
+	dst := c.path(r.Fingerprint)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return fmt.Errorf("lab: cache: %w", err)
+	}
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("lab: cache: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(dst), "."+r.Fingerprint[:8]+".*")
+	if err != nil {
+		return fmt.Errorf("lab: cache: %w", err)
+	}
+	_, werr := tmp.Write(append(b, '\n'))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("lab: cache write: %w", errors.Join(werr, cerr))
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("lab: cache: %w", err)
+	}
+	c.writes.Add(1)
+	return nil
+}
+
+// Len counts stored blobs (a maintenance/metrics helper, not a hot path).
+func (c *Cache) Len() int {
+	n := 0
+	_ = filepath.WalkDir(c.dir, func(path string, d fs.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && filepath.Ext(path) == ".json" {
+			n++
+		}
+		return nil
+	})
+	return n
+}

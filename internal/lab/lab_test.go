@@ -1,0 +1,433 @@
+package lab
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"butterfly/internal/core"
+)
+
+// runDirect runs an experiment the way the pre-lab sequential driver did:
+// straight through the registry on the calling goroutine.
+func runDirect(t *testing.T, id string, quick bool) string {
+	t.Helper()
+	exp, ok := core.Lookup(id)
+	if !ok {
+		t.Fatalf("unknown experiment %q", id)
+	}
+	var b bytes.Buffer
+	if err := exp.Run(&b, quick); err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	return b.String()
+}
+
+func TestRunSpecMatchesDirect(t *testing.T) {
+	want := runDirect(t, "numa", true)
+	res, err := RunSpec(core.Spec{Experiment: "numa", Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table != want {
+		t.Errorf("lab table diverges from direct run:\nlab:\n%s\ndirect:\n%s", res.Table, want)
+	}
+	if res.Machines < 1 || res.Events == 0 || res.VTimeNs == 0 {
+		t.Errorf("trajectory fingerprint empty: machines=%d events=%d vtime=%d",
+			res.Machines, res.Events, res.VTimeNs)
+	}
+	if res.Attempts != 1 || res.CacheHit || res.Fingerprint == "" {
+		t.Errorf("result bookkeeping wrong: %+v", res)
+	}
+}
+
+func TestFingerprintCanonicalization(t *testing.T) {
+	base := core.Spec{Experiment: "numa", Quick: true}
+	if Fingerprint(base) != Fingerprint(base) {
+		t.Fatal("fingerprint not stable")
+	}
+
+	// Every simulation-relevant field must move the fingerprint.
+	seed := uint64(3)
+	variants := []core.Spec{
+		{Experiment: "hotspot", Quick: true},
+		{Experiment: "numa"},
+		{Experiment: "numa", Quick: true, Preset: "bplus"},
+		{Experiment: "numa", Quick: true, Nodes: 32},
+		{Experiment: "numa", Quick: true, Probe: true},
+		{Experiment: "numa", Quick: true, Faults: "seed 1; drop 0.001"},
+		{Experiment: "numa", Quick: true, Faults: "seed 1; drop 0.001", FaultSeed: &seed},
+	}
+	seen := map[string]int{Fingerprint(base): -1}
+	for i, v := range variants {
+		fp := Fingerprint(v)
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("variant %d collides with %d: %+v", i, prev, v)
+		}
+		seen[fp] = i
+	}
+
+	// Execution policy is not simulation content: same address.
+	policy := base
+	policy.TimeoutMs = 5000
+	policy.Retries = 3
+	if Fingerprint(policy) != Fingerprint(base) {
+		t.Error("timeout/retries must not participate in the fingerprint")
+	}
+
+	// Two spellings of one fault schedule canonicalize identically: seed
+	// directive position and failure listing order are not semantic.
+	a := core.Spec{Experiment: "numa", Quick: true, Faults: "seed 7; kill 2 @ 10ms; kill 1 @ 5ms"}
+	b := core.Spec{Experiment: "numa", Quick: true, Faults: "kill 1 @ 5ms; kill 2 @ 10ms; seed 7"}
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Error("equivalent fault schedules produced different fingerprints")
+	}
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	c := OpenCache(t.TempDir())
+	fp := Fingerprint(core.Spec{Experiment: "numa", Quick: true})
+
+	if _, ok := c.Get(fp); ok {
+		t.Fatal("hit on empty cache")
+	}
+	res := &core.Result{
+		Spec:        core.Spec{Experiment: "numa", Quick: true},
+		Fingerprint: fp,
+		Table:       "pretend table\n",
+		Machines:    1, Events: 42, VTimeNs: 1000, WallNs: 77, Attempts: 1,
+	}
+	if err := c.Put(res); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(fp)
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if got.Table != res.Table || got.Events != 42 || got.WallNs != 77 {
+		t.Errorf("round trip mangled result: %+v", got)
+	}
+	if !got.CacheHit || got.Attempts != 0 {
+		t.Errorf("hit not marked as cache-served: hit=%v attempts=%d", got.CacheHit, got.Attempts)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Writes != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+
+	if err := c.Put(&core.Result{}); err == nil {
+		t.Error("Put without fingerprint must fail")
+	}
+}
+
+func TestCacheRejectsMismatchedBlob(t *testing.T) {
+	c := OpenCache(t.TempDir())
+	// A blob stored under one fingerprint but recording another (say, a
+	// hand-copied file) must not be served.
+	fpA := Fingerprint(core.Spec{Experiment: "numa", Quick: true})
+	fpB := Fingerprint(core.Spec{Experiment: "hotspot", Quick: true})
+	if err := c.Put(&core.Result{Fingerprint: fpB, Table: "x\n"}); err != nil {
+		t.Fatal(err)
+	}
+	blob := c.path(fpB)
+	if err := copyFile(blob, c.path(fpA)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(fpA); ok {
+		t.Error("cache served a blob whose recorded fingerprint mismatches its address")
+	}
+}
+
+// TestSchedulerParallelDeterminism is the tentpole invariant: running
+// experiments concurrently on the worker pool yields byte-identical tables
+// and identical trajectory fingerprints to sequential execution. Run under
+// -race this also proves the workers share no simulation state.
+func TestSchedulerParallelDeterminism(t *testing.T) {
+	ids := []string{"numa", "hotspot", "prims", "alloc", "fig6", "crowd", "sarcache", "rpc"}
+	if !testing.Short() {
+		ids = nil
+		for _, e := range core.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	}
+
+	type baseline struct {
+		table    string
+		machines int
+		events   uint64
+		vtime    int64
+	}
+	want := make(map[string]baseline, len(ids))
+	for _, id := range ids {
+		res, err := RunSpec(core.Spec{Experiment: id, Quick: true})
+		if err != nil {
+			t.Fatalf("sequential %s: %v", id, err)
+		}
+		want[id] = baseline{res.Table, res.Machines, res.Events, res.VTimeNs}
+	}
+
+	s := NewScheduler(Config{Workers: 4})
+	defer s.Shutdown(context.Background())
+	var jobs []*Job
+	for _, id := range ids {
+		j, err := s.Submit(core.Spec{Experiment: id, Quick: true})
+		if err != nil {
+			t.Fatalf("submit %s: %v", id, err)
+		}
+		jobs = append(jobs, j)
+	}
+	results, err := WaitAll(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		id := ids[i]
+		w := want[id]
+		if res.Table != w.table {
+			t.Errorf("%s: parallel table diverges from sequential run", id)
+		}
+		if res.Machines != w.machines || res.Events != w.events || res.VTimeNs != w.vtime {
+			t.Errorf("%s: trajectory diverged: got (%d, %d, %d), want (%d, %d, %d)",
+				id, res.Machines, res.Events, res.VTimeNs, w.machines, w.events, w.vtime)
+		}
+	}
+
+	m := s.Metrics()
+	if m.Completed != uint64(len(ids)) || m.Failed != 0 {
+		t.Errorf("metrics = %+v", m)
+	}
+}
+
+func TestSchedulerCacheHit(t *testing.T) {
+	cache := OpenCache(t.TempDir())
+	s := NewScheduler(Config{Workers: 2, Cache: cache})
+	defer s.Shutdown(context.Background())
+
+	spec := core.Spec{Experiment: "numa", Quick: true}
+	j1, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := j1.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.CacheHit {
+		t.Fatal("first run reported a cache hit")
+	}
+
+	j2, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.State() != StateDone {
+		t.Errorf("cache-hit job not finished at submit time: %s", j2.State())
+	}
+	r2, err := j2.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.CacheHit || r2.Attempts != 0 {
+		t.Errorf("second run not served from cache: hit=%v attempts=%d", r2.CacheHit, r2.Attempts)
+	}
+	if r2.Table != r1.Table || r2.Fingerprint != r1.Fingerprint {
+		t.Error("cached result differs from executed result")
+	}
+	if cache.Len() != 1 {
+		t.Errorf("cache holds %d blobs", cache.Len())
+	}
+	if st := cache.Stats(); st.Hits != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+
+	// A different spec is a different address: no false hit.
+	j3, err := s.Submit(core.Spec{Experiment: "numa", Quick: true, Probe: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := j3.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.CacheHit {
+		t.Error("probe variant incorrectly served from non-probe blob")
+	}
+	if r3.ProbeReport == "" {
+		t.Error("probe report missing")
+	}
+	if r3.Table != r1.Table {
+		t.Error("probes perturbed the table")
+	}
+}
+
+func TestJobTimeoutAndRetry(t *testing.T) {
+	// spread at full scale runs for seconds; a 25 ms budget always expires.
+	spec := core.Spec{Experiment: "spread", TimeoutMs: 25, Retries: 1}
+	res, err := RunSpec(spec)
+	if err == nil {
+		t.Fatalf("expected timeout, got result with %d machines", res.Machines)
+	}
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("error = %v, want ErrTimeout", err)
+	}
+	// Retries=1 means two attempts; the final error names the last one.
+	if !strings.Contains(err.Error(), "attempt 2") {
+		t.Errorf("error = %v, want evidence of the retry", err)
+	}
+}
+
+func TestCancelQueuedAndRunning(t *testing.T) {
+	s := NewScheduler(Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+
+	running, err := s.Submit(core.Spec{Experiment: "spread"}) // seconds of work
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := s.Submit(core.Spec{Experiment: "numa", Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	waitState(t, running, StateRunning)
+	if pos := s.QueuePosition(queued); pos != 1 {
+		t.Errorf("queue position = %d, want 1", pos)
+	}
+
+	queued.Cancel()
+	if queued.State() != StateCanceled {
+		t.Errorf("queued job state = %s after cancel", queued.State())
+	}
+	if _, err := queued.Wait(); !errors.Is(err, ErrCanceled) {
+		t.Errorf("queued job error = %v", err)
+	}
+
+	running.Cancel()
+	if _, err := running.Wait(); !errors.Is(err, ErrCanceled) {
+		t.Errorf("running job error = %v", err)
+	}
+
+	if m := s.Metrics(); m.Canceled != 2 {
+		t.Errorf("canceled count = %d", m.Canceled)
+	}
+}
+
+func TestQueueFullBackpressure(t *testing.T) {
+	s := NewScheduler(Config{Workers: 1, QueueDepth: 1})
+	running, err := s.Submit(core.Spec{Experiment: "spread"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, running, StateRunning)
+
+	queued, err := s.Submit(core.Spec{Experiment: "numa", Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(core.Spec{Experiment: "hotspot", Quick: true}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit error = %v, want ErrQueueFull", err)
+	}
+	// The rejected job must leave no residue.
+	if n := len(s.Jobs()); n != 2 {
+		t.Errorf("scheduler tracks %d jobs after rejection, want 2", n)
+	}
+
+	running.Cancel()
+	queued.Cancel()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+func TestShutdownDrainsAndRefusesIntake(t *testing.T) {
+	s := NewScheduler(Config{Workers: 2})
+	j1, err := s.Submit(core.Spec{Experiment: "numa", Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := s.Submit(core.Spec{Experiment: "fig6", Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range []*Job{j1, j2} {
+		if j.State() != StateDone {
+			t.Errorf("job %s not drained: %s", j.ID, j.State())
+		}
+	}
+	if _, err := s.Submit(core.Spec{Experiment: "numa", Quick: true}); !errors.Is(err, ErrShuttingDown) {
+		t.Errorf("post-shutdown submit error = %v", err)
+	}
+	// Idempotent.
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Errorf("second shutdown: %v", err)
+	}
+}
+
+func TestShutdownDeadlineCancelsRunningJobs(t *testing.T) {
+	s := NewScheduler(Config{Workers: 1})
+	j, err := s.Submit(core.Spec{Experiment: "spread"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, StateRunning)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("shutdown = %v, want deadline exceeded", err)
+	}
+	if j.State() != StateCanceled {
+		t.Errorf("in-flight job state = %s after forced shutdown", j.State())
+	}
+}
+
+func TestRunSpecRejectsBadSpec(t *testing.T) {
+	if _, err := RunSpec(core.Spec{Experiment: "nonesuch"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if _, err := RunSpec(core.Spec{Experiment: "numa", Faults: "gibberish"}); err == nil {
+		t.Error("unparseable fault schedule accepted")
+	}
+}
+
+// waitState polls until the job reaches the state or the test times out.
+func waitState(t *testing.T, j *Job, want State) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		st := j.State()
+		if st == want {
+			return
+		}
+		switch st {
+		case StateDone, StateFailed, StateCanceled:
+			t.Fatalf("job %s reached terminal state %s while waiting for %s", j.ID, st, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached state %s", j.ID, want)
+}
+
+// copyFile duplicates a cache blob for corruption tests.
+func copyFile(src, dst string) error {
+	b, err := os.ReadFile(src)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(dst, b, 0o644)
+}

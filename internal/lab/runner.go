@@ -1,0 +1,201 @@
+package lab
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"butterfly/internal/core"
+	"butterfly/internal/fault"
+	"butterfly/internal/machine"
+	"butterfly/internal/probe"
+	"butterfly/internal/sim"
+)
+
+// Execution errors, classified so retry policy can reuse the fault
+// taxonomy: timeouts are the one wall-clock-dependent (hence retryable)
+// failure; everything a deterministic simulation produces — including
+// injected *fault.RefError terminations surfacing as experiment errors —
+// would recur identically on a retry and is therefore permanent.
+var (
+	// ErrTimeout marks a job whose wall-clock budget expired; its engines
+	// were interrupted mid-run.
+	ErrTimeout = errors.New("lab: job timed out")
+	// ErrCanceled marks a job canceled by the submitter, either while
+	// queued or mid-run.
+	ErrCanceled = errors.New("lab: job canceled")
+)
+
+// execState is the bridge between a running job and the outside world: the
+// engines the job's experiment has booted so far, and whether an interrupt
+// (timeout or cancellation) has been requested. The watchdog goroutine and
+// the worker touch it under the mutex; engines registered after an
+// interrupt are interrupted immediately so a timed-out job cannot keep
+// booting fresh machines.
+type execState struct {
+	mu          sync.Mutex
+	engines     []*sim.Engine
+	interrupted bool
+}
+
+// add registers an engine the job just booted.
+func (x *execState) add(e *sim.Engine) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.engines = append(x.engines, e)
+	if x.interrupted {
+		e.Interrupt()
+	}
+}
+
+// interrupt stops every engine the job has booted and all it will boot.
+func (x *execState) interrupt() {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.interrupted = true
+	for _, e := range x.engines {
+		e.Interrupt()
+	}
+}
+
+// wasInterrupted reports whether interrupt was requested.
+func (x *execState) wasInterrupted() bool {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.interrupted
+}
+
+// executeOnce runs one attempt of the spec on the calling goroutine. The
+// worker must be the only user of machine.ScopeHooks on this goroutine.
+// Tables go to a private buffer and probe reports to the result, so
+// concurrent jobs never interleave output.
+func executeOnce(exp core.Experiment, spec core.Spec, st *execState) (res *core.Result, err error) {
+	faultCfg, err := spec.FaultConfig()
+	if err != nil {
+		return nil, err
+	}
+	inject := faultCfg.Enabled() && !exp.ManagesFaults
+
+	type probedMachine struct {
+		m  *machine.Machine
+		pr *probe.Probe
+	}
+	var engines []*sim.Engine
+	var probed []probedMachine
+	release := machine.ScopeHooks(spec.ConfigTransform(), func(m *machine.Machine) {
+		st.add(m.E)
+		engines = append(engines, m.E)
+		if inject {
+			m.AttachFaults(fault.NewInjector(*faultCfg))
+		}
+		if spec.Probe {
+			pr := probe.New(nil)
+			m.AttachProbe(pr)
+			probed = append(probed, probedMachine{m: m, pr: pr})
+		}
+	})
+	defer release()
+	defer func() {
+		// An experiment that panics on the worker goroutine (e.g. a machine
+		// override out of an experiment's tolerated range) fails the job,
+		// not the service.
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("lab: experiment %s panicked: %v", spec.Experiment, r)
+		}
+	}()
+
+	var table bytes.Buffer
+	start := time.Now()
+	runErr := exp.Run(&table, spec.Quick)
+	wall := time.Since(start)
+
+	var ie *sim.InterruptError
+	if errors.As(runErr, &ie) || (runErr != nil && st.wasInterrupted()) {
+		// The run was torn down from outside; the partial table is garbage.
+		return nil, ErrTimeout
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	res = &core.Result{
+		Spec:     spec,
+		Table:    table.String(),
+		Machines: len(engines),
+		WallNs:   wall.Nanoseconds(),
+	}
+	for _, e := range engines {
+		res.VTimeNs += e.Now()
+		res.Events += e.Stats().Events
+	}
+	if spec.Probe {
+		var rep strings.Builder
+		for i, pm := range probed {
+			fmt.Fprintf(&rep, "[probe] %s machine %d/%d\n", spec.Experiment, i+1, len(probed))
+			pm.pr.Metrics().WriteReport(&rep, pm.m.E.Now(), 8)
+			rep.WriteString("\n")
+		}
+		res.ProbeReport = rep.String()
+	}
+	return res, nil
+}
+
+// runSpec executes a validated spec with its retry/timeout policy and
+// returns the finished result (Attempts set) or the final error. canceled,
+// when non-nil, is consulted between attempts and wired to the watchdog so
+// an external cancel interrupts a running simulation.
+func runSpec(spec core.Spec, canceled func() bool, bindExec func(*execState)) (*core.Result, error) {
+	exp, ok := core.Lookup(spec.Experiment)
+	if !ok {
+		return nil, fmt.Errorf("lab: unknown experiment %q", spec.Experiment)
+	}
+	for attempt := 1; ; attempt++ {
+		if canceled != nil && canceled() {
+			return nil, ErrCanceled
+		}
+		st := &execState{}
+		if bindExec != nil {
+			bindExec(st)
+		}
+		var watchdog *time.Timer
+		if spec.TimeoutMs > 0 {
+			watchdog = time.AfterFunc(time.Duration(spec.TimeoutMs)*time.Millisecond, st.interrupt)
+		}
+		res, err := executeOnce(exp, spec, st)
+		if watchdog != nil {
+			watchdog.Stop()
+		}
+		if bindExec != nil {
+			bindExec(nil)
+		}
+		if err == nil {
+			res.Attempts = attempt
+			return res, nil
+		}
+		if canceled != nil && canceled() {
+			return nil, ErrCanceled
+		}
+		retryable := errors.Is(err, ErrTimeout)
+		if !retryable || attempt > spec.Retries {
+			return nil, fmt.Errorf("attempt %d: %w", attempt, err)
+		}
+	}
+}
+
+// RunSpec executes one spec synchronously on the calling goroutine, outside
+// any scheduler — the building block butterflybench's sequential paths and
+// tests use. The spec is validated first.
+func RunSpec(spec core.Spec) (*core.Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	res, err := runSpec(spec, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	res.Fingerprint = Fingerprint(spec)
+	return res, nil
+}

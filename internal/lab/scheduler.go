@@ -1,0 +1,432 @@
+package lab
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"butterfly/internal/core"
+)
+
+// Submission errors.
+var (
+	// ErrQueueFull is returned by Submit when the bounded work queue has no
+	// free slot — backpressure a service can surface as HTTP 503.
+	ErrQueueFull = errors.New("lab: work queue full")
+	// ErrShuttingDown is returned by Submit after Shutdown began.
+	ErrShuttingDown = errors.New("lab: scheduler shutting down")
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+// Job states. Queued and Running are transient; the other three are final.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Job is one submitted spec moving through the scheduler.
+type Job struct {
+	// ID is the scheduler-unique handle ("j0007-3fa2b1c9": submission
+	// sequence plus fingerprint prefix).
+	ID string
+	// Spec is the submitted job description.
+	Spec core.Spec
+	// Fingerprint is the spec's content address.
+	Fingerprint string
+
+	seq   int
+	sched *Scheduler
+	done  chan struct{}
+
+	mu        sync.Mutex
+	state     State
+	res       *core.Result
+	err       error
+	exec      *execState
+	cancelled bool
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// State returns the job's current lifecycle phase.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Done is closed when the job reaches a final state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job finishes and returns its result or error.
+func (j *Job) Wait() (*core.Result, error) {
+	<-j.done
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.res, j.err
+}
+
+// Result returns the job's result and error without blocking; both are nil
+// while the job is still queued or running.
+func (j *Job) Result() (*core.Result, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.res, j.err
+}
+
+// Cancel requests the job stop: a queued job finishes immediately as
+// canceled; a running job has its simulation engines interrupted. Canceling
+// a finished job is a no-op.
+func (j *Job) Cancel() {
+	j.mu.Lock()
+	j.cancelled = true
+	switch j.state {
+	case StateQueued:
+		j.finishLocked(StateCanceled, nil, ErrCanceled)
+		j.mu.Unlock()
+	case StateRunning:
+		exec := j.exec
+		j.mu.Unlock()
+		if exec != nil {
+			exec.interrupt()
+		}
+	default:
+		j.mu.Unlock()
+	}
+}
+
+// isCanceled reports whether Cancel has been requested.
+func (j *Job) isCanceled() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cancelled
+}
+
+// bindExec publishes (or, with nil, retracts) the attempt's execution state
+// so Cancel can reach the running engines.
+func (j *Job) bindExec(x *execState) {
+	j.mu.Lock()
+	j.exec = x
+	j.mu.Unlock()
+	if x != nil && j.isCanceled() {
+		x.interrupt()
+	}
+}
+
+// finishLocked moves the job to a final state. Callers hold j.mu.
+func (j *Job) finishLocked(st State, res *core.Result, err error) {
+	if j.state == StateDone || j.state == StateFailed || j.state == StateCanceled {
+		return
+	}
+	j.state = st
+	j.res = res
+	j.err = err
+	j.finished = time.Now()
+	close(j.done)
+	switch st {
+	case StateDone:
+		j.sched.completed.Add(1)
+	case StateFailed:
+		j.sched.failed.Add(1)
+	case StateCanceled:
+		j.sched.canceled.Add(1)
+	}
+}
+
+// Config parameterizes a Scheduler.
+type Config struct {
+	// Workers is the worker-pool size; <= 0 means runtime.GOMAXPROCS(0).
+	// Each worker locks an OS thread and owns the engines of the job it is
+	// running — workers share no mutable simulation state.
+	Workers int
+	// QueueDepth bounds the work queue; <= 0 means 256.
+	QueueDepth int
+	// Cache, when non-nil, serves fingerprint hits without execution and
+	// stores fresh results.
+	Cache *Cache
+}
+
+// Scheduler owns the bounded job queue and the worker pool.
+type Scheduler struct {
+	cfg     Config
+	workers int
+	queue   chan *Job
+	cache   *Cache
+	wg      sync.WaitGroup
+	began   time.Time
+
+	busy      atomic.Int32
+	submitted atomic.Uint64
+	completed atomic.Uint64
+	failed    atomic.Uint64
+	canceled  atomic.Uint64
+
+	mu        sync.Mutex
+	jobs      map[string]*Job
+	order     []string
+	seq       int
+	quiescing bool
+}
+
+// NewScheduler starts a scheduler with its worker pool running.
+func NewScheduler(cfg Config) *Scheduler {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = 256
+	}
+	s := &Scheduler{
+		cfg:     cfg,
+		workers: workers,
+		queue:   make(chan *Job, depth),
+		cache:   cfg.Cache,
+		began:   time.Now(),
+		jobs:    make(map[string]*Job),
+	}
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Cache returns the scheduler's cache, or nil.
+func (s *Scheduler) Cache() *Cache { return s.cache }
+
+// Workers returns the worker-pool size.
+func (s *Scheduler) Workers() int { return s.workers }
+
+// worker runs jobs from the queue until it closes. Each worker locks its OS
+// thread: a job's simulation (engine, machines, goroutine-scoped machine
+// hooks) is owned by this one worker, so N workers run N fully independent
+// simulations with no shared mutable state.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	runtime.LockOSThread()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one dequeued job through its retry/timeout policy.
+func (s *Scheduler) runJob(j *Job) {
+	j.mu.Lock()
+	if j.state != StateQueued { // canceled while waiting in the queue
+		j.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+
+	s.busy.Add(1)
+	res, err := runSpec(j.Spec, j.isCanceled, j.bindExec)
+	s.busy.Add(-1)
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case err == nil:
+		res.Fingerprint = j.Fingerprint
+		if s.cache != nil {
+			// A cache write failure degrades to cache-off behavior; the
+			// result itself is fine.
+			_ = s.cache.Put(res)
+		}
+		j.finishLocked(StateDone, res, nil)
+	case errors.Is(err, ErrCanceled) || j.cancelled:
+		j.finishLocked(StateCanceled, nil, ErrCanceled)
+	default:
+		j.finishLocked(StateFailed, nil, err)
+	}
+}
+
+// Submit validates and enqueues a spec. A cache hit finishes the job
+// immediately without queueing; a full queue returns ErrQueueFull.
+func (s *Scheduler) Submit(spec core.Spec) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	fp := Fingerprint(spec)
+
+	var hit *core.Result
+	if s.cache != nil {
+		hit, _ = s.cache.Get(fp)
+	}
+
+	s.mu.Lock()
+	if s.quiescing {
+		s.mu.Unlock()
+		return nil, ErrShuttingDown
+	}
+	s.seq++
+	j := &Job{
+		ID:          fmt.Sprintf("j%04d-%s", s.seq, fp[:8]),
+		Spec:        spec,
+		Fingerprint: fp,
+		seq:         s.seq,
+		sched:       s,
+		done:        make(chan struct{}),
+		state:       StateQueued,
+		submitted:   time.Now(),
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	s.submitted.Add(1)
+	if hit != nil {
+		j.mu.Lock()
+		j.finishLocked(StateDone, hit, nil)
+		j.mu.Unlock()
+		s.mu.Unlock()
+		return j, nil
+	}
+	// The enqueue stays under s.mu so it cannot race Shutdown's close of
+	// the queue; it never blocks (select with default).
+	select {
+	case s.queue <- j:
+		s.mu.Unlock()
+		return j, nil
+	default:
+		delete(s.jobs, j.ID)
+		s.order = s.order[:len(s.order)-1]
+		s.submitted.Add(^uint64(0))
+		s.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+}
+
+// Lookup finds a job by ID.
+func (s *Scheduler) Lookup(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs lists all jobs in submission order.
+func (s *Scheduler) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// QueuePosition returns how many queued jobs are ahead of j (0 for a job
+// that is running or finished; 1 means next in line).
+func (s *Scheduler) QueuePosition(j *Job) int {
+	if j.State() != StateQueued {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pos := 1
+	for _, id := range s.order {
+		o := s.jobs[id]
+		if o.seq < j.seq && o.State() == StateQueued {
+			pos++
+		}
+	}
+	return pos
+}
+
+// Metrics is a point-in-time snapshot of scheduler health.
+type Metrics struct {
+	Workers      int        `json:"workers"`
+	Busy         int        `json:"busy"`
+	QueueDepth   int        `json:"queue_depth"`
+	QueueCap     int        `json:"queue_cap"`
+	Submitted    uint64     `json:"submitted"`
+	Completed    uint64     `json:"completed"`
+	Failed       uint64     `json:"failed"`
+	Canceled     uint64     `json:"canceled"`
+	JobsPerSec   float64    `json:"jobs_per_sec"`
+	UptimeMs     int64      `json:"uptime_ms"`
+	Cache        CacheStats `json:"cache"`
+	CacheHitRate float64    `json:"cache_hit_rate"`
+}
+
+// Metrics snapshots queue depth, worker utilization, throughput, and cache
+// traffic.
+func (s *Scheduler) Metrics() Metrics {
+	up := time.Since(s.began)
+	m := Metrics{
+		Workers:    s.workers,
+		Busy:       int(s.busy.Load()),
+		QueueDepth: len(s.queue),
+		QueueCap:   cap(s.queue),
+		Submitted:  s.submitted.Load(),
+		Completed:  s.completed.Load(),
+		Failed:     s.failed.Load(),
+		Canceled:   s.canceled.Load(),
+		UptimeMs:   up.Milliseconds(),
+	}
+	if up > 0 {
+		m.JobsPerSec = float64(m.Completed) / up.Seconds()
+	}
+	if s.cache != nil {
+		m.Cache = s.cache.Stats()
+		m.CacheHitRate = m.Cache.HitRate()
+	}
+	return m
+}
+
+// Shutdown stops intake and drains: queued and in-flight jobs run to
+// completion, then the workers exit. If ctx expires first, every live job
+// is canceled (running simulations are interrupted) and Shutdown returns
+// the context's error once the workers finish unwinding.
+func (s *Scheduler) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.quiescing {
+		s.quiescing = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		for _, j := range s.Jobs() {
+			j.Cancel()
+		}
+		<-drained
+		return ctx.Err()
+	}
+}
+
+// WaitAll waits for every job and returns their results in the given order.
+// The first job error is returned (with its job ID) but all jobs are waited
+// for regardless, so no worker is left writing into a shared structure.
+func WaitAll(jobs []*Job) ([]*core.Result, error) {
+	results := make([]*core.Result, len(jobs))
+	var firstErr error
+	for i, j := range jobs {
+		res, err := j.Wait()
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("job %s (%s): %w", j.ID, j.Spec.Experiment, err)
+		}
+		results[i] = res
+	}
+	return results, firstErr
+}

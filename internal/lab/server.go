@@ -1,0 +1,231 @@
+package lab
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"butterfly/internal/core"
+)
+
+// Server exposes a Scheduler over HTTP — the butterflyd API:
+//
+//	POST   /jobs            submit a job (body: core.Spec JSON)
+//	GET    /jobs            list jobs in submission order
+//	GET    /jobs/{id}       status + queue position
+//	DELETE /jobs/{id}       cancel
+//	GET    /jobs/{id}/result  table text (default) or ?format=json
+//	POST   /sweeps          expand + submit a parameter sweep
+//	GET    /experiments     the registry
+//	GET    /metrics         queue depth, utilization, cache hit rate, jobs/sec
+//	GET    /healthz         liveness
+type Server struct {
+	sched *Scheduler
+	mux   *http.ServeMux
+}
+
+// NewServer wires the handlers around a scheduler.
+func NewServer(s *Scheduler) *Server {
+	srv := &Server{sched: s, mux: http.NewServeMux()}
+	srv.mux.HandleFunc("POST /jobs", srv.submitJob)
+	srv.mux.HandleFunc("GET /jobs", srv.listJobs)
+	srv.mux.HandleFunc("GET /jobs/{id}", srv.jobStatus)
+	srv.mux.HandleFunc("DELETE /jobs/{id}", srv.cancelJob)
+	srv.mux.HandleFunc("GET /jobs/{id}/result", srv.jobResult)
+	srv.mux.HandleFunc("POST /sweeps", srv.submitSweep)
+	srv.mux.HandleFunc("GET /experiments", srv.listExperiments)
+	srv.mux.HandleFunc("GET /metrics", srv.metrics)
+	srv.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return srv
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// jobStatusView is the wire form of a job's status.
+type jobStatusView struct {
+	ID            string    `json:"id"`
+	Fingerprint   string    `json:"fingerprint"`
+	Spec          core.Spec `json:"spec"`
+	State         State     `json:"state"`
+	QueuePosition int       `json:"queue_position,omitempty"`
+	CacheHit      bool      `json:"cache_hit,omitempty"`
+	Error         string    `json:"error,omitempty"`
+	WallMs        int64     `json:"wall_ms,omitempty"`
+}
+
+// statusView snapshots a job for the wire.
+func (s *Server) statusView(j *Job) jobStatusView {
+	v := jobStatusView{
+		ID:          j.ID,
+		Fingerprint: j.Fingerprint,
+		Spec:        j.Spec,
+		State:       j.State(),
+	}
+	v.QueuePosition = s.sched.QueuePosition(j)
+	res, err := j.Result()
+	if res != nil {
+		v.CacheHit = res.CacheHit
+		v.WallMs = res.WallNs / int64(time.Millisecond)
+	}
+	if err != nil {
+		v.Error = err.Error()
+	}
+	return v
+}
+
+// writeJSON emits a JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError emits a JSON error envelope.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// submitStatus maps a submission error to its HTTP status.
+func submitStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrShuttingDown):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
+	var spec core.Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad spec: %w", err))
+		return
+	}
+	j, err := s.sched.Submit(spec)
+	if err != nil {
+		writeError(w, submitStatus(err), err)
+		return
+	}
+	status := http.StatusAccepted
+	if j.State() == StateDone { // served from cache at submit time
+		status = http.StatusOK
+	}
+	writeJSON(w, status, s.statusView(j))
+}
+
+func (s *Server) listJobs(w http.ResponseWriter, r *http.Request) {
+	jobs := s.sched.Jobs()
+	views := make([]jobStatusView, 0, len(jobs))
+	for _, j := range jobs {
+		views = append(views, s.statusView(j))
+	}
+	writeJSON(w, http.StatusOK, views)
+}
+
+func (s *Server) jobStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.sched.Lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.statusView(j))
+}
+
+func (s *Server) cancelJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.sched.Lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
+		return
+	}
+	j.Cancel()
+	writeJSON(w, http.StatusOK, s.statusView(j))
+}
+
+func (s *Server) jobResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.sched.Lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
+		return
+	}
+	switch j.State() {
+	case StateQueued, StateRunning:
+		writeJSON(w, http.StatusConflict, s.statusView(j))
+		return
+	}
+	res, err := j.Result()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, http.StatusOK, res)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, res.Table)
+}
+
+// sweepResponse is the wire form of a submitted sweep.
+type sweepResponse struct {
+	Points int             `json:"points"`
+	Jobs   []jobStatusView `json:"jobs"`
+}
+
+func (s *Server) submitSweep(w http.ResponseWriter, r *http.Request) {
+	var sw Sweep
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sw); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad sweep: %w", err))
+		return
+	}
+	jobs, err := s.sched.SubmitSweep(sw)
+	if err != nil && len(jobs) == 0 {
+		writeError(w, submitStatus(err), err)
+		return
+	}
+	resp := sweepResponse{Points: len(jobs)}
+	for _, j := range jobs {
+		resp.Jobs = append(resp.Jobs, s.statusView(j))
+	}
+	status := http.StatusAccepted
+	if err != nil {
+		// Partial submission (queue filled up mid-sweep): report what ran.
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}
+
+// experimentView is the wire form of a registry entry.
+type experimentView struct {
+	ID            string `json:"id"`
+	Title         string `json:"title"`
+	Paper         string `json:"paper"`
+	ManagesFaults bool   `json:"manages_faults,omitempty"`
+}
+
+func (s *Server) listExperiments(w http.ResponseWriter, r *http.Request) {
+	exps := core.Experiments()
+	views := make([]experimentView, 0, len(exps))
+	for _, e := range exps {
+		views = append(views, experimentView{ID: e.ID, Title: e.Title, Paper: e.Paper, ManagesFaults: e.ManagesFaults})
+	}
+	writeJSON(w, http.StatusOK, views)
+}
+
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.sched.Metrics())
+}

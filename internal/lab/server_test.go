@@ -1,0 +1,206 @@
+package lab
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"butterfly/internal/core"
+)
+
+// testServer wires a live scheduler behind an httptest server.
+func testServer(t *testing.T, cfg Config) (*httptest.Server, *Scheduler) {
+	t.Helper()
+	sched := NewScheduler(cfg)
+	ts := httptest.NewServer(NewServer(sched))
+	t.Cleanup(func() {
+		ts.Close()
+		sched.Shutdown(context.Background())
+	})
+	return ts, sched
+}
+
+// doJSON performs a request and decodes the JSON response into out.
+func doJSON(t *testing.T, method, url, body string, out any) int {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decode: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestServerJobLifecycle(t *testing.T) {
+	ts, _ := testServer(t, Config{Workers: 2, Cache: OpenCache(t.TempDir())})
+
+	var sub jobStatusView
+	code := doJSON(t, "POST", ts.URL+"/jobs", `{"experiment":"numa","quick":true}`, &sub)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status = %d", code)
+	}
+	if sub.ID == "" || sub.Fingerprint == "" {
+		t.Fatalf("submit view = %+v", sub)
+	}
+
+	// Poll until done.
+	deadline := time.Now().Add(30 * time.Second)
+	var st jobStatusView
+	for {
+		doJSON(t, "GET", ts.URL+"/jobs/"+sub.ID, "", &st)
+		if st.State == StateDone || st.State == StateFailed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %s", st.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if st.State != StateDone {
+		t.Fatalf("job finished as %s: %s", st.State, st.Error)
+	}
+
+	// Text result matches a direct run of the experiment.
+	resp, err := http.Get(ts.URL + "/jobs/" + sub.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if want := runDirect(t, "numa", true); string(table) != want {
+		t.Error("HTTP result table diverges from direct run")
+	}
+
+	// JSON result carries the full structured record.
+	var res core.Result
+	doJSON(t, "GET", ts.URL+"/jobs/"+sub.ID+"/result?format=json", "", &res)
+	if res.Fingerprint != sub.Fingerprint || res.Events == 0 {
+		t.Errorf("json result = %+v", res)
+	}
+
+	// Resubmitting the same spec is served from cache with 200, not 202.
+	var again jobStatusView
+	if code := doJSON(t, "POST", ts.URL+"/jobs", `{"experiment":"numa","quick":true}`, &again); code != http.StatusOK {
+		t.Errorf("cache-hit submit status = %d", code)
+	}
+	if !again.CacheHit {
+		t.Errorf("resubmit not marked cache hit: %+v", again)
+	}
+
+	// Job listing shows both, in submission order.
+	var list []jobStatusView
+	doJSON(t, "GET", ts.URL+"/jobs", "", &list)
+	if len(list) != 2 || list[0].ID != sub.ID {
+		t.Errorf("list = %+v", list)
+	}
+}
+
+func TestServerValidationAndNotFound(t *testing.T) {
+	ts, _ := testServer(t, Config{Workers: 1})
+
+	var e map[string]string
+	if code := doJSON(t, "POST", ts.URL+"/jobs", `{"experiment":"nonesuch"}`, &e); code != http.StatusBadRequest {
+		t.Errorf("bad experiment status = %d", code)
+	}
+	if e["error"] == "" {
+		t.Error("error envelope empty")
+	}
+	if code := doJSON(t, "POST", ts.URL+"/jobs", `{"experiment":"numa","warp":9}`, nil); code != http.StatusBadRequest {
+		t.Errorf("unknown field status = %d", code)
+	}
+	if code := doJSON(t, "GET", ts.URL+"/jobs/j9999-deadbeef", "", nil); code != http.StatusNotFound {
+		t.Errorf("unknown job status = %d", code)
+	}
+	if code := doJSON(t, "DELETE", ts.URL+"/jobs/j9999-deadbeef", "", nil); code != http.StatusNotFound {
+		t.Errorf("cancel unknown job status = %d", code)
+	}
+}
+
+func TestServerResultWhileRunningConflicts(t *testing.T) {
+	ts, _ := testServer(t, Config{Workers: 1})
+
+	var slow jobStatusView
+	doJSON(t, "POST", ts.URL+"/jobs", `{"experiment":"spread"}`, &slow)
+	var queued jobStatusView
+	doJSON(t, "POST", ts.URL+"/jobs", `{"experiment":"numa","quick":true}`, &queued)
+
+	if code := doJSON(t, "GET", ts.URL+"/jobs/"+queued.ID+"/result", "", nil); code != http.StatusConflict {
+		t.Errorf("result of queued job status = %d", code)
+	}
+	var qst jobStatusView
+	doJSON(t, "GET", ts.URL+"/jobs/"+queued.ID, "", &qst)
+	if qst.State == StateQueued && qst.QueuePosition < 1 {
+		t.Errorf("queued job has no queue position: %+v", qst)
+	}
+
+	// Cancel both over the API.
+	var cv jobStatusView
+	doJSON(t, "DELETE", ts.URL+"/jobs/"+queued.ID, "", &cv)
+	if cv.State != StateCanceled && cv.State != StateDone {
+		t.Errorf("canceled view = %+v", cv)
+	}
+	doJSON(t, "DELETE", ts.URL+"/jobs/"+slow.ID, "", nil)
+}
+
+func TestServerSweepAndMetrics(t *testing.T) {
+	ts, sched := testServer(t, Config{Workers: 2})
+
+	var sw sweepResponse
+	code := doJSON(t, "POST", ts.URL+"/sweeps",
+		`{"base":{"experiment":"numa","quick":true},"axes":[{"field":"nodes","values":["16..64:*2"]}]}`, &sw)
+	if code != http.StatusAccepted {
+		t.Fatalf("sweep status = %d", code)
+	}
+	if sw.Points != 3 || len(sw.Jobs) != 3 {
+		t.Fatalf("sweep response = %+v", sw)
+	}
+	if code := doJSON(t, "POST", ts.URL+"/sweeps",
+		`{"base":{"experiment":"numa"},"axes":[{"field":"warp","values":["9"]}]}`, nil); code != http.StatusBadRequest {
+		t.Errorf("bad sweep status = %d", code)
+	}
+
+	// Wait for the sweep so metrics see completions.
+	for _, jv := range sw.Jobs {
+		j, ok := sched.Lookup(jv.ID)
+		if !ok {
+			t.Fatalf("job %s missing", jv.ID)
+		}
+		if _, err := j.Wait(); err != nil {
+			t.Fatalf("sweep point: %v", err)
+		}
+	}
+
+	var m Metrics
+	doJSON(t, "GET", ts.URL+"/metrics", "", &m)
+	if m.Workers != 2 || m.Submitted != 3 || m.Completed != 3 {
+		t.Errorf("metrics = %+v", m)
+	}
+
+	var exps []experimentView
+	doJSON(t, "GET", ts.URL+"/experiments", "", &exps)
+	if len(exps) != len(core.Experiments()) {
+		t.Errorf("experiments listed = %d", len(exps))
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz: %v %v", resp, err)
+	}
+	if resp != nil {
+		resp.Body.Close()
+	}
+}

@@ -1,0 +1,160 @@
+package lab
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"butterfly/internal/core"
+)
+
+func TestExpandValues(t *testing.T) {
+	cases := []struct {
+		in   []string
+		want []string
+	}{
+		{[]string{"8..12"}, []string{"8", "9", "10", "11", "12"}},
+		{[]string{"8..64:+8"}, []string{"8", "16", "24", "32", "40", "48", "56", "64"}},
+		{[]string{"8..128:*2"}, []string{"8", "16", "32", "64", "128"}},
+		{[]string{"4", "8..16:*2", "100"}, []string{"4", "8", "16", "100"}},
+		{[]string{"b1", "bplus"}, []string{"b1", "bplus"}}, // literals pass through
+		{[]string{"3..3"}, []string{"3"}},
+	}
+	for _, tc := range cases {
+		got, err := expandValues(tc.in)
+		if err != nil {
+			t.Errorf("%v: %v", tc.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%v → %v, want %v", tc.in, got, tc.want)
+		}
+	}
+
+	bad := []string{"8..2", "8..16:+0", "8..16:*1", "0..16:*2", "8..16:xyz"}
+	for _, v := range bad {
+		if _, err := expandValues([]string{v}); err == nil {
+			t.Errorf("%q: expected error", v)
+		}
+	}
+}
+
+func TestSweepExpand(t *testing.T) {
+	sw := Sweep{
+		Base: core.Spec{Experiment: "numa", Quick: true},
+		Axes: []Axis{
+			{Field: "preset", Values: []string{"b1", "bplus"}},
+			{Field: "nodes", Values: []string{"16..64:*2"}},
+		},
+	}
+	specs, err := sw.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 6 {
+		t.Fatalf("expanded to %d specs, want 6", len(specs))
+	}
+	// Row-major: the last axis (nodes) varies fastest.
+	wantOrder := []struct {
+		preset string
+		nodes  int
+	}{
+		{"b1", 16}, {"b1", 32}, {"b1", 64},
+		{"bplus", 16}, {"bplus", 32}, {"bplus", 64},
+	}
+	for i, w := range wantOrder {
+		if specs[i].Preset != w.preset || specs[i].Nodes != w.nodes {
+			t.Errorf("point %d = (%s, %d), want (%s, %d)",
+				i, specs[i].Preset, specs[i].Nodes, w.preset, w.nodes)
+		}
+		if specs[i].Experiment != "numa" || !specs[i].Quick {
+			t.Errorf("point %d lost base fields: %+v", i, specs[i])
+		}
+	}
+
+	// No axes: the base passes through alone.
+	solo, err := Sweep{Base: core.Spec{Experiment: "numa"}}.Expand()
+	if err != nil || len(solo) != 1 {
+		t.Errorf("axis-less sweep: %v, %v", solo, err)
+	}
+
+	bad := []Sweep{
+		{Base: core.Spec{Experiment: "numa"}, Axes: []Axis{{Field: "warp", Values: []string{"9"}}}},
+		{Base: core.Spec{Experiment: "numa"}, Axes: []Axis{{Field: "nodes", Values: nil}}},
+		{Base: core.Spec{Experiment: "numa"}, Axes: []Axis{{Field: "nodes", Values: []string{"x"}}}},
+		{Base: core.Spec{Experiment: "numa"}, Axes: []Axis{{Field: "quick", Values: []string{"maybe"}}}},
+		// Valid grammar, invalid point: preset unknown to the registry.
+		{Base: core.Spec{Experiment: "numa"}, Axes: []Axis{{Field: "preset", Values: []string{"cray"}}}},
+	}
+	for i, sw := range bad {
+		if _, err := sw.Expand(); err == nil {
+			t.Errorf("bad sweep %d expanded cleanly", i)
+		}
+	}
+}
+
+func TestSweepFaultSeedAxis(t *testing.T) {
+	sw := Sweep{
+		Base: core.Spec{Experiment: "numa", Quick: true, Faults: "seed 1; drop 0.001"},
+		Axes: []Axis{{Field: "fault_seed", Values: []string{"1..3"}}},
+	}
+	specs, err := sw.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 3 {
+		t.Fatalf("%d specs", len(specs))
+	}
+	for i, sp := range specs {
+		if sp.FaultSeed == nil || *sp.FaultSeed != uint64(i+1) {
+			t.Errorf("point %d seed = %v", i, sp.FaultSeed)
+		}
+	}
+	// The seed pointer must not be shared between points.
+	if specs[0].FaultSeed == specs[1].FaultSeed {
+		t.Error("sweep points alias one FaultSeed pointer")
+	}
+}
+
+func TestSweepEndToEnd(t *testing.T) {
+	s := NewScheduler(Config{Workers: 2})
+	defer s.Shutdown(context.Background())
+
+	sw := Sweep{
+		Base: core.Spec{Experiment: "numa", Quick: true},
+		Axes: []Axis{{Field: "nodes", Values: []string{"16..64:*2"}}},
+	}
+	jobs, err := s.SubmitSweep(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 3 {
+		t.Fatalf("%d jobs", len(jobs))
+	}
+	doc, err := AssembleSweep(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Points appear in grid order regardless of completion order.
+	idx := []int{
+		strings.Index(doc, "--- point 1/3: numa quick nodes=16 ---"),
+		strings.Index(doc, "--- point 2/3: numa quick nodes=32 ---"),
+		strings.Index(doc, "--- point 3/3: numa quick nodes=64 ---"),
+	}
+	for i, at := range idx {
+		if at < 0 {
+			t.Fatalf("missing point header %d in:\n%s", i+1, doc)
+		}
+		if i > 0 && at < idx[i-1] {
+			t.Errorf("point %d appears before point %d", i+1, i)
+		}
+	}
+
+	// Each point really ran at its own scale: tables must differ.
+	r0, _ := jobs[0].Result()
+	r2, _ := jobs[2].Result()
+	if r0.Table == r2.Table {
+		t.Error("16-node and 64-node sweeps produced identical tables")
+	}
+}

@@ -234,6 +234,10 @@ type Stats struct {
 // New builds a machine with the given configuration and a fresh simulation
 // engine.
 func New(cfg Config) *Machine {
+	scope := currentScope()
+	if scope != nil && scope.config != nil {
+		cfg = scope.config(cfg)
+	}
 	if cfg.Nodes <= 0 {
 		panic("machine: node count must be positive")
 	}
@@ -253,19 +257,25 @@ func New(cfg Config) *Machine {
 		})
 	}
 	m.wordTransit = m.fixedTransitNs(wordBytes)
-	if newHook != nil {
+	if scope != nil {
+		if scope.onNew != nil {
+			scope.onNew(m)
+		}
+	} else if newHook != nil {
 		newHook(m)
 	}
 	return m
 }
 
 // newHook, when non-nil, observes every Machine built. The golden
-// determinism test and butterflybench's reporting use it to reach the
-// engines an experiment creates internally.
+// determinism test and butterflybench's sequential reporting use it to reach
+// the engines an experiment creates internally. Goroutines with ScopeHooks
+// registered see their scoped hooks instead (see scope.go).
 var newHook func(*Machine)
 
 // SetNewHook installs an observer called with every Machine New builds.
-// Pass nil to remove it. Not safe for concurrent use with New.
+// Pass nil to remove it. Not safe for concurrent use with New — concurrent
+// callers (the experiment lab's workers) must use ScopeHooks instead.
 func SetNewHook(fn func(*Machine)) { newHook = fn }
 
 // Stats returns a copy of the machine counters.

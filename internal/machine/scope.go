@@ -1,0 +1,98 @@
+package machine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The experiment lab runs independent simulations concurrently, one per
+// worker OS thread, and each worker needs to observe (and optionally
+// re-parameterize) exactly the machines its own job builds. The global
+// SetNewHook cannot express that — it is process-wide and documented as
+// unsafe for concurrent use — so New also consults a goroutine-scoped hook
+// table: a worker registers its hooks with ScopeHooks, runs the job's
+// experiment on the same goroutine, and releases them. Machines built by
+// other goroutines never see them.
+//
+// Experiments construct their machines on the goroutine that called
+// Experiment.Run (simulated processes are goroutines, but they only use
+// machines, never build them), so goroutine scoping is exactly job scoping.
+
+// hookScope is one goroutine's registered construction hooks.
+type hookScope struct {
+	// config, when non-nil, transforms every Config before the machine is
+	// assembled — the lab uses it to apply per-job machine overrides
+	// (hardware preset, node count) without threading parameters through
+	// every experiment signature.
+	config func(Config) Config
+	// onNew, when non-nil, observes every machine after assembly, exactly
+	// like the global new-machine hook.
+	onNew func(*Machine)
+}
+
+var (
+	// scopeCount lets the common case (no scopes anywhere) skip the
+	// goroutine-id lookup entirely: New pays one atomic load.
+	scopeCount atomic.Int32
+	scopeMu    sync.RWMutex
+	scopes     map[uint64]*hookScope
+)
+
+// ScopeHooks registers machine-construction hooks visible only on the
+// calling goroutine: config (may be nil) rewrites every Config before New
+// assembles the machine, and onNew (may be nil) observes every machine New
+// builds. The returned release function unregisters them and must be called
+// on any goroutine when the scope ends. Scoped hooks take precedence over
+// the global SetNewHook hook. Registering twice on one goroutine without
+// releasing panics.
+func ScopeHooks(config func(Config) Config, onNew func(*Machine)) (release func()) {
+	id := goid()
+	scopeMu.Lock()
+	if scopes == nil {
+		scopes = make(map[uint64]*hookScope)
+	}
+	if _, dup := scopes[id]; dup {
+		scopeMu.Unlock()
+		panic("machine: ScopeHooks already registered on this goroutine")
+	}
+	scopes[id] = &hookScope{config: config, onNew: onNew}
+	scopeMu.Unlock()
+	scopeCount.Add(1)
+	return func() {
+		scopeMu.Lock()
+		delete(scopes, id)
+		scopeMu.Unlock()
+		scopeCount.Add(-1)
+	}
+}
+
+// currentScope returns the calling goroutine's registered hooks, or nil.
+func currentScope() *hookScope {
+	if scopeCount.Load() == 0 {
+		return nil
+	}
+	id := goid()
+	scopeMu.RLock()
+	s := scopes[id]
+	scopeMu.RUnlock()
+	return s
+}
+
+// goid returns the runtime's id for the calling goroutine, parsed from the
+// header of a single-goroutine stack dump ("goroutine 123 [running]:").
+// This costs about a microsecond, which is why it is guarded by scopeCount
+// and only paid on machine construction, never on a simulation hot path.
+func goid() uint64 {
+	var buf [40]byte
+	n := runtime.Stack(buf[:], false)
+	const prefix = len("goroutine ")
+	var id uint64
+	for _, c := range buf[prefix:n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}

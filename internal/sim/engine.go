@@ -21,6 +21,7 @@ package sim
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"butterfly/internal/probe"
 )
@@ -161,6 +162,12 @@ type Engine struct {
 	// transition (see internal/probe). Probes are purely observational; a
 	// nil probe costs the hot paths one pointer check.
 	probe *probe.Probe
+
+	// interrupted is the only piece of engine state that may be touched
+	// from outside the simulation's goroutine chain: an external watchdog
+	// (job timeout, cancellation) sets it, and the dispatcher checks it at
+	// every dispatch point.
+	interrupted atomic.Bool
 }
 
 // New creates an empty simulation engine at virtual time zero.
@@ -387,6 +394,13 @@ func (e *Engine) popNext() *Proc {
 	if p.at > e.now {
 		e.now = p.at
 	}
+	if e.interrupted.Load() {
+		// The run is being torn down: every process dies at its dispatch
+		// point (the same unwind path Kill uses), so the event chain drains
+		// instead of executing further user code.
+		p.killed = true
+		p.exited = true
+	}
 	e.stats.Events++
 	e.running = p
 	p.state = stateRunning
@@ -419,6 +433,9 @@ func (e *Engine) Run() error {
 	if first := e.popNext(); first != nil {
 		first.resume <- struct{}{}
 		<-e.done
+	}
+	if e.interrupted.Load() {
+		return &InterruptError{Now: e.now, Live: e.live}
 	}
 	if e.live > 0 {
 		// Everything left alive is blocked: deadlock.
@@ -591,6 +608,33 @@ func (p *Proc) Exit() {
 	p.exited = true
 	panic(errExit)
 }
+
+// InterruptError is returned by Run when the simulation was stopped early via
+// Interrupt (a job timeout or cancellation, not anything the simulated
+// machine did). Live counts the processes that had not completed when the
+// event chain drained — blocked processes are abandoned, their goroutines
+// parked forever, so an interrupted engine must simply be dropped.
+type InterruptError struct {
+	Now  int64
+	Live int
+}
+
+// Error implements the error interface.
+func (e *InterruptError) Error() string {
+	return fmt.Sprintf("sim: run interrupted at t=%dns (%d process(es) abandoned)", e.Now, e.Live)
+}
+
+// Interrupt requests that the simulation stop at the next dispatch point.
+// It is the one engine entry point that is safe to call from any OS thread
+// at any time: an external watchdog uses it to bound a job's wall-clock
+// time or to cancel it. Every process subsequently dispatched dies
+// immediately (via the Kill unwind path) so the pending-event chain drains
+// quickly; Run then returns an *InterruptError. Interrupting an engine that
+// has already finished is a no-op.
+func (e *Engine) Interrupt() { e.interrupted.Store(true) }
+
+// Interrupted reports whether Interrupt has been called.
+func (e *Engine) Interrupted() bool { return e.interrupted.Load() }
 
 // Kill terminates another process from outside, modelling a node failure: the
 // victim never runs user code again. A blocked or waiting victim is

@@ -3,6 +3,7 @@ package smp
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"butterfly/internal/chrysalis"
 	"butterfly/internal/fault"
@@ -193,20 +194,27 @@ func memberOf(p *sim.Proc) *Member {
 	if !ok {
 		return nil
 	}
-	if m, ok := prMembers[pr]; ok {
-		return m
-	}
-	return nil
+	prMembersMu.RLock()
+	m := prMembers[pr]
+	prMembersMu.RUnlock()
+	return m
 }
 
-// prMembers associates Chrysalis processes with SMP members. The simulation
-// is single-threaded, so a plain map is safe.
-var prMembers = map[*chrysalis.Process]*Member{}
+// prMembers associates Chrysalis processes with SMP members. Each simulation
+// is single-threaded, but independent simulations may run concurrently on
+// lab workers; process pointers never collide across simulations, so the
+// lock only protects the map structure itself.
+var (
+	prMembersMu sync.RWMutex
+	prMembers   = map[*chrysalis.Process]*Member{}
+)
 
 // register must be called once the member's process exists.
 func (m *Member) register() {
 	if m.Pr != nil {
+		prMembersMu.Lock()
 		prMembers[m.Pr] = m
+		prMembersMu.Unlock()
 	}
 }
 
