@@ -9,6 +9,7 @@
 //	butterflybench -all [-quick]
 //	butterflybench -all -parallel 4        # run experiments concurrently (lab scheduler)
 //	butterflybench -all -cache             # reuse content-addressed cached results
+//	butterflybench -all -server http://127.0.0.1:7788   # run on a remote butterflyd
 //	butterflybench -all -json              # structured per-experiment results on stdout
 //	butterflybench -all -timing            # wall-clock + events/sec per experiment
 //	butterflybench -all -cpuprofile cpu.pb # profile the simulator itself
@@ -22,9 +23,15 @@
 // order — byte-identical to a sequential run, just faster on multi-core
 // hosts. -cache short-circuits experiments whose fingerprint (spec + code
 // version) already has a stored result.
+//
+// -server URL runs the same specs on a remote butterflyd instead of
+// in-process: submissions ride the lab client's retry/backoff discipline
+// (429s and daemon restarts are absorbed, not surfaced), and stdout stays
+// byte-identical to a local run because the simulations are deterministic.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -37,6 +44,7 @@ import (
 	"butterfly/internal/core"
 	"butterfly/internal/fault"
 	"butterfly/internal/lab"
+	"butterfly/internal/lab/client"
 	"butterfly/internal/machine"
 	"butterfly/internal/probe"
 	"butterfly/internal/sim"
@@ -59,6 +67,7 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		faults     = flag.String("faults", "", "fault schedule: directives like 'seed 7; drop 0.001; kill 5 @ 10ms', or @file to read one")
 		faultSeed  = flag.Uint64("fault-seed", 0, "override the fault schedule's random seed (requires -faults)")
+		server     = flag.String("server", "", "run experiments on a remote butterflyd at this base URL instead of in-process")
 	)
 	flag.Parse()
 
@@ -113,6 +122,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "butterflybench: -trace-out requires in-process sequential execution (drop -cache/-json)")
 		os.Exit(1)
 	}
+	if *server != "" {
+		// Remote execution: the trace recorder needs the machine hook in
+		// this process, and caching is the daemon's decision, not ours.
+		if *traceOut != "" {
+			fmt.Fprintln(os.Stderr, "butterflybench: -trace-out requires in-process execution (drop -server)")
+			os.Exit(1)
+		}
+		if cacheOn {
+			fmt.Fprintln(os.Stderr, "butterflybench: -cache is the daemon's policy; drop it when using -server")
+			os.Exit(1)
+		}
+	}
 
 	var seeds []core.Experiment
 	switch {
@@ -134,6 +155,19 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *server != "" {
+		runViaServer(*server, seeds, labOpts{
+			quick:     *quick,
+			jsonOut:   *jsonOut,
+			timing:    *timing,
+			probe:     *probeOn,
+			faults:    *faults,
+			faultSeed: ptrIf(seedSet, *faultSeed),
+			headers:   *all,
+		})
+		return
 	}
 
 	if useLab {
@@ -262,50 +296,9 @@ func runViaLab(exps []core.Experiment, o labOpts) {
 			fmt.Fprintf(os.Stderr, "butterflybench: experiment %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-		if o.jsonOut {
-			jsonResults = append(jsonResults, jsonResult{
-				ID:           e.ID,
-				Title:        e.Title,
-				Rows:         strings.Split(strings.TrimRight(res.Table, "\n"), "\n"),
-				Machines:     res.Machines,
-				Events:       res.Events,
-				VTimeNs:      res.VTimeNs,
-				WallNs:       res.WallNs,
-				EventsPerSec: res.EventsPerSec(),
-				CacheHit:     res.CacheHit,
-				Attempts:     res.Attempts,
-				Fingerprint:  res.Fingerprint,
-			})
-		} else {
-			if o.headers {
-				fmt.Printf("\n===== %s: %s =====\n", e.ID, e.Title)
-				fmt.Printf("paper: %s\n\n", e.Paper)
-			} else {
-				fmt.Printf("===== %s: %s =====\npaper: %s\n\n", e.ID, e.Title, e.Paper)
-			}
-			fmt.Print(res.Table)
-		}
-		if o.timing {
-			served := "miss"
-			if res.CacheHit {
-				served = "hit"
-			}
-			fmt.Fprintf(os.Stderr, "[timing] %-10s wall=%-12s machines=%-3d events=%-9d events/sec=%.0f vtime=%s cache=%s\n",
-				e.ID, time.Duration(res.WallNs).Round(time.Microsecond), res.Machines, res.Events,
-				res.EventsPerSec(), time.Duration(res.VTimeNs), served)
-		}
-		if o.probe && res.ProbeReport != "" {
-			fmt.Fprintf(os.Stderr, "\n%s", res.ProbeReport)
-		}
+		emitResult(e, res, o, &jsonResults)
 	}
-	if o.jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(jsonResults); err != nil {
-			fmt.Fprintf(os.Stderr, "butterflybench: %v\n", err)
-			os.Exit(1)
-		}
-	}
+	emitJSON(o, jsonResults)
 	if o.timing {
 		line := fmt.Sprintf("[timing] total      wall=%-12s workers=%d jobs=%d",
 			time.Since(start).Round(time.Microsecond), o.parallel, len(jobs))
@@ -314,6 +307,109 @@ func runViaLab(exps []core.Experiment, o labOpts) {
 			line += fmt.Sprintf(" cache-hits=%d cache-misses=%d", cs.Hits, cs.Misses)
 		}
 		fmt.Fprintln(os.Stderr, line)
+	}
+}
+
+// emitResult writes one experiment's output exactly as the sequential path
+// would: table (or collected JSON row) on stdout, timing and probe reports
+// on stderr.
+func emitResult(e core.Experiment, res *core.Result, o labOpts, jsonResults *[]jsonResult) {
+	if o.jsonOut {
+		*jsonResults = append(*jsonResults, jsonResult{
+			ID:           e.ID,
+			Title:        e.Title,
+			Rows:         strings.Split(strings.TrimRight(res.Table, "\n"), "\n"),
+			Machines:     res.Machines,
+			Events:       res.Events,
+			VTimeNs:      res.VTimeNs,
+			WallNs:       res.WallNs,
+			EventsPerSec: res.EventsPerSec(),
+			CacheHit:     res.CacheHit,
+			Attempts:     res.Attempts,
+			Fingerprint:  res.Fingerprint,
+		})
+	} else {
+		if o.headers {
+			fmt.Printf("\n===== %s: %s =====\n", e.ID, e.Title)
+			fmt.Printf("paper: %s\n\n", e.Paper)
+		} else {
+			fmt.Printf("===== %s: %s =====\npaper: %s\n\n", e.ID, e.Title, e.Paper)
+		}
+		fmt.Print(res.Table)
+	}
+	if o.timing {
+		served := "miss"
+		if res.CacheHit {
+			served = "hit"
+		}
+		fmt.Fprintf(os.Stderr, "[timing] %-10s wall=%-12s machines=%-3d events=%-9d events/sec=%.0f vtime=%s cache=%s\n",
+			e.ID, time.Duration(res.WallNs).Round(time.Microsecond), res.Machines, res.Events,
+			res.EventsPerSec(), time.Duration(res.VTimeNs), served)
+	}
+	if o.probe && res.ProbeReport != "" {
+		fmt.Fprintf(os.Stderr, "\n%s", res.ProbeReport)
+	}
+}
+
+// emitJSON flushes the collected -json document.
+func emitJSON(o labOpts, jsonResults []jsonResult) {
+	if !o.jsonOut {
+		return
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(jsonResults); err != nil {
+		fmt.Fprintf(os.Stderr, "butterflybench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// runViaServer submits every experiment to a remote butterflyd and
+// reassembles output in experiment order, exactly like runViaLab but over
+// HTTP. The client absorbs 429 backpressure and daemon restarts with
+// retries; a spec that ultimately cannot run is a hard error.
+func runViaServer(base string, exps []core.Experiment, o labOpts) {
+	c := client.New(base)
+	ctx := context.Background()
+	readyCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := c.WaitReady(readyCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "butterflybench: server %s not ready: %v\n", base, err)
+		os.Exit(1)
+	}
+
+	start := time.Now()
+	ids := make([]string, 0, len(exps))
+	for _, e := range exps {
+		spec := core.Spec{
+			Experiment: e.ID,
+			Quick:      o.quick,
+			Probe:      o.probe,
+			Faults:     o.faults,
+			FaultSeed:  o.faultSeed,
+		}
+		st, err := c.Submit(ctx, spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "butterflybench: submit %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		ids = append(ids, st.ID)
+	}
+
+	var jsonResults []jsonResult
+	for i, id := range ids {
+		e := exps[i]
+		res, err := c.WaitResult(ctx, id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "butterflybench: experiment %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		emitResult(e, res, o, &jsonResults)
+	}
+	emitJSON(o, jsonResults)
+	if o.timing {
+		fmt.Fprintf(os.Stderr, "[timing] total      wall=%-12s server=%s jobs=%d\n",
+			time.Since(start).Round(time.Microsecond), base, len(ids))
 	}
 }
 

@@ -4,12 +4,24 @@
 // worker pool; identical jobs are served from the content-addressed result
 // cache without re-execution.
 //
+// The daemon is crash-safe: every job lifecycle transition is appended to a
+// write-ahead journal (-journal-dir), so a restart replays the journal,
+// restores finished jobs, and requeues whatever the previous process left
+// mid-flight — re-execution is safe because every simulation is
+// deterministic and the result cache is content-addressed. It is also
+// overload-tolerant: a full queue or an over-rate client gets 429 +
+// Retry-After instead of a hang, POST bodies are size-capped, and slow or
+// idle connections are timed out.
+//
 // Usage:
 //
 //	butterflyd                          # listen on :7788, GOMAXPROCS workers
 //	butterflyd -addr :9000 -workers 4
 //	butterflyd -no-cache                # always execute
 //	butterflyd -cache-dir /tmp/labcache
+//	butterflyd -journal-dir /tmp/labjournal
+//	butterflyd -no-journal              # volatile: forget all jobs on exit
+//	butterflyd -rate 20 -burst 40       # per-remote submissions/sec
 //
 // API quickstart:
 //
@@ -19,9 +31,12 @@
 //	curl -s localhost:7788/jobs/j0001-xxxxxxxx/result   # the table
 //	curl -s -X POST localhost:7788/sweeps -d '{"base":{"experiment":"numa","quick":true},"axes":[{"field":"nodes","values":["8..128:*2"]}]}'
 //	curl -s localhost:7788/metrics
+//	curl -s localhost:7788/readyz       # 503 during journal replay and drain
 //
-// SIGINT/SIGTERM shut down gracefully: intake stops, queued and in-flight
-// jobs drain (bounded by -drain-timeout), then the process exits.
+// SIGINT/SIGTERM shut down gracefully: /readyz flips to 503 immediately,
+// intake stops, queued and in-flight jobs drain (bounded by -drain-timeout)
+// while status polling keeps working, then the journal is compacted and the
+// process exits.
 package main
 
 import (
@@ -47,25 +62,69 @@ func main() {
 		queueDepth   = flag.Int("queue", 256, "bounded work queue depth")
 		cacheDir     = flag.String("cache-dir", lab.DefaultCacheDir, "content-addressed result cache directory")
 		noCache      = flag.Bool("no-cache", false, "disable the result cache (always execute)")
+		journalDir   = flag.String("journal-dir", lab.DefaultJournalDir, "write-ahead job journal directory")
+		noJournal    = flag.Bool("no-journal", false, "disable the journal (jobs do not survive restarts)")
+		rate         = flag.Float64("rate", 50, "per-remote submission rate limit in requests/sec (0 = unlimited)")
+		burst        = flag.Int("burst", 100, "per-remote submission burst size")
+		maxBody      = flag.Int64("max-body", 1<<20, "maximum POST body size in bytes")
 		drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "how long shutdown waits for queued and in-flight jobs")
 	)
 	flag.Parse()
 	log.SetPrefix("butterflyd: ")
 	log.SetFlags(log.LstdFlags)
 
+	// Listen before the journal replay so health probes get answers from
+	// the first moment: /healthz is alive, /readyz is 503 until the
+	// scheduler is attached.
+	srv := lab.NewServer(lab.ServerConfig{
+		MaxBodyBytes: *maxBody,
+		RatePerSec:   *rate,
+		RateBurst:    *burst,
+	})
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: srv,
+		// Slow-client hygiene: a peer that trickles its headers, never
+		// reads its response, or parks an idle keep-alive cannot pin a
+		// connection forever.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
 	var cache *lab.Cache
 	if !*noCache {
 		cache = lab.OpenCache(*cacheDir)
 	}
-	sched := lab.NewScheduler(lab.Config{Workers: *workers, QueueDepth: *queueDepth, Cache: cache})
-
-	srv := &http.Server{Addr: *addr, Handler: lab.NewServer(sched)}
-	errCh := make(chan error, 1)
-	go func() {
-		log.Printf("serving %d experiments on %s (%d workers, queue %d, cache %s)",
-			len(core.Experiments()), *addr, sched.Workers(), *queueDepth, cacheDesc(cache))
-		errCh <- srv.ListenAndServe()
-	}()
+	var journal *lab.Journal
+	if !*noJournal {
+		var err error
+		journal, err = lab.OpenJournal(*journalDir)
+		if err != nil {
+			// A corrupt journal is an operator decision, not something to
+			// silently discard: refuse to start.
+			log.Fatalf("journal: %v (repair or remove %s to start fresh)", err, *journalDir)
+		}
+		if journal.Torn() {
+			log.Printf("journal: dropped a torn final record (previous process died mid-append)")
+		}
+	}
+	sched := lab.NewScheduler(lab.Config{
+		Workers:    *workers,
+		QueueDepth: *queueDepth,
+		Cache:      cache,
+		Journal:    journal,
+	})
+	srv.Attach(sched)
+	if rec := sched.Recovery(); rec.Replayed > 0 {
+		log.Printf("journal: replayed %d jobs (%d restored, %d requeued)",
+			rec.Replayed, rec.Restored, rec.Requeued)
+	}
+	log.Printf("serving %d experiments on %s (%d workers, queue %d, cache %s, journal %s)",
+		len(core.Experiments()), *addr, sched.Workers(), *queueDepth, cacheDesc(cache), journalDesc(journal))
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -76,14 +135,25 @@ func main() {
 		log.Printf("%v: draining (timeout %s)", got, *drainTimeout)
 	}
 
+	// Drain order matters: readiness flips first (load balancers stop
+	// routing; /healthz stays ok — the process is alive, just not taking
+	// work), then the job queue drains while the HTTP listener keeps
+	// serving status polls, then the listener closes and the journal
+	// compacts.
+	srv.BeginDrain()
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	// Stop accepting connections first, then drain the job queue.
-	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+	drainErr := sched.Shutdown(ctx)
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("http shutdown: %v", err)
 	}
-	if err := sched.Shutdown(ctx); err != nil {
-		log.Printf("drain incomplete, jobs canceled: %v", err)
+	if journal != nil {
+		if err := journal.Close(); err != nil {
+			log.Printf("journal close: %v", err)
+		}
+	}
+	if drainErr != nil {
+		log.Printf("drain incomplete, jobs canceled: %v", drainErr)
 		os.Exit(1)
 	}
 	m := sched.Metrics()
@@ -97,4 +167,12 @@ func cacheDesc(c *lab.Cache) string {
 		return "off"
 	}
 	return fmt.Sprintf("%q", c.Dir())
+}
+
+// journalDesc names the journal for the startup log line.
+func journalDesc(j *lab.Journal) string {
+	if j == nil {
+		return "off"
+	}
+	return fmt.Sprintf("%q", j.Dir())
 }

@@ -1,0 +1,90 @@
+package lab
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// rateLimiter is a per-key token bucket: each remote gets burst tokens that
+// refill at rate per second. It bounds how fast any single client can push
+// submissions into the queue, so one chatty front-end cannot starve the
+// rest — the admission counterpart of the paper's lesson that one serial
+// bottleneck wrecks a 128-node machine.
+type rateLimiter struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*tokenBucket
+	now     func() time.Time // injectable for tests
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxBuckets caps the per-remote table; when full, idle (fully refilled)
+// buckets are evicted — a full bucket and no bucket are indistinguishable.
+const maxBuckets = 4096
+
+// newRateLimiter builds a limiter admitting rate requests/second per key
+// with the given burst size.
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimiter{
+		rate:    rate,
+		burst:   float64(burst),
+		buckets: make(map[string]*tokenBucket),
+		now:     time.Now,
+	}
+}
+
+// Allow spends one token from key's bucket. When the bucket is empty it
+// reports false plus how long until the next token accrues — the
+// Retry-After a 429 response should carry.
+func (l *rateLimiter) Allow(key string) (bool, time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b, ok := l.buckets[key]
+	if !ok {
+		if len(l.buckets) >= maxBuckets {
+			l.evictIdleLocked()
+		}
+		b = &tokenBucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	}
+	b.tokens += l.rate * now.Sub(b.last).Seconds()
+	if b.tokens > l.burst {
+		b.tokens = l.burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration(float64(time.Second) * (1 - b.tokens) / l.rate)
+	return false, wait
+}
+
+// evictIdleLocked drops buckets that have fully refilled.
+func (l *rateLimiter) evictIdleLocked() {
+	now := l.now()
+	for k, b := range l.buckets {
+		if b.tokens+l.rate*now.Sub(b.last).Seconds() >= l.burst {
+			delete(l.buckets, k)
+		}
+	}
+}
+
+// remoteKey buckets requests by client host, ignoring the ephemeral port.
+func remoteKey(remoteAddr string) string {
+	if host, _, err := net.SplitHostPort(remoteAddr); err == nil {
+		return host
+	}
+	return remoteAddr
+}

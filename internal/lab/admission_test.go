@@ -1,0 +1,104 @@
+package lab
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeClock advances only when told, so bucket refill is exact.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestLimiter(rate float64, burst int) (*rateLimiter, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1_000_000, 0)}
+	l := newRateLimiter(rate, burst)
+	l.now = clk.now
+	return l, clk
+}
+
+func TestRateLimiterBurstThenRefill(t *testing.T) {
+	l, clk := newTestLimiter(2, 3) // 2 tokens/s, burst 3
+
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.Allow("10.0.0.1"); !ok {
+			t.Fatalf("burst request %d denied", i)
+		}
+	}
+	ok, wait := l.Allow("10.0.0.1")
+	if ok {
+		t.Fatal("request beyond burst admitted")
+	}
+	if wait <= 0 || wait > time.Second {
+		t.Errorf("wait hint = %v, want (0, 1s] at 2 tokens/s", wait)
+	}
+
+	// Half a second refills one token at rate 2.
+	clk.advance(500 * time.Millisecond)
+	if ok, _ := l.Allow("10.0.0.1"); !ok {
+		t.Error("refilled token denied")
+	}
+	if ok, _ := l.Allow("10.0.0.1"); ok {
+		t.Error("second request admitted after a single-token refill")
+	}
+
+	// A long idle period refills to burst, never beyond.
+	clk.advance(time.Hour)
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if ok, _ := l.Allow("10.0.0.1"); ok {
+			admitted++
+		}
+	}
+	if admitted != 3 {
+		t.Errorf("admitted %d after long idle, want burst 3", admitted)
+	}
+}
+
+func TestRateLimiterIsolatesKeys(t *testing.T) {
+	l, _ := newTestLimiter(1, 1)
+	if ok, _ := l.Allow("a"); !ok {
+		t.Fatal("first request for a denied")
+	}
+	if ok, _ := l.Allow("a"); ok {
+		t.Fatal("a's bucket should be empty")
+	}
+	// A different remote is unaffected by a's exhaustion.
+	if ok, _ := l.Allow("b"); !ok {
+		t.Error("b throttled by a's traffic")
+	}
+}
+
+func TestRateLimiterEvictsIdleBuckets(t *testing.T) {
+	l, clk := newTestLimiter(10, 2)
+	for i := 0; i < maxBuckets; i++ {
+		l.Allow(fmt.Sprintf("host-%d", i))
+	}
+	if len(l.buckets) != maxBuckets {
+		t.Fatalf("bucket table = %d, want full at %d", len(l.buckets), maxBuckets)
+	}
+	// Everyone refills to full; the next new key evicts the idle crowd
+	// instead of growing without bound.
+	clk.advance(time.Minute)
+	if ok, _ := l.Allow("newcomer"); !ok {
+		t.Fatal("newcomer denied")
+	}
+	if len(l.buckets) > 2 {
+		t.Errorf("idle buckets not evicted: %d remain", len(l.buckets))
+	}
+}
+
+func TestRemoteKey(t *testing.T) {
+	cases := map[string]string{
+		"10.1.2.3:5555": "10.1.2.3",
+		"[::1]:8080":    "::1",
+		"not-an-addr":   "not-an-addr", // fall back to the raw string
+	}
+	for in, want := range cases {
+		if got := remoteKey(in); got != want {
+			t.Errorf("remoteKey(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

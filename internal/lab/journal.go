@@ -1,0 +1,388 @@
+package lab
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"butterfly/internal/core"
+)
+
+// DefaultJournalDir is where butterflyd keeps its write-ahead job journal,
+// next to the result cache under results/.
+const DefaultJournalDir = "results/journal"
+
+// journalSchema versions the journal encoding; a snapshot written by a
+// different schema refuses to load rather than being misread.
+const journalSchema = "butterfly-journal-v1"
+
+// ErrJournalClosed is returned by appends after Close.
+var ErrJournalClosed = errors.New("lab: journal closed")
+
+// Journal is the lab's durable job log: an append-only JSONL file of
+// lifecycle records plus a periodically compacted snapshot, both under one
+// directory. Opening a journal replays snapshot + tail into an in-memory
+// job table the scheduler uses to recover: terminal jobs are restored,
+// mid-flight jobs are requeued.
+//
+// Durability model: every record is a single buffered write of one JSON
+// line; terminal records (completed/failed/canceled) are additionally
+// fsynced, so an acknowledged result can never be lost to a crash. A torn
+// final line (the process died mid-append) is tolerated and dropped on
+// replay — the affected job simply replays from its previous state and is
+// requeued, which is safe because execution is deterministic and
+// idempotent. Any corruption *before* the final record means the file was
+// damaged at rest, and replay fails loudly instead of guessing.
+type Journal struct {
+	dir string
+
+	// CompactEvery is how many appended records accumulate before the
+	// journal folds them into the snapshot and truncates the log file
+	// (default 4096). Set it before handing the journal to a scheduler.
+	CompactEvery int
+
+	mu      sync.Mutex
+	f       *os.File
+	rec     int64 // last record number written (survives compaction)
+	appends int   // records since the last compaction
+	state   map[string]*core.JobRecord
+	order   []string // job IDs by submission order
+	maxSeq  int
+	torn    bool // replay dropped a truncated final record
+}
+
+// journalSnapshot is the compacted on-disk form: every known job at its
+// last applied state, plus the record number the snapshot reflects so
+// replay can skip already-folded journal lines.
+type journalSnapshot struct {
+	Schema string           `json:"schema"`
+	Rec    int64            `json:"rec"`
+	Seq    int              `json:"seq"`
+	Jobs   []core.JobRecord `json:"jobs"`
+}
+
+func (j *Journal) snapshotPath() string { return filepath.Join(j.dir, "snapshot.json") }
+func (j *Journal) logPath() string      { return filepath.Join(j.dir, "journal.jsonl") }
+
+// OpenJournal opens (creating if needed) the journal rooted at dir ("" means
+// DefaultJournalDir), replays its contents, compacts them into a fresh
+// snapshot, and leaves the log open for appending. A corrupt snapshot or a
+// corrupt record anywhere but the torn tail is a hard error: the caller
+// should refuse to start rather than silently forget jobs.
+func OpenJournal(dir string) (*Journal, error) {
+	if dir == "" {
+		dir = DefaultJournalDir
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("lab: journal: %w", err)
+	}
+	j := &Journal{dir: dir, CompactEvery: 4096, state: make(map[string]*core.JobRecord)}
+
+	if err := j.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	if err := j.replayLog(); err != nil {
+		return nil, err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	// Compacting on open folds the replayed tail into the snapshot and
+	// truncates the log — clearing any tolerated torn tail in the process.
+	if err := j.compactLocked(); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// loadSnapshot reads snapshot.json if present.
+func (j *Journal) loadSnapshot() error {
+	b, err := os.ReadFile(j.snapshotPath())
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("lab: journal snapshot: %w", err)
+	}
+	var snap journalSnapshot
+	if err := json.Unmarshal(b, &snap); err != nil {
+		return fmt.Errorf("lab: journal snapshot %s corrupt: %w", j.snapshotPath(), err)
+	}
+	if snap.Schema != journalSchema {
+		return fmt.Errorf("lab: journal snapshot schema %q, want %q", snap.Schema, journalSchema)
+	}
+	j.rec = snap.Rec
+	j.maxSeq = snap.Seq
+	for i := range snap.Jobs {
+		r := snap.Jobs[i]
+		if r.JobID == "" {
+			return fmt.Errorf("lab: journal snapshot %s corrupt: job %d has no id", j.snapshotPath(), i)
+		}
+		j.state[r.JobID] = &r
+		j.order = append(j.order, r.JobID)
+	}
+	return nil
+}
+
+// replayLog applies journal.jsonl on top of the snapshot state. Only the
+// final, newline-less fragment may be dropped (a torn append); a complete
+// line that does not parse, a record-number hole, or an impossible
+// transition is corruption and fails the open.
+func (j *Journal) replayLog() error {
+	data, err := os.ReadFile(j.logPath())
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("lab: journal: %w", err)
+	}
+	// Split off a torn tail: everything after the last newline is an append
+	// the dying process never finished.
+	if n := bytes.LastIndexByte(data, '\n'); n < 0 {
+		j.torn = len(data) > 0
+		data = nil
+	} else {
+		j.torn = n+1 < len(data)
+		data = data[:n+1]
+	}
+	for lineNo, line := range bytes.Split(data, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var r core.JournalRecord
+		if err := json.Unmarshal(line, &r); err != nil {
+			return fmt.Errorf("lab: journal %s corrupt at line %d: %w", j.logPath(), lineNo+1, err)
+		}
+		if r.Rec <= j.rec {
+			// Already folded into the snapshot (a crash between snapshot
+			// rename and log truncation leaves such records behind).
+			continue
+		}
+		if r.Rec != j.rec+1 {
+			return fmt.Errorf("lab: journal %s corrupt at line %d: record %d follows %d (hole torn mid-file)",
+				j.logPath(), lineNo+1, r.Rec, j.rec)
+		}
+		if err := j.applyReplay(r); err != nil {
+			return fmt.Errorf("lab: journal %s corrupt at line %d: %w", j.logPath(), lineNo+1, err)
+		}
+		j.rec = r.Rec
+	}
+	return nil
+}
+
+// applyReplay folds one replayed record into the in-memory job table.
+func (j *Journal) applyReplay(r core.JournalRecord) error {
+	if r.Event == core.EventSubmitted {
+		if r.Spec == nil {
+			return fmt.Errorf("submitted record for %s has no spec", r.JobID)
+		}
+		if _, dup := j.state[r.JobID]; dup {
+			return fmt.Errorf("duplicate submission of job %s", r.JobID)
+		}
+		j.state[r.JobID] = &core.JobRecord{
+			JobID: r.JobID, Seq: r.Seq, Spec: *r.Spec,
+			Fingerprint: r.Fingerprint, State: core.JobQueued,
+		}
+		j.order = append(j.order, r.JobID)
+		if r.Seq > j.maxSeq {
+			j.maxSeq = r.Seq
+		}
+		return nil
+	}
+	jr, ok := j.state[r.JobID]
+	if !ok {
+		return fmt.Errorf("event %q for unknown job %s", r.Event, r.JobID)
+	}
+	return jr.Apply(r.Event, r.Error)
+}
+
+// Torn reports whether replay dropped a truncated final record.
+func (j *Journal) Torn() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.torn
+}
+
+// Dir returns the journal's root directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// MaxSeq returns the highest job sequence number the journal has seen, so a
+// recovering scheduler continues numbering where its predecessor stopped.
+func (j *Journal) MaxSeq() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.maxSeq
+}
+
+// Jobs returns every known job at its last recorded state, in submission
+// (sequence) order.
+func (j *Journal) Jobs() []core.JobRecord {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]core.JobRecord, 0, len(j.order))
+	for _, id := range j.order {
+		out = append(out, *j.state[id])
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
+	return out
+}
+
+// append validates, writes, and commits one record. The in-memory state
+// mutates only after the line is handed to the OS, so a failed write leaves
+// the journal's view consistent with the file.
+func (j *Journal) append(r core.JournalRecord) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return ErrJournalClosed
+	}
+	// Stage the state transition so an invalid record never reaches disk.
+	var staged *core.JobRecord
+	if r.Event == core.EventSubmitted {
+		if r.Spec == nil {
+			return fmt.Errorf("lab: journal: submitted record for %s has no spec", r.JobID)
+		}
+		if _, dup := j.state[r.JobID]; dup {
+			return fmt.Errorf("lab: journal: duplicate submission of job %s", r.JobID)
+		}
+		staged = &core.JobRecord{
+			JobID: r.JobID, Seq: r.Seq, Spec: *r.Spec,
+			Fingerprint: r.Fingerprint, State: core.JobQueued,
+		}
+	} else {
+		cur, ok := j.state[r.JobID]
+		if !ok {
+			return fmt.Errorf("lab: journal: event %q for unknown job %s", r.Event, r.JobID)
+		}
+		next := *cur
+		if err := next.Apply(r.Event, r.Error); err != nil {
+			return fmt.Errorf("lab: journal: %w", err)
+		}
+		staged = &next
+	}
+
+	r.Rec = j.rec + 1
+	r.UnixMs = time.Now().UnixMilli()
+	line, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("lab: journal: %w", err)
+	}
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("lab: journal append: %w", err)
+	}
+	if r.Event.Terminal() {
+		// A job's outcome must survive a crash the instant it is
+		// acknowledged; transient records may ride the page cache.
+		_ = j.f.Sync()
+	}
+	j.rec = r.Rec
+	j.state[r.JobID] = staged
+	if r.Event == core.EventSubmitted {
+		j.order = append(j.order, r.JobID)
+		if r.Seq > j.maxSeq {
+			j.maxSeq = r.Seq
+		}
+	}
+	j.appends++
+	if j.CompactEvery > 0 && j.appends >= j.CompactEvery {
+		if err := j.compactLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Submitted journals a new job, durably, before it is enqueued.
+func (j *Journal) Submitted(id string, seq int, spec core.Spec, fp string) error {
+	return j.append(core.JournalRecord{Event: core.EventSubmitted, JobID: id, Seq: seq, Spec: &spec, Fingerprint: fp})
+}
+
+// Started journals a job leaving the queue for a worker.
+func (j *Journal) Started(id string) error {
+	return j.append(core.JournalRecord{Event: core.EventStarted, JobID: id})
+}
+
+// Finished journals a job reaching a terminal state.
+func (j *Journal) Finished(id string, st core.JobState, errText string) error {
+	var ev core.JournalEvent
+	switch st {
+	case core.JobDone:
+		ev = core.EventCompleted
+	case core.JobFailed:
+		ev = core.EventFailed
+	case core.JobCanceled:
+		ev = core.EventCanceled
+	default:
+		return fmt.Errorf("lab: journal: Finished with non-terminal state %q", st)
+	}
+	return j.append(core.JournalRecord{Event: ev, JobID: id, Error: errText})
+}
+
+// Interrupted journals a recovery requeue: the job was mid-flight (or done
+// but uncached) when the previous process died.
+func (j *Journal) Interrupted(id string) error {
+	return j.append(core.JournalRecord{Event: core.EventInterrupted, JobID: id})
+}
+
+// compactLocked folds the full job table into snapshot.json (atomically, via
+// temp file + rename) and truncates the log. A crash between the two steps
+// is safe: the snapshot's record number makes the leftover log lines
+// no-ops on the next replay.
+func (j *Journal) compactLocked() error {
+	snap := journalSnapshot{Schema: journalSchema, Rec: j.rec, Seq: j.maxSeq}
+	snap.Jobs = make([]core.JobRecord, 0, len(j.order))
+	for _, id := range j.order {
+		snap.Jobs = append(snap.Jobs, *j.state[id])
+	}
+	b, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return fmt.Errorf("lab: journal compact: %w", err)
+	}
+	tmp, err := os.CreateTemp(j.dir, ".snapshot.*")
+	if err != nil {
+		return fmt.Errorf("lab: journal compact: %w", err)
+	}
+	_, werr := tmp.Write(append(b, '\n'))
+	serr := tmp.Sync()
+	cerr := tmp.Close()
+	if werr != nil || serr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("lab: journal compact: %w", errors.Join(werr, serr, cerr))
+	}
+	if err := os.Rename(tmp.Name(), j.snapshotPath()); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("lab: journal compact: %w", err)
+	}
+	if j.f != nil {
+		j.f.Close()
+	}
+	f, err := os.OpenFile(j.logPath(), os.O_CREATE|os.O_WRONLY|os.O_TRUNC|os.O_APPEND, 0o644)
+	if err != nil {
+		j.f = nil
+		return fmt.Errorf("lab: journal compact: %w", err)
+	}
+	j.f = f
+	j.appends = 0
+	return nil
+}
+
+// Close compacts one last time (a clean shutdown leaves only a snapshot)
+// and releases the log file. Further appends return ErrJournalClosed.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.compactLocked()
+	if j.f != nil {
+		j.f.Close()
+		j.f = nil
+	}
+	return err
+}

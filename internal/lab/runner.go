@@ -41,10 +41,13 @@ type execState struct {
 	interrupted bool
 }
 
-// add registers an engine the job just booted.
+// add registers an engine the job just booted. Engines run by the lab
+// trap process panics (a hostile or out-of-range spec fails the job, not
+// the daemon) — see sim.Engine.TrapPanics.
 func (x *execState) add(e *sim.Engine) {
 	x.mu.Lock()
 	defer x.mu.Unlock()
+	e.TrapPanics()
 	x.engines = append(x.engines, e)
 	if x.interrupted {
 		e.Interrupt()

@@ -21,16 +21,17 @@ var (
 	ErrShuttingDown = errors.New("lab: scheduler shutting down")
 )
 
-// State is a job's lifecycle phase.
-type State string
+// State is a job's lifecycle phase — an alias of the journal's record
+// vocabulary so the scheduler, the wire, and the durable log agree.
+type State = core.JobState
 
 // Job states. Queued and Running are transient; the other three are final.
 const (
-	StateQueued   State = "queued"
-	StateRunning  State = "running"
-	StateDone     State = "done"
-	StateFailed   State = "failed"
-	StateCanceled State = "canceled"
+	StateQueued   = core.JobQueued
+	StateRunning  = core.JobRunning
+	StateDone     = core.JobDone
+	StateFailed   = core.JobFailed
+	StateCanceled = core.JobCanceled
 )
 
 // Job is one submitted spec moving through the scheduler.
@@ -125,7 +126,7 @@ func (j *Job) bindExec(x *execState) {
 
 // finishLocked moves the job to a final state. Callers hold j.mu.
 func (j *Job) finishLocked(st State, res *core.Result, err error) {
-	if j.state == StateDone || j.state == StateFailed || j.state == StateCanceled {
+	if j.state.Terminal() {
 		return
 	}
 	j.state = st
@@ -133,13 +134,26 @@ func (j *Job) finishLocked(st State, res *core.Result, err error) {
 	j.err = err
 	j.finished = time.Now()
 	close(j.done)
+	s := j.sched
 	switch st {
 	case StateDone:
-		j.sched.completed.Add(1)
+		s.completed.Add(1)
 	case StateFailed:
-		j.sched.failed.Add(1)
+		s.failed.Add(1)
 	case StateCanceled:
-		j.sched.canceled.Add(1)
+		s.canceled.Add(1)
+	}
+	// Journal the outcome durably (fsynced) the moment it becomes
+	// observable. During recovery the journal already holds the terminal
+	// record being restored, so nothing is re-appended. A journal write
+	// failure here is deliberately non-fatal: the result stands, and at
+	// worst a restart re-executes the job — idempotent by construction.
+	if s.journal != nil && !s.recovering {
+		msg := ""
+		if err != nil {
+			msg = err.Error()
+		}
+		_ = s.journal.Finished(j.ID, st, msg)
 	}
 }
 
@@ -154,6 +168,24 @@ type Config struct {
 	// Cache, when non-nil, serves fingerprint hits without execution and
 	// stores fresh results.
 	Cache *Cache
+	// Journal, when non-nil, makes the scheduler durable: submissions are
+	// journaled before they are enqueued, lifecycle transitions are
+	// appended as they happen, and NewScheduler replays the journal —
+	// restoring terminal jobs (done jobs re-bind their cached results) and
+	// requeuing everything the previous process left mid-flight.
+	Journal *Journal
+}
+
+// RecoveryStats summarizes what NewScheduler replayed from the journal.
+type RecoveryStats struct {
+	// Replayed is how many jobs the journal knew about.
+	Replayed int
+	// Restored is how many replayed jobs were already terminal and stayed
+	// so (failed, canceled, or done with a cached result to serve).
+	Restored int
+	// Requeued is how many replayed jobs were put back on the queue:
+	// queued or running at the crash, or done without a cached result.
+	Requeued int
 }
 
 // Scheduler owns the bounded job queue and the worker pool.
@@ -162,8 +194,15 @@ type Scheduler struct {
 	workers int
 	queue   chan *Job
 	cache   *Cache
+	journal *Journal
+	recov   RecoveryStats
 	wg      sync.WaitGroup
 	began   time.Time
+
+	// recovering is true only inside NewScheduler's single-threaded
+	// replay, before any worker or submitter exists; finishLocked checks
+	// it to avoid re-journaling restored terminal states.
+	recovering bool
 
 	busy      atomic.Int32
 	submitted atomic.Uint64
@@ -178,7 +217,13 @@ type Scheduler struct {
 	quiescing bool
 }
 
-// NewScheduler starts a scheduler with its worker pool running.
+// NewScheduler starts a scheduler with its worker pool running. With a
+// journal configured, the journal is replayed first: terminal jobs are
+// restored (done jobs re-bind their cached results; done jobs whose blob is
+// gone are requeued), and jobs the previous process left queued or running
+// are marked interrupted and requeued — sound because every simulation is
+// deterministic and re-execution through the content-addressed cache is
+// idempotent.
 func NewScheduler(cfg Config) *Scheduler {
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -191,10 +236,23 @@ func NewScheduler(cfg Config) *Scheduler {
 	s := &Scheduler{
 		cfg:     cfg,
 		workers: workers,
-		queue:   make(chan *Job, depth),
 		cache:   cfg.Cache,
+		journal: cfg.Journal,
 		began:   time.Now(),
 		jobs:    make(map[string]*Job),
+	}
+	var requeue []*Job
+	if s.journal != nil {
+		requeue = s.replayJournal()
+	}
+	// The queue must at least hold every requeued job — recovery is never
+	// turned away by the admission bound it predates.
+	if len(requeue) > depth {
+		depth = len(requeue)
+	}
+	s.queue = make(chan *Job, depth)
+	for _, j := range requeue {
+		s.queue <- j
 	}
 	for i := 0; i < workers; i++ {
 		s.wg.Add(1)
@@ -202,6 +260,71 @@ func NewScheduler(cfg Config) *Scheduler {
 	}
 	return s
 }
+
+// replayJournal reconstructs jobs from the journal's compacted state and
+// returns the ones that must run (again). Runs single-threaded inside
+// NewScheduler, before workers exist.
+func (s *Scheduler) replayJournal() []*Job {
+	s.recovering = true
+	defer func() { s.recovering = false }()
+	var requeue []*Job
+	for _, r := range s.journal.Jobs() {
+		s.recov.Replayed++
+		j := &Job{
+			ID:          r.JobID,
+			Spec:        r.Spec,
+			Fingerprint: r.Fingerprint,
+			seq:         r.Seq,
+			sched:       s,
+			done:        make(chan struct{}),
+			state:       StateQueued,
+			submitted:   time.Now(),
+		}
+		s.jobs[j.ID] = j
+		s.order = append(s.order, j.ID)
+		s.submitted.Add(1)
+		switch r.State {
+		case core.JobDone:
+			if s.cache != nil {
+				if hit, ok := s.cache.Get(r.Fingerprint); ok {
+					j.mu.Lock()
+					j.finishLocked(StateDone, hit, nil)
+					j.mu.Unlock()
+					s.recov.Restored++
+					continue
+				}
+			}
+			// Completed, but the result blob is gone (or caching is off):
+			// re-execute — deterministic, so the rerun reproduces it.
+			_ = s.journal.Interrupted(j.ID)
+			s.recov.Requeued++
+			requeue = append(requeue, j)
+		case core.JobFailed:
+			j.mu.Lock()
+			j.finishLocked(StateFailed, nil, errors.New(r.Error))
+			j.mu.Unlock()
+			s.recov.Restored++
+		case core.JobCanceled:
+			j.mu.Lock()
+			j.finishLocked(StateCanceled, nil, ErrCanceled)
+			j.mu.Unlock()
+			s.recov.Restored++
+		case core.JobRunning:
+			_ = s.journal.Interrupted(j.ID)
+			s.recov.Requeued++
+			requeue = append(requeue, j)
+		default: // queued: already so in the journal, nothing to append
+			s.recov.Requeued++
+			requeue = append(requeue, j)
+		}
+	}
+	s.seq = s.journal.MaxSeq()
+	return requeue
+}
+
+// Recovery reports what the scheduler replayed from its journal at startup
+// (zero-valued without a journal).
+func (s *Scheduler) Recovery() RecoveryStats { return s.recov }
 
 // Cache returns the scheduler's cache, or nil.
 func (s *Scheduler) Cache() *Cache { return s.cache }
@@ -230,6 +353,11 @@ func (s *Scheduler) runJob(j *Job) {
 	}
 	j.state = StateRunning
 	j.started = time.Now()
+	if s.journal != nil {
+		// Best-effort: if the append fails the job still runs; a restart
+		// would requeue it from "queued", which is harmlessly idempotent.
+		_ = s.journal.Started(j.ID)
+	}
 	j.mu.Unlock()
 
 	s.busy.Add(1)
@@ -272,6 +400,14 @@ func (s *Scheduler) Submit(spec core.Spec) (*Job, error) {
 		s.mu.Unlock()
 		return nil, ErrShuttingDown
 	}
+	// Admission: reject before the job exists anywhere — in particular
+	// before the journal's write-ahead record, so a turned-away submission
+	// leaves no trace to replay. Holding s.mu from this check through the
+	// enqueue below makes the reservation sound: Submit is the only sender.
+	if hit == nil && len(s.queue) == cap(s.queue) {
+		s.mu.Unlock()
+		return nil, ErrQueueFull
+	}
 	s.seq++
 	j := &Job{
 		ID:          fmt.Sprintf("j%04d-%s", s.seq, fp[:8]),
@@ -286,6 +422,19 @@ func (s *Scheduler) Submit(spec core.Spec) (*Job, error) {
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
 	s.submitted.Add(1)
+	if s.journal != nil {
+		// Write-ahead: the job is durable before it is runnable, so a crash
+		// between acknowledgment and execution loses nothing. If the
+		// journal cannot accept it, neither does the scheduler — a durable
+		// service must not take work it would forget.
+		if err := s.journal.Submitted(j.ID, j.seq, spec, fp); err != nil {
+			delete(s.jobs, j.ID)
+			s.order = s.order[:len(s.order)-1]
+			s.submitted.Add(^uint64(0))
+			s.mu.Unlock()
+			return nil, fmt.Errorf("lab: journal submission: %w", err)
+		}
+	}
 	if hit != nil {
 		j.mu.Lock()
 		j.finishLocked(StateDone, hit, nil)
@@ -294,18 +443,11 @@ func (s *Scheduler) Submit(spec core.Spec) (*Job, error) {
 		return j, nil
 	}
 	// The enqueue stays under s.mu so it cannot race Shutdown's close of
-	// the queue; it never blocks (select with default).
-	select {
-	case s.queue <- j:
-		s.mu.Unlock()
-		return j, nil
-	default:
-		delete(s.jobs, j.ID)
-		s.order = s.order[:len(s.order)-1]
-		s.submitted.Add(^uint64(0))
-		s.mu.Unlock()
-		return nil, ErrQueueFull
-	}
+	// the queue, and it cannot block: the slot was reserved by the
+	// admission check above and workers only ever drain.
+	s.queue <- j
+	s.mu.Unlock()
+	return j, nil
 }
 
 // Lookup finds a job by ID.
@@ -384,6 +526,24 @@ func (s *Scheduler) Metrics() Metrics {
 		m.CacheHitRate = m.Cache.HitRate()
 	}
 	return m
+}
+
+// RetryAfterHint estimates how long a turned-away client should wait before
+// resubmitting: roughly the time for one queue slot to free at the pool's
+// observed completion rate, clamped to [1s, 30s]. Before any completion the
+// hint is a flat 2 seconds.
+func (s *Scheduler) RetryAfterHint() time.Duration {
+	hint := 2 * time.Second
+	if m := s.Metrics(); m.JobsPerSec > 0 {
+		hint = time.Duration(float64(time.Second) / m.JobsPerSec)
+	}
+	if hint < time.Second {
+		hint = time.Second
+	}
+	if hint > 30*time.Second {
+		hint = 30 * time.Second
+	}
+	return hint
 }
 
 // Shutdown stops intake and drains: queued and in-flight jobs run to

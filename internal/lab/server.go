@@ -5,10 +5,32 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"butterfly/internal/core"
 )
+
+// ServerConfig parameterizes the HTTP surface's admission controls.
+type ServerConfig struct {
+	// MaxBodyBytes caps POST bodies (http.MaxBytesReader); <= 0 means 1 MiB.
+	// A spec or sweep is a few hundred bytes — anything near the cap is
+	// either a mistake or an attack.
+	MaxBodyBytes int64
+	// RatePerSec, when > 0, token-bucket rate-limits submissions (POST
+	// /jobs, POST /sweeps) per remote host at this sustained rate.
+	RatePerSec float64
+	// RateBurst is the token-bucket size; <= 0 means 16.
+	RateBurst int
+}
+
+func (c ServerConfig) maxBody() int64 {
+	if c.MaxBodyBytes <= 0 {
+		return 1 << 20
+	}
+	return c.MaxBodyBytes
+}
 
 // Server exposes a Scheduler over HTTP — the butterflyd API:
 //
@@ -20,15 +42,33 @@ import (
 //	POST   /sweeps          expand + submit a parameter sweep
 //	GET    /experiments     the registry
 //	GET    /metrics         queue depth, utilization, cache hit rate, jobs/sec
-//	GET    /healthz         liveness
+//	GET    /healthz         liveness (ok for the whole process lifetime)
+//	GET    /readyz          readiness (503 during journal replay and drain)
+//
+// Overload never blocks and never hangs: a full queue or an over-rate
+// remote gets 429 with a Retry-After hint, an oversized body gets 413, and
+// a server that is still replaying its journal (or draining for shutdown)
+// answers 503 on /readyz while /healthz stays up.
 type Server struct {
-	sched *Scheduler
-	mux   *http.ServeMux
+	cfg      ServerConfig
+	mux      *http.ServeMux
+	limiter  *rateLimiter
+	sched    atomic.Pointer[Scheduler]
+	draining atomic.Bool
 }
 
-// NewServer wires the handlers around a scheduler.
-func NewServer(s *Scheduler) *Server {
-	srv := &Server{sched: s, mux: http.NewServeMux()}
+// NewServer wires the handlers. The scheduler is attached separately (see
+// Attach) so butterflyd can listen — and answer health probes — while the
+// journal replay that builds the scheduler is still running.
+func NewServer(cfg ServerConfig) *Server {
+	srv := &Server{cfg: cfg, mux: http.NewServeMux()}
+	if cfg.RatePerSec > 0 {
+		burst := cfg.RateBurst
+		if burst <= 0 {
+			burst = 16
+		}
+		srv.limiter = newRateLimiter(cfg.RatePerSec, burst)
+	}
 	srv.mux.HandleFunc("POST /jobs", srv.submitJob)
 	srv.mux.HandleFunc("GET /jobs", srv.listJobs)
 	srv.mux.HandleFunc("GET /jobs/{id}", srv.jobStatus)
@@ -40,16 +80,61 @@ func NewServer(s *Scheduler) *Server {
 	srv.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	srv.mux.HandleFunc("GET /readyz", srv.readyz)
 	return srv
 }
+
+// NewServerFor returns a server already attached to sched — the one-step
+// constructor tests and in-process embedders use.
+func NewServerFor(sched *Scheduler, cfg ServerConfig) *Server {
+	srv := NewServer(cfg)
+	srv.Attach(sched)
+	return srv
+}
+
+// Attach publishes the scheduler and flips /readyz to ready.
+func (s *Server) Attach(sched *Scheduler) { s.sched.Store(sched) }
+
+// BeginDrain marks the server draining: /readyz turns 503 immediately (so
+// load balancers stop routing) while /healthz and the rest of the API stay
+// up for clients polling their in-flight jobs.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Ready reports whether the server is attached and not draining.
+func (s *Server) Ready() bool { return s.sched.Load() != nil && !s.draining.Load() }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// jobStatusView is the wire form of a job's status.
-type jobStatusView struct {
+// scheduler fetches the attached scheduler, answering 503 (retryable) while
+// the journal replay that precedes attachment is still running.
+func (s *Server) scheduler(w http.ResponseWriter) (*Scheduler, bool) {
+	sc := s.sched.Load()
+	if sc == nil {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, errors.New("starting: journal replay in progress"))
+		return nil, false
+	}
+	return sc, true
+}
+
+func (s *Server) readyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.sched.Load() == nil:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, errors.New("starting: journal replay in progress"))
+	case s.draining.Load():
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, errors.New("draining: shutting down"))
+	default:
+		fmt.Fprintln(w, "ready")
+	}
+}
+
+// JobStatus is the wire form of a job's status.
+type JobStatus struct {
 	ID            string    `json:"id"`
 	Fingerprint   string    `json:"fingerprint"`
 	Spec          core.Spec `json:"spec"`
@@ -61,14 +146,14 @@ type jobStatusView struct {
 }
 
 // statusView snapshots a job for the wire.
-func (s *Server) statusView(j *Job) jobStatusView {
-	v := jobStatusView{
+func statusView(sched *Scheduler, j *Job) JobStatus {
+	v := JobStatus{
 		ID:          j.ID,
 		Fingerprint: j.Fingerprint,
 		Spec:        j.Spec,
 		State:       j.State(),
 	}
-	v.QueuePosition = s.sched.QueuePosition(j)
+	v.QueuePosition = sched.QueuePosition(j)
 	res, err := j.Result()
 	if res != nil {
 		v.CacheHit = res.CacheHit
@@ -94,75 +179,145 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
-// submitStatus maps a submission error to its HTTP status.
-func submitStatus(err error) int {
+// writeSubmitError maps a submission error onto backpressure semantics: a
+// full queue is 429 with a Retry-After hint (the client should back off and
+// retry — the work was not taken), shutdown is 503, anything else is the
+// submitter's fault.
+func writeSubmitError(w http.ResponseWriter, sched *Scheduler, err error) {
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		return http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", retryAfterValue(sched.RetryAfterHint()))
+		writeError(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, ErrShuttingDown):
-		return http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, err)
 	default:
-		return http.StatusBadRequest
+		writeError(w, http.StatusBadRequest, err)
 	}
 }
 
-func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
-	var spec core.Spec
+// retryAfterValue renders a duration as a whole-second Retry-After header
+// value, rounding up so "wait 300ms" never becomes "wait 0s".
+func retryAfterValue(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+// admitPost runs the per-remote rate limit and arms the body-size cap.
+// It reports false after writing the 429 itself.
+func (s *Server) admitPost(w http.ResponseWriter, r *http.Request) bool {
+	if s.limiter != nil {
+		if ok, wait := s.limiter.Allow(remoteKey(r.RemoteAddr)); !ok {
+			w.Header().Set("Retry-After", retryAfterValue(wait))
+			writeError(w, http.StatusTooManyRequests,
+				fmt.Errorf("rate limit: %s exceeded %.3g submissions/sec", remoteKey(r.RemoteAddr), s.cfg.RatePerSec))
+			return false
+		}
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.maxBody())
+	return true
+}
+
+// decodeBody parses a JSON POST body, distinguishing an oversized body
+// (413) from a malformed one (400).
+func decodeBody(w http.ResponseWriter, r *http.Request, what string, v any) bool {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad spec: %w", err))
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("bad %s: body exceeds %d bytes", what, tooBig.Limit))
+		} else {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad %s: %w", what, err))
+		}
+		return false
+	}
+	return true
+}
+
+func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
+	sched, ok := s.scheduler(w)
+	if !ok || !s.admitPost(w, r) {
 		return
 	}
-	j, err := s.sched.Submit(spec)
+	var spec core.Spec
+	if !decodeBody(w, r, "spec", &spec) {
+		return
+	}
+	j, err := sched.Submit(spec)
 	if err != nil {
-		writeError(w, submitStatus(err), err)
+		writeSubmitError(w, sched, err)
 		return
 	}
 	status := http.StatusAccepted
 	if j.State() == StateDone { // served from cache at submit time
 		status = http.StatusOK
 	}
-	writeJSON(w, status, s.statusView(j))
+	writeJSON(w, status, statusView(sched, j))
 }
 
 func (s *Server) listJobs(w http.ResponseWriter, r *http.Request) {
-	jobs := s.sched.Jobs()
-	views := make([]jobStatusView, 0, len(jobs))
+	sched, ok := s.scheduler(w)
+	if !ok {
+		return
+	}
+	jobs := sched.Jobs()
+	views := make([]JobStatus, 0, len(jobs))
 	for _, j := range jobs {
-		views = append(views, s.statusView(j))
+		views = append(views, statusView(sched, j))
 	}
 	writeJSON(w, http.StatusOK, views)
 }
 
 func (s *Server) jobStatus(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.sched.Lookup(r.PathValue("id"))
+	sched, ok := s.scheduler(w)
 	if !ok {
+		return
+	}
+	j, found := sched.Lookup(r.PathValue("id"))
+	if !found {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
 		return
 	}
-	writeJSON(w, http.StatusOK, s.statusView(j))
+	writeJSON(w, http.StatusOK, statusView(sched, j))
 }
 
 func (s *Server) cancelJob(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.sched.Lookup(r.PathValue("id"))
+	sched, ok := s.scheduler(w)
 	if !ok {
+		return
+	}
+	j, found := sched.Lookup(r.PathValue("id"))
+	if !found {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
 		return
 	}
 	j.Cancel()
-	writeJSON(w, http.StatusOK, s.statusView(j))
+	writeJSON(w, http.StatusOK, statusView(sched, j))
 }
 
 func (s *Server) jobResult(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.sched.Lookup(r.PathValue("id"))
+	sched, ok := s.scheduler(w)
 	if !ok {
+		return
+	}
+	j, found := sched.Lookup(r.PathValue("id"))
+	if !found {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
 		return
 	}
 	switch j.State() {
 	case StateQueued, StateRunning:
-		writeJSON(w, http.StatusConflict, s.statusView(j))
+		writeJSON(w, http.StatusConflict, statusView(sched, j))
+		return
+	case StateCanceled:
+		// The job will never have a result; 410 tells the client to stop
+		// asking (409 would invite another poll).
+		writeError(w, http.StatusGone, fmt.Errorf("job %s was canceled", j.ID))
 		return
 	}
 	res, err := j.Result()
@@ -180,37 +335,40 @@ func (s *Server) jobResult(w http.ResponseWriter, r *http.Request) {
 
 // sweepResponse is the wire form of a submitted sweep.
 type sweepResponse struct {
-	Points int             `json:"points"`
-	Jobs   []jobStatusView `json:"jobs"`
+	Points int         `json:"points"`
+	Jobs   []JobStatus `json:"jobs"`
 }
 
 func (s *Server) submitSweep(w http.ResponseWriter, r *http.Request) {
-	var sw Sweep
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&sw); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad sweep: %w", err))
+	sched, ok := s.scheduler(w)
+	if !ok || !s.admitPost(w, r) {
 		return
 	}
-	jobs, err := s.sched.SubmitSweep(sw)
+	var sw Sweep
+	if !decodeBody(w, r, "sweep", &sw) {
+		return
+	}
+	jobs, err := sched.SubmitSweep(sw)
 	if err != nil && len(jobs) == 0 {
-		writeError(w, submitStatus(err), err)
+		writeSubmitError(w, sched, err)
 		return
 	}
 	resp := sweepResponse{Points: len(jobs)}
 	for _, j := range jobs {
-		resp.Jobs = append(resp.Jobs, s.statusView(j))
+		resp.Jobs = append(resp.Jobs, statusView(sched, j))
 	}
 	status := http.StatusAccepted
 	if err != nil {
-		// Partial submission (queue filled up mid-sweep): report what ran.
-		status = http.StatusServiceUnavailable
+		// Partial submission (queue filled up mid-sweep): report what ran
+		// and tell the client when to come back for the rest.
+		status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", retryAfterValue(sched.RetryAfterHint()))
 	}
 	writeJSON(w, status, resp)
 }
 
-// experimentView is the wire form of a registry entry.
-type experimentView struct {
+// ExperimentInfo is the wire form of a registry entry.
+type ExperimentInfo struct {
 	ID            string `json:"id"`
 	Title         string `json:"title"`
 	Paper         string `json:"paper"`
@@ -219,13 +377,17 @@ type experimentView struct {
 
 func (s *Server) listExperiments(w http.ResponseWriter, r *http.Request) {
 	exps := core.Experiments()
-	views := make([]experimentView, 0, len(exps))
+	views := make([]ExperimentInfo, 0, len(exps))
 	for _, e := range exps {
-		views = append(views, experimentView{ID: e.ID, Title: e.Title, Paper: e.Paper, ManagesFaults: e.ManagesFaults})
+		views = append(views, ExperimentInfo{ID: e.ID, Title: e.Title, Paper: e.Paper, ManagesFaults: e.ManagesFaults})
 	}
 	writeJSON(w, http.StatusOK, views)
 }
 
 func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.sched.Metrics())
+	sched, ok := s.scheduler(w)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, sched.Metrics())
 }

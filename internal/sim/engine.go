@@ -168,6 +168,11 @@ type Engine struct {
 	// (job timeout, cancellation) sets it, and the dispatcher checks it at
 	// every dispatch point.
 	interrupted atomic.Bool
+
+	// trapPanics converts a real panic in a process body into a run error
+	// (see TrapPanics); trapped holds that error until Run returns it.
+	trapPanics bool
+	trapped    error
 }
 
 // New creates an empty simulation engine at virtual time zero.
@@ -267,6 +272,18 @@ func (e *Engine) Spawn(name string, node int, fn func(p *Proc)) *Proc {
 				// An unhandled process-fatal condition (a Chrysalis throw
 				// with no enclosing catch, an uncaught hardware fault):
 				// only the raising process dies, not the simulation.
+				p.exited = true
+				p.fatal = r
+				return
+			}
+			if e.trapPanics {
+				// Trapped mode (a service hosting the simulation): the run
+				// aborts with an error naming the panic instead of taking
+				// the host process down with it.
+				if e.trapped == nil {
+					e.trapped = fmt.Errorf("sim: process %d (%s) on node %d panicked: %v", p.ID, p.Name, p.Node, r)
+				}
+				e.Interrupt()
 				p.exited = true
 				p.fatal = r
 				return
@@ -433,6 +450,9 @@ func (e *Engine) Run() error {
 	if first := e.popNext(); first != nil {
 		first.resume <- struct{}{}
 		<-e.done
+	}
+	if e.trapped != nil {
+		return e.trapped
 	}
 	if e.interrupted.Load() {
 		return &InterruptError{Now: e.now, Live: e.live}
@@ -635,6 +655,14 @@ func (e *Engine) Interrupt() { e.interrupted.Store(true) }
 
 // Interrupted reports whether Interrupt has been called.
 func (e *Engine) Interrupted() bool { return e.interrupted.Load() }
+
+// TrapPanics switches the engine into trapped mode: a real panic in a
+// process body (not a Terminator, not Exit) aborts the run and surfaces
+// from Run as an error naming the process and panic value, instead of
+// propagating and crashing the host. Services that execute
+// externally-supplied specs (the lab scheduler) enable this; tests and the
+// CLI keep the default crash-loud behaviour. Must be called before Run.
+func (e *Engine) TrapPanics() { e.trapPanics = true }
 
 // Kill terminates another process from outside, modelling a node failure: the
 // victim never runs user code again. A blocked or waiting victim is

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -409,4 +410,33 @@ func TestRunTwicePanics(t *testing.T) {
 		}
 	}()
 	_ = e.Run()
+}
+
+// TestTrapPanics: in trapped mode a real panic in a process body aborts the
+// run with an error naming the process, instead of crashing the host; other
+// processes are torn down, not left running.
+func TestTrapPanics(t *testing.T) {
+	e := New()
+	e.TrapPanics()
+	var survived bool
+	e.Spawn("bystander", 0, func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			p.Advance(10)
+		}
+		survived = true
+	})
+	e.Spawn("victim", 1, func(p *Proc) {
+		p.Advance(5)
+		panic("index out of range")
+	})
+	err := e.Run()
+	if err == nil {
+		t.Fatal("Run returned nil after a process panicked")
+	}
+	if !strings.Contains(err.Error(), "panicked") || !strings.Contains(err.Error(), "victim") {
+		t.Errorf("trap error = %q, want process name and panic marker", err)
+	}
+	if survived {
+		t.Error("bystander ran to completion during an aborted run")
+	}
 }
