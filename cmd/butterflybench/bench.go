@@ -1,0 +1,173 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"butterfly/internal/core"
+	"butterfly/internal/machine"
+	"butterfly/internal/sim"
+)
+
+// benchPartitionCounts is the partition-scaling sweep -bench-out measures.
+var benchPartitionCounts = []int{1, 2, 4, 8}
+
+// benchRepetitions: each (experiment, partitions) cell is run this many
+// times and the best wall time kept, so one descheduled run doesn't skew
+// the scaling numbers. Events, virtual time, and the table are identical
+// across repetitions (and across partition counts) by construction.
+const benchRepetitions = 3
+
+// benchEntry is one measured cell of the partition-scaling report.
+//
+// Two speedups are recorded. SpeedupVsP1 is raw measured wall clock — on a
+// single-CPU host the partitions timeshare one core, so it hovers near 1x
+// regardless of how well the work partitions. CriticalPathSpeedupVsP1
+// removes the timesharing: it projects this cell's wall time with every
+// partition's measured in-window busy time overlapped (wall − ΣBusy +
+// maxBusy, the critical path a P-core host executes) and compares that to
+// the 1-partition wall time. All inputs are per-partition stopwatch
+// measurements from the run itself, not estimates.
+type benchEntry struct {
+	Experiment      string  `json:"experiment"`
+	Partitions      int     `json:"partitions"`
+	WallNs          int64   `json:"wall_ns"`
+	Events          uint64  `json:"events"`
+	EventsPerSec    float64 `json:"events_per_sec"`
+	VTimeNs         int64   `json:"vtime_ns"`
+	Windows         uint64  `json:"windows"`
+	BarrierNs       int64   `json:"barrier_ns"`
+	SumBusyNs       int64   `json:"sum_busy_ns"`
+	MaxBusyNs       int64   `json:"max_partition_busy_ns"`
+	CriticalPathNs  int64   `json:"critical_path_wall_ns"`
+	SpeedupVsP1     float64 `json:"speedup_vs_p1"`
+	CritSpeedupVsP1 float64 `json:"critical_path_speedup_vs_p1"`
+}
+
+// benchDoc is the JSON document -bench-out writes.
+type benchDoc struct {
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	Quick       bool         `json:"quick"`
+	Repetitions int          `json:"repetitions"`
+	Results     []benchEntry `json:"results"`
+}
+
+// runBenchOut measures every partitionable experiment at 1, 2, 4, and 8
+// partitions, asserts the printed tables are byte-identical across the
+// whole sweep (the determinism contract, enforced on every benchmark run,
+// not just in tests), and writes the scaling report as JSON.
+func runBenchOut(path string, quick bool) error {
+	var exps []core.Experiment
+	for _, e := range core.Experiments() {
+		if e.Partitionable {
+			exps = append(exps, e)
+		}
+	}
+	if len(exps) == 0 {
+		return fmt.Errorf("no partitionable experiments registered")
+	}
+
+	doc := benchDoc{GOMAXPROCS: runtime.GOMAXPROCS(0), Quick: quick, Repetitions: benchRepetitions}
+	fmt.Printf("%-10s %11s %12s %10s %14s %9s %9s %11s\n",
+		"experiment", "partitions", "wall", "events", "events/sec", "windows", "speedup", "crit-path")
+	for _, e := range exps {
+		var refTable []byte
+		var p1Wall int64
+		for _, parts := range benchPartitionCounts {
+			cell, table, err := benchCell(e, parts, quick)
+			if err != nil {
+				return fmt.Errorf("%s at %d partitions: %w", e.ID, parts, err)
+			}
+			if refTable == nil {
+				refTable = table
+				p1Wall = cell.WallNs
+			} else if !bytes.Equal(table, refTable) {
+				return fmt.Errorf("%s: table at %d partitions differs from the 1-partition reference — determinism violated", e.ID, parts)
+			}
+			cell.SpeedupVsP1 = float64(p1Wall) / float64(cell.WallNs)
+			cell.CritSpeedupVsP1 = float64(p1Wall) / float64(cell.CriticalPathNs)
+			doc.Results = append(doc.Results, cell)
+			fmt.Printf("%-10s %11d %12s %10d %14.0f %9d %8.2fx %10.2fx\n",
+				e.ID, parts, time.Duration(cell.WallNs).Round(time.Microsecond),
+				cell.Events, cell.EventsPerSec, cell.Windows, cell.SpeedupVsP1, cell.CritSpeedupVsP1)
+		}
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s (GOMAXPROCS=%d, best of %d runs per cell, tables byte-identical across the sweep)\n",
+		path, doc.GOMAXPROCS, benchRepetitions)
+	return nil
+}
+
+// benchCell runs one experiment at one partition count benchRepetitions
+// times, keeping the best wall time, and returns the measured cell plus the
+// table bytes for the cross-partition identity check.
+func benchCell(e core.Experiment, parts int, quick bool) (benchEntry, []byte, error) {
+	transform := core.Spec{Partitions: parts}.ConfigTransform()
+	cell := benchEntry{Experiment: e.ID, Partitions: parts}
+	var table []byte
+	for rep := 0; rep < benchRepetitions; rep++ {
+		var engines []*sim.Engine
+		release := machine.ScopeHooks(transform, func(m *machine.Machine) {
+			engines = append(engines, m.E)
+		})
+		var buf bytes.Buffer
+		start := time.Now()
+		err := e.Run(&buf, quick)
+		wall := time.Since(start).Nanoseconds()
+		release()
+		if err != nil {
+			return cell, nil, err
+		}
+		var events uint64
+		var vtime int64
+		var windows uint64
+		var barrierNs, sumBusy, maxBusy int64
+		for _, eng := range engines {
+			events += eng.Stats().Events
+			vtime += eng.Now()
+			w, b := eng.WindowStats()
+			windows += w
+			barrierNs += b
+			for _, pt := range eng.PartitionTimings() {
+				sumBusy += pt.BusyNs
+				if pt.BusyNs > maxBusy {
+					maxBusy = pt.BusyNs
+				}
+			}
+		}
+		if rep == 0 {
+			table = buf.Bytes()
+		} else if !bytes.Equal(buf.Bytes(), table) {
+			return cell, nil, fmt.Errorf("repetition %d produced a different table", rep+1)
+		}
+		if rep == 0 || wall < cell.WallNs {
+			cell.WallNs = wall
+			cell.BarrierNs = barrierNs
+			cell.SumBusyNs = sumBusy
+			cell.MaxBusyNs = maxBusy
+			// The critical path a P-core host executes: every partition's
+			// in-window work overlapped, everything else (coordinator,
+			// barriers) unchanged.
+			cell.CriticalPathNs = wall - sumBusy + maxBusy
+		}
+		cell.Events = events
+		cell.VTimeNs = vtime
+		cell.Windows = windows
+	}
+	cell.EventsPerSec = float64(cell.Events) / (float64(cell.WallNs) / 1e9)
+	return cell, table, nil
+}

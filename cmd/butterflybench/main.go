@@ -68,8 +68,22 @@ func main() {
 		faults     = flag.String("faults", "", "fault schedule: directives like 'seed 7; drop 0.001; kill 5 @ 10ms', or @file to read one")
 		faultSeed  = flag.Uint64("fault-seed", 0, "override the fault schedule's random seed (requires -faults)")
 		server     = flag.String("server", "", "run experiments on a remote butterflyd at this base URL instead of in-process")
+		partitions = flag.Int("partitions", 0, "run partitionable experiments on the parallel engine with this many partitions (results stay bit-identical)")
+		benchOut   = flag.String("bench-out", "", "run every partitionable experiment at 1/2/4/8 partitions, verify byte-identical tables, and write a JSON scaling report to this file")
 	)
 	flag.Parse()
+
+	if *partitions < 0 {
+		fmt.Fprintln(os.Stderr, "butterflybench: -partitions must be >= 0")
+		os.Exit(1)
+	}
+	if *benchOut != "" {
+		if err := runBenchOut(*benchOut, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "butterflybench: -bench-out: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	// An explicit -fault-seed of 0 must not be confused with "flag absent":
 	// presence is what flag.Visit reports, so seed 0 works and garbage was
@@ -82,6 +96,10 @@ func main() {
 	})
 	if seedSet && *faults == "" {
 		fmt.Fprintln(os.Stderr, "butterflybench: -fault-seed has no effect without -faults")
+		os.Exit(1)
+	}
+	if *partitions > 0 && *faults != "" {
+		fmt.Fprintln(os.Stderr, "butterflybench: -faults and -partitions are incompatible (fault injection needs the sequential engine)")
 		os.Exit(1)
 	}
 	if *faults != "" {
@@ -157,31 +175,41 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *partitions > 0 {
+		for _, e := range seeds {
+			if !e.Partitionable {
+				fmt.Fprintf(os.Stderr, "butterflybench: note: %s is not partitionable; -partitions ignored for it\n", e.ID)
+			}
+		}
+	}
+
 	if *server != "" {
 		runViaServer(*server, seeds, labOpts{
-			quick:     *quick,
-			jsonOut:   *jsonOut,
-			timing:    *timing,
-			probe:     *probeOn,
-			faults:    *faults,
-			faultSeed: ptrIf(seedSet, *faultSeed),
-			headers:   *all,
+			quick:      *quick,
+			jsonOut:    *jsonOut,
+			timing:     *timing,
+			probe:      *probeOn,
+			faults:     *faults,
+			faultSeed:  ptrIf(seedSet, *faultSeed),
+			partitions: *partitions,
+			headers:    *all,
 		})
 		return
 	}
 
 	if useLab {
 		runViaLab(seeds, labOpts{
-			quick:     *quick,
-			parallel:  *parallel,
-			cacheOn:   cacheOn,
-			cacheDir:  *cacheDir,
-			jsonOut:   *jsonOut,
-			timing:    *timing,
-			probe:     *probeOn,
-			faults:    *faults,
-			faultSeed: ptrIf(seedSet, *faultSeed),
-			headers:   *all, // -all prints the banner between experiments
+			quick:      *quick,
+			parallel:   *parallel,
+			cacheOn:    cacheOn,
+			cacheDir:   *cacheDir,
+			jsonOut:    *jsonOut,
+			timing:     *timing,
+			probe:      *probeOn,
+			faults:     *faults,
+			faultSeed:  ptrIf(seedSet, *faultSeed),
+			partitions: *partitions,
+			headers:    *all, // -all prints the banner between experiments
 		})
 		return
 	}
@@ -199,9 +227,10 @@ func main() {
 		fault.SetAmbient(cfg)
 	}
 	opts := runOpts{
-		timing:   *timing,
-		probe:    *probeOn || *traceOut != "",
-		traceOut: *traceOut,
+		timing:     *timing,
+		probe:      *probeOn || *traceOut != "",
+		traceOut:   *traceOut,
+		partitions: *partitions,
 	}
 	if *expID != "" {
 		e := seeds[0]
@@ -232,16 +261,33 @@ func ptrIf(set bool, v uint64) *uint64 {
 
 // labOpts bundles the lab execution path's switches.
 type labOpts struct {
-	quick     bool
-	parallel  int
-	cacheOn   bool
-	cacheDir  string
-	jsonOut   bool
-	timing    bool
-	probe     bool
-	faults    string
-	faultSeed *uint64
-	headers   bool
+	quick      bool
+	parallel   int
+	cacheOn    bool
+	cacheDir   string
+	jsonOut    bool
+	timing     bool
+	probe      bool
+	faults     string
+	faultSeed  *uint64
+	partitions int
+	headers    bool
+}
+
+// specFor builds the lab spec for one experiment, applying the partition
+// override only where the registry allows it.
+func specFor(e core.Experiment, o labOpts) core.Spec {
+	spec := core.Spec{
+		Experiment: e.ID,
+		Quick:      o.quick,
+		Probe:      o.probe,
+		Faults:     o.faults,
+		FaultSeed:  o.faultSeed,
+	}
+	if e.Partitionable {
+		spec.Partitions = o.partitions
+	}
+	return spec
 }
 
 // jsonResult is the -json wire form of one experiment's structured result.
@@ -273,14 +319,7 @@ func runViaLab(exps []core.Experiment, o labOpts) {
 	start := time.Now()
 	jobs := make([]*lab.Job, 0, len(exps))
 	for _, e := range exps {
-		spec := core.Spec{
-			Experiment: e.ID,
-			Quick:      o.quick,
-			Probe:      o.probe,
-			Faults:     o.faults,
-			FaultSeed:  o.faultSeed,
-		}
-		j, err := sched.Submit(spec)
+		j, err := sched.Submit(specFor(e, o))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "butterflybench: submit %s: %v\n", e.ID, err)
 			os.Exit(1)
@@ -381,14 +420,7 @@ func runViaServer(base string, exps []core.Experiment, o labOpts) {
 	start := time.Now()
 	ids := make([]string, 0, len(exps))
 	for _, e := range exps {
-		spec := core.Spec{
-			Experiment: e.ID,
-			Quick:      o.quick,
-			Probe:      o.probe,
-			Faults:     o.faults,
-			FaultSeed:  o.faultSeed,
-		}
-		st, err := c.Submit(ctx, spec)
+		st, err := c.Submit(ctx, specFor(e, o))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "butterflybench: submit %s: %v\n", e.ID, err)
 			os.Exit(1)
@@ -415,9 +447,10 @@ func runViaServer(base string, exps []core.Experiment, o labOpts) {
 
 // runOpts bundles the observation switches threaded through runOne.
 type runOpts struct {
-	timing   bool
-	probe    bool
-	traceOut string
+	timing     bool
+	probe      bool
+	traceOut   string
+	partitions int
 }
 
 // probedMachine pairs a machine with the probe attached to it (and, when a
@@ -437,12 +470,17 @@ func runOne(e core.Experiment, quick bool, opts runOpts) error {
 	// The ambient -faults schedule is attached to every machine the
 	// experiment boots — unless the experiment manages its own injectors.
 	injectFaults := fault.Ambient() != nil && fault.Ambient().Enabled() && !e.ManagesFaults
-	if !opts.timing && !opts.probe && !injectFaults {
+	raiseParts := opts.partitions > 0 && e.Partitionable
+	if !opts.timing && !opts.probe && !injectFaults && !raiseParts {
 		return e.Run(os.Stdout, quick)
+	}
+	var transform func(machine.Config) machine.Config
+	if raiseParts {
+		transform = core.Spec{Partitions: opts.partitions}.ConfigTransform()
 	}
 	var engines []*sim.Engine
 	var probed []probedMachine
-	machine.SetNewHook(func(m *machine.Machine) {
+	release := machine.ScopeHooks(transform, func(m *machine.Machine) {
 		engines = append(engines, m.E)
 		if injectFaults {
 			m.AttachFaults(fault.NewInjector(*fault.Ambient()))
@@ -459,7 +497,7 @@ func runOne(e core.Experiment, quick bool, opts runOpts) error {
 			probed = append(probed, pm)
 		}
 	})
-	defer machine.SetNewHook(nil)
+	defer release()
 	start := time.Now()
 	err := e.Run(os.Stdout, quick)
 	wall := time.Since(start)
@@ -480,6 +518,22 @@ func runOne(e core.Experiment, quick bool, opts runOpts) error {
 		fmt.Fprintf(os.Stderr, "[timing] %-10s wall=%-12s machines=%-3d events=%-9d events/sec=%.0f vtime=%s parks=%d lazyflushes=%d maxheap=%d\n",
 			e.ID, wall.Round(time.Microsecond), len(engines), events,
 			float64(events)/wall.Seconds(), time.Duration(vtime), parks, flushes, maxHeap)
+		for mi, eng := range engines {
+			pts := eng.PartitionTimings()
+			if pts == nil {
+				continue
+			}
+			windows, barrierNs := eng.WindowStats()
+			fmt.Fprintf(os.Stderr, "[timing] %-10s machine %d: %d partitions, %d windows, barrier=%s\n",
+				e.ID, mi, len(pts), windows, time.Duration(barrierNs).Round(time.Microsecond))
+			for _, pt := range pts {
+				fmt.Fprintf(os.Stderr, "[timing] %-10s   partition %-2d events=%-9d compute=%-12s sync-wait=%-12s idle=%s\n",
+					e.ID, pt.ID, pt.Events,
+					time.Duration(pt.BusyNs).Round(time.Microsecond),
+					time.Duration(pt.SyncWaitNs).Round(time.Microsecond),
+					time.Duration(pt.IdleNs).Round(time.Microsecond))
+			}
+		}
 	}
 	if opts.probe {
 		for i, pm := range probed {

@@ -29,20 +29,31 @@ import (
 
 var updateGolden = flag.Bool("update", false, "rewrite testdata golden files")
 
+// partitionsFlag reruns the whole suite with every partitionable
+// experiment's machines raised to this partition count (the CI matrix runs
+// it at 1, 2, and 4 under -race). The golden file is partition-count
+// independent — that is the partitioned engine's core invariant — so no
+// separate golden exists per count.
+var partitionsFlag = flag.Int("partitions", 0, "override partition count for partitionable experiments")
+
 // experimentFingerprint runs one experiment at quick scale and reduces every
 // engine it builds to (machines, Σ final virtual time, Σ events executed).
 // When probed is non-nil, every machine gets an observability probe feeding
 // that sink attached — used to prove observation never perturbs the physics.
 func experimentFingerprint(t *testing.T, e core.Experiment, probed *probe.Counter) string {
 	t.Helper()
+	var transform func(machine.Config) machine.Config
+	if *partitionsFlag > 0 {
+		transform = core.Spec{Partitions: *partitionsFlag}.ConfigTransform()
+	}
 	var engines []*sim.Engine
-	machine.SetNewHook(func(m *machine.Machine) {
+	release := machine.ScopeHooks(transform, func(m *machine.Machine) {
 		engines = append(engines, m.E)
 		if probed != nil {
 			m.AttachProbe(probe.New(probed))
 		}
 	})
-	defer machine.SetNewHook(nil)
+	defer release()
 	if err := e.Run(io.Discard, true); err != nil {
 		t.Fatalf("experiment %s: %v", e.ID, err)
 	}

@@ -65,6 +65,13 @@ type Experiment struct {
 	// the driver must not also attach the ambient -faults configuration to
 	// their machines.
 	ManagesFaults bool
+	// Partitionable marks experiments written for the partitioned parallel
+	// engine: all processes spawned before Run, no cross-node wakes, no Go
+	// state shared between nodes. Only these accept a partition-count
+	// override (Spec.Partitions, `butterflybench -partitions`); their
+	// machines opt in by setting machine.Config.Partitions >= 1, and their
+	// results are bit-identical at every partition count.
+	Partitionable bool
 }
 
 // registry is populated by experiments.go.

@@ -41,7 +41,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig5", "numa", "hough", "spread", "hotspot", "switch", "prims", "darpa",
 		"crowd", "alloc", "replay", "bridge", "connect", "speedups", "fig6",
 		"sarcache", "models", "vision", "rpc", "psyche", "search", "pedagogy",
-		"degrade",
+		"degrade", "pgauss", "phot",
 	}
 	for _, id := range want {
 		if _, ok := Lookup(id); !ok {

@@ -38,6 +38,12 @@ type Spec struct {
 	// FaultSeed, when non-nil, overrides the schedule's seed. A pointer so
 	// that an explicit seed of 0 is distinguishable from "unset".
 	FaultSeed *uint64 `json:"fault_seed,omitempty"`
+	// Partitions, when positive, runs the experiment's machines on the
+	// partitioned parallel engine with that many partitions. Valid only for
+	// experiments marked Partitionable; results are bit-identical at every
+	// partition count (including 1, the sequential reference), so this axis
+	// trades wall-clock time, never physics. Incompatible with Faults.
+	Partitions int `json:"partitions,omitempty"`
 	// Probe attaches observability probes to every machine; the contention
 	// report lands in Result.ProbeReport (never interleaved with other
 	// jobs' output).
@@ -86,6 +92,18 @@ func (s Spec) Validate() error {
 	if s.Nodes < 0 {
 		return fmt.Errorf("spec: nodes must be >= 0, got %d", s.Nodes)
 	}
+	if s.Partitions < 0 {
+		return fmt.Errorf("spec: partitions must be >= 0, got %d", s.Partitions)
+	}
+	if s.Partitions > 0 {
+		exp, _ := Lookup(s.Experiment)
+		if !exp.Partitionable {
+			return fmt.Errorf("spec: experiment %q is not partitionable", s.Experiment)
+		}
+		if s.Faults != "" {
+			return fmt.Errorf("spec: faults and partitions are incompatible (fault injection needs the sequential engine)")
+		}
+	}
 	if s.Faults != "" {
 		if _, err := fault.ParseConfig(s.Faults); err != nil {
 			return fmt.Errorf("spec: faults: %w", err)
@@ -123,7 +141,7 @@ func (s Spec) FaultConfig() (*fault.Config, error) {
 // package's scoped construction hooks), or nil when the spec requests no
 // override.
 func (s Spec) ConfigTransform() func(machine.Config) machine.Config {
-	if s.Preset == "" && s.Nodes == 0 {
+	if s.Preset == "" && s.Nodes == 0 && s.Partitions == 0 {
 		return nil
 	}
 	return func(c machine.Config) machine.Config {
@@ -137,11 +155,20 @@ func (s Spec) ConfigTransform() func(machine.Config) machine.Config {
 			// The contention shortcut is a per-experiment modelling choice,
 			// not a hardware property: preserve it.
 			out.NoSwitchContention = c.NoSwitchContention
-		} else {
+			out.Partitions = c.Partitions
+		} else if s.Nodes > 0 {
 			out.Nodes = nodes
 			// Force machine.New to re-derive the switch topology for the
 			// new node count.
 			out.Net = switchnet.Config{}
+		}
+		// The partition override only raises partitioning on machines the
+		// experiment already built partition-aware (Partitions >= 1): an
+		// experiment that opted out (a classic sequential machine) keeps
+		// its engine, so the override can never break a non-partition-safe
+		// program.
+		if s.Partitions > 0 && out.Partitions > 0 {
+			out.Partitions = s.Partitions
 		}
 		return out
 	}

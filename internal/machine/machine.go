@@ -14,7 +14,6 @@ package machine
 import (
 	"fmt"
 
-	"butterfly/internal/calendar"
 	"butterfly/internal/fault"
 	"butterfly/internal/memory"
 	"butterfly/internal/probe"
@@ -52,6 +51,17 @@ type Config struct {
 	// reference-heavy workloads (Figure 5's 10^8-word sweeps) can use this
 	// much cheaper path; memory-module contention is always modelled.
 	NoSwitchContention bool
+	// Partitions, when > 0, builds the machine on a partitioned conservative
+	// parallel-DES engine: the nodes are split into that many contiguous
+	// groups, each simulated by its own event queue, with every off-node
+	// reference routed through a window-boundary exchange (see
+	// sim.EnablePartitions). Results are bit-identical for every partition
+	// count, including 1 — the sequential reference. Partitioned machines
+	// require partition-safe experiment code (all processes spawned before
+	// Run, no cross-node wait-queue wakes, no shared Go state between
+	// processes on different nodes) and do not support fault injection.
+	// 0 keeps the classic strictly-sequential engine.
+	Partitions int
 }
 
 // DefaultConfig returns the Butterfly-I calibration for n nodes (software
@@ -96,17 +106,23 @@ type Machine struct {
 
 	stats     Stats
 	lastPrune int64
+	// parts is the partition count (0 = classic sequential engine). On a
+	// partitioned machine pstats shards the in-window reference counters by
+	// partition (barrier-time exchange work accounts into stats, which only
+	// the coordinator touches).
+	parts  int
+	pstats []Stats
 	// wordTransit caches the uncontended end-to-end network time for a
 	// one-word packet — the constant added twice per word on the
 	// NoSwitchContention remote path.
 	wordTransit int64
-	// sweepMods is scratch for Sweep: the modules with an open placement
-	// batch, to commit before the sweep charges. sweepRefMods caches the
-	// per-ref module resolution; commitScratch is the merge buffer the
-	// commits share.
-	sweepMods     []*memory.Module
-	sweepRefMods  []*memory.Module
-	commitScratch calendar.Scratch
+	// scr holds Sweep's placement-batch scratch: the modules with an open
+	// batch, the per-ref module resolution, and the merge buffer the batch
+	// commits share. Classic machines use scr[0]; partitioned machines keep
+	// one per partition (sweeps on different partitions run concurrently)
+	// plus xscr for the coordinator's barrier-time exchange sweeps.
+	scr  []sweepScratch
+	xscr sweepScratch
 
 	// probe, when non-nil, is the machine-wide observability probe, shared
 	// with the engine, the network, and every memory module.
@@ -142,10 +158,15 @@ func (m *Machine) Probe() *probe.Probe { return m.probe }
 // processes), and every subsequent memory reference consults the injector
 // for drop and parity fates. Attach at most once, before Run. A machine
 // without an injector pays one nil check per reference and behaves exactly
-// as before.
+// as before. Fault injection requires the classic sequential engine
+// (node-death kills cut across partitions), so attaching to a partitioned
+// machine panics.
 func (m *Machine) AttachFaults(f *fault.Injector) {
 	if m.faults != nil {
 		panic("machine: AttachFaults called twice")
+	}
+	if m.parts > 0 && f != nil {
+		panic("machine: fault injection requires an unpartitioned machine (Config.Partitions = 0)")
 	}
 	if f == nil {
 		return
@@ -244,10 +265,27 @@ func New(cfg Config) *Machine {
 	if cfg.Net.Nodes == 0 {
 		cfg.Net = switchnet.DefaultConfig(cfg.Nodes)
 	}
+	if cfg.Partitions > cfg.Nodes {
+		cfg.Partitions = cfg.Nodes
+	}
 	m := &Machine{
 		E:   sim.New(),
 		Net: switchnet.New(cfg.Net),
 		Cfg: cfg,
+	}
+	if p := cfg.Partitions; p > 0 {
+		// Contiguous node blocks: node n belongs to partition n*p/Nodes.
+		// The mapping only affects wall-clock balance, never results —
+		// off-node references go through the exchange path regardless of
+		// whether they land in the caller's own partition.
+		nodes := cfg.Nodes
+		m.parts = p
+		m.pstats = make([]Stats, p)
+		m.scr = make([]sweepScratch, p)
+		m.E.EnablePartitions(p, func(node int) int { return node * p / nodes })
+		m.E.SetBarrierHook(m.pruneAtBarrier)
+	} else {
+		m.scr = make([]sweepScratch, 1)
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		m.Nodes = append(m.Nodes, &Node{
@@ -278,8 +316,35 @@ var newHook func(*Machine)
 // callers (the experiment lab's workers) must use ScopeHooks instead.
 func SetNewHook(fn func(*Machine)) { newHook = fn }
 
-// Stats returns a copy of the machine counters.
-func (m *Machine) Stats() Stats { return m.stats }
+// Stats returns a copy of the machine counters (summed across partition
+// shards on a partitioned machine).
+func (m *Machine) Stats() Stats {
+	s := m.stats
+	for i := range m.pstats {
+		ps := &m.pstats[i]
+		s.LocalRefs += ps.LocalRefs
+		s.RemoteRefs += ps.RemoteRefs
+		s.BlockCopies += ps.BlockCopies
+		s.AtomicOps += ps.AtomicOps
+	}
+	return s
+}
+
+// Partitions returns the machine's partition count (0 = classic engine).
+func (m *Machine) Partitions() int { return m.parts }
+
+// pid maps a node index to its partition.
+func (m *Machine) pid(node int) int { return node * m.parts / m.Cfg.Nodes }
+
+// statsFor returns the counter shard a reference issued by p during a window
+// must account into: the partition's shard on a partitioned machine (windows
+// execute concurrently), the machine-wide counters otherwise.
+func (m *Machine) statsFor(p *sim.Proc) *Stats {
+	if m.parts > 0 {
+		return &m.pstats[m.pid(p.Node)]
+	}
+	return &m.stats
+}
 
 // N returns the number of nodes.
 func (m *Machine) N() int { return m.Cfg.Nodes }
@@ -319,6 +384,12 @@ func (m *Machine) maybePrune() {
 	// wall-clock trade-off: short enough to keep calendars compact for the
 	// insertion memmoves, long enough to amortize the sweep over all nodes.
 	const every = 20 * 1_000_000 // 20 ms of virtual time
+	if m.parts > 0 {
+		// Partitioned machines prune at window barriers (pruneAtBarrier),
+		// where all partitions are quiescent; pruning from inside a window
+		// would race with concurrent calendar use.
+		return
+	}
 	if m.E.Now()-m.lastPrune < every {
 		return
 	}
@@ -326,6 +397,22 @@ func (m *Machine) maybePrune() {
 	m.Net.Prune(m.lastPrune)
 	for _, n := range m.Nodes {
 		n.Mem.Prune(m.lastPrune)
+	}
+}
+
+// pruneAtBarrier is the partitioned machine's calendar pruning, installed as
+// the engine's barrier hook: it runs on the coordinator between windows. No
+// reservation can be requested before the window's start time, so intervals
+// ending earlier can never matter again.
+func (m *Machine) pruneAtBarrier(windowStart int64) {
+	const every = 20 * 1_000_000 // 20 ms of virtual time
+	if windowStart-m.lastPrune < every {
+		return
+	}
+	m.lastPrune = windowStart
+	m.Net.Prune(windowStart)
+	for _, n := range m.Nodes {
+		n.Mem.Prune(windowStart)
 	}
 }
 
@@ -359,14 +446,22 @@ func (m *Machine) access(p *sim.Proc, node, words int) {
 	n := m.node(node)
 	if node == p.Node {
 		// Local: processor overhead once, then the module streams the words.
-		m.stats.LocalRefs++
-		now := m.E.Now()
+		m.statsFor(p).LocalRefs++
+		now := p.Now()
 		_, done := n.Mem.Service(now+m.Cfg.LocalOverheadNs, words, true)
 		if faulty {
 			m.chargeFaulty(p, node, false, done-now)
 			return
 		}
 		p.Charge(done - now)
+		return
+	}
+	if m.parts > 0 {
+		// Partitioned: every off-node reference is serviced at the window
+		// barrier, whether or not the target happens to share the caller's
+		// partition — so the timeline never depends on the node-to-partition
+		// mapping.
+		m.exchangeAccess(p, n, words)
 		return
 	}
 	// Remote: each word is an independent reference through the switch
@@ -420,8 +515,12 @@ func (m *Machine) BlockCopy(p *sim.Proc, src, dst, words int) {
 		}
 	}
 	sn, dn := m.node(src), m.node(dst)
-	m.stats.BlockCopies++
-	now := m.E.Now()
+	if m.parts > 0 && (src != p.Node || dst != p.Node) {
+		m.exchangeBlockCopy(p, sn, dn, words)
+		return
+	}
+	m.statsFor(p).BlockCopies++
+	now := p.Now()
 	t := now + m.Cfg.PNCOverheadNs
 	if src == dst {
 		// Local copy: read + write through the one module.
@@ -473,9 +572,9 @@ func (m *Machine) Atomic(p *sim.Proc, node int) {
 		m.preFault(p, node)
 	}
 	n := m.node(node)
-	m.stats.AtomicOps++
-	now := m.E.Now()
 	if node == p.Node {
+		m.statsFor(p).AtomicOps++
+		now := p.Now()
 		_, done := n.Mem.Service(now+m.Cfg.LocalOverheadNs, 2, true)
 		if faulty {
 			m.chargeFaulty(p, node, false, done-now)
@@ -484,6 +583,12 @@ func (m *Machine) Atomic(p *sim.Proc, node int) {
 		p.Charge(done - now)
 		return
 	}
+	if m.parts > 0 {
+		m.exchangeAtomic(p, n)
+		return
+	}
+	m.stats.AtomicOps++
+	now := m.E.Now()
 	t := now + m.Cfg.PNCOverheadNs
 	t = m.transit(t, p.Node, node, wordBytes)
 	_, t = n.Mem.Service(t, 2, false)
@@ -518,6 +623,10 @@ func (m *Machine) Sweep(p *sim.Proc, items int, computeNs int64, refs []Ref) {
 	if items <= 0 {
 		return
 	}
+	if m.parts > 0 {
+		m.partitionedSweep(p, items, computeNs, refs)
+		return
+	}
 	faulty := m.faults != nil
 	if faulty {
 		m.preFault(p, p.Node)
@@ -527,8 +636,9 @@ func (m *Machine) Sweep(p *sim.Proc, items int, computeNs int64, refs []Ref) {
 			}
 		}
 	}
-	now := m.E.Now()
+	now := p.Now()
 	t := now
+	scr := &m.scr[0]
 	fixedNet := m.Cfg.NoSwitchContention
 	gap := m.Cfg.PNCOverheadNs + 2*m.wordTransit
 	lead := m.Cfg.PNCOverheadNs + m.wordTransit
@@ -539,16 +649,16 @@ func (m *Machine) Sweep(p *sim.Proc, items int, computeNs int64, refs []Ref) {
 	// are placed in a batch and spliced in once at the end — one merge pass
 	// instead of items*len(refs) mid-schedule inserts. Resolve each ref's
 	// module and open its batch once, outside the item loop.
-	mods := m.sweepRefMods[:0]
+	mods := scr.refMods[:0]
 	for _, r := range refs {
 		mod := m.node(r.Node).Mem
 		mods = append(mods, mod)
 		if r.Words > 0 && !mod.InBatch() {
 			mod.BeginBatch()
-			m.sweepMods = append(m.sweepMods, mod)
+			scr.mods = append(scr.mods, mod)
 		}
 	}
-	m.sweepRefMods = mods
+	scr.refMods = mods
 	var failNode int
 	var failKind fault.Kind
 	failed := false
@@ -593,10 +703,10 @@ outer:
 	// Commit before Charge: Charge may flush and park, handing the token to
 	// another process that must see the completed schedule. A drawn fault is
 	// raised only after both, so batches are never left open.
-	for _, mod := range m.sweepMods {
-		mod.CommitBatchScratch(&m.commitScratch)
+	for _, mod := range scr.mods {
+		mod.CommitBatchScratch(&scr.commit)
 	}
-	m.sweepMods = m.sweepMods[:0]
+	scr.mods = scr.mods[:0]
 	p.Charge(t - now)
 	if failed {
 		m.raiseFault(p, failNode, failKind)
@@ -620,7 +730,11 @@ func (m *Machine) Microcode(p *sim.Proc, node int, busyNs int64) {
 	if words < 1 {
 		words = 1
 	}
-	now := m.E.Now()
+	if m.parts > 0 && node != p.Node {
+		m.exchangeMicrocode(p, n, words)
+		return
+	}
+	now := p.Now()
 	t := now
 	if node != p.Node {
 		t += m.Cfg.PNCOverheadNs

@@ -1,7 +1,7 @@
-// Package sim provides a deterministic sequential discrete-event simulation
-// engine. Simulated processes run as goroutines, but the engine resumes
-// exactly one process at a time, in (virtual time, FIFO sequence) order, so a
-// simulation is reproducible and free of data races by construction.
+// Package sim provides a deterministic discrete-event simulation engine.
+// Simulated processes run as goroutines, but the engine resumes exactly one
+// process at a time per partition, in (virtual time, FIFO sequence) order, so
+// a simulation is reproducible and free of data races by construction.
 //
 // The engine is the substrate for the Butterfly machine model: every higher
 // layer (memory modules, the switching network, Chrysalis, the programming
@@ -16,11 +16,19 @@
 // process's local clock is therefore invisible to other processes: at every
 // point where cross-process effects can be observed, the clock has been
 // flushed and event ordering is identical to charging eagerly.
+//
+// By default the engine is strictly sequential. EnablePartitions switches it
+// into windowed conservative-parallel mode (see partition.go): the event
+// queue splits into per-partition queues that execute concurrently within
+// lookahead-sized virtual-time windows and exchange cross-partition work only
+// at window boundaries.
 package sim
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"butterfly/internal/probe"
@@ -62,12 +70,14 @@ type Proc struct {
 	// Name identifies the process in traces and deadlock reports.
 	Name string
 	// Node is the machine node the process is bound to. The engine itself
-	// does not interpret it; the machine layer does. It defaults to 0.
+	// does not interpret it except to map the process to a partition; the
+	// machine layer does. It defaults to 0.
 	Node int
 	// Ctx is an arbitrary per-process context slot for higher layers.
 	Ctx any
 
 	eng        *Engine
+	sd         *sched // the partition scheduler that owns this process
 	resume     chan struct{}
 	state      procState
 	blockedOn  string // reason string while blocked, for deadlock reports
@@ -92,7 +102,7 @@ type Proc struct {
 	parkedBlocked bool
 
 	// Heap bookkeeping: at/seq order the pending resumption, heapIdx is the
-	// process's slot in the engine's event heap (-1 when not queued). A
+	// process's slot in its partition's event heap (-1 when not queued). A
 	// process has at most one pending event, so the heap needs no stale
 	// entries and entries can be updated in place.
 	at      int64
@@ -127,7 +137,8 @@ func (e *DeadlockError) Error() string {
 }
 
 // Stats aggregates engine-level counters, useful for benchmarking the
-// simulator itself and for sanity checks in tests.
+// simulator itself and for sanity checks in tests. In partitioned mode the
+// counters are summed across partitions.
 type Stats struct {
 	Events       uint64 // process resumptions executed
 	Spawned      int    // processes ever created
@@ -135,32 +146,88 @@ type Stats struct {
 	Charges      uint64 // Charge calls (lazy, no park)
 	Parks        uint64 // process suspensions (incl. same-proc fast path)
 	LazyFlushes  uint64 // local-clock flushes (park at accumulated time)
-	MaxHeapDepth int    // high-water mark of the pending-event heap
+	Exchanges    uint64 // cross-partition exchanges serviced at window barriers
+	MaxHeapDepth int    // high-water mark of the pending-event heap(s)
 }
 
 // DefaultLookahead is the default bound on how much virtual time a process
 // may accumulate locally before Charge forces a flush. Sync points flush
 // regardless, so the threshold only limits long runs of pure computation.
+// In partitioned mode it is also the width of the synchronization window.
 const DefaultLookahead = 250 * Microsecond
 
-// Engine is a sequential discrete-event simulator. The zero value is not
-// usable; call New.
+// sched is the event queue and clock of one partition. A classic engine has
+// exactly one; a partitioned engine has one per partition, each driven by its
+// own goroutine chain inside a window while the coordinator waits. All fields
+// are owned by whichever goroutine currently runs the partition — ownership
+// transfers through the drained/resume channels, which provide the needed
+// happens-before edges.
+type sched struct {
+	eng     *Engine
+	id      int
+	now     int64
+	seq     uint64
+	heap    []*Proc // indexed min-heap by (at, seq); one entry per ready proc
+	running *Proc
+	live    int // processes spawned into this partition and not yet done
+	blocked int // processes currently blocked
+	stats   Stats
+
+	// windowEnd bounds dispatch in partitioned mode: events at or after it
+	// stay queued until the next window. Classic mode leaves it at MaxInt64.
+	windowEnd int64
+	// outbox collects cross-partition exchanges issued during the current
+	// window, serviced by the coordinator at the barrier.
+	outbox []exchangeReq
+
+	// Wall-clock accounting for the per-partition timing breakdown:
+	// busyNs is time spent executing window events, syncWaitNs time spent
+	// drained while sibling partitions finish their window, idleNs time
+	// spent with no events inside the window at all.
+	busyNs     int64
+	syncWaitNs int64
+	idleNs     int64
+	drainedAt  int64 // scratch: wall nanos when this sched drained (per window)
+}
+
+func newSched(e *Engine, id int) *sched {
+	return &sched{eng: e, id: id, windowEnd: math.MaxInt64}
+}
+
+// flushRunning flushes the partition's running process's lazy clock, if any.
+func (s *sched) flushRunning() {
+	if r := s.running; r != nil && r.local > 0 {
+		r.sync()
+	}
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; call
+// New. By default it is strictly sequential; see EnablePartitions.
 type Engine struct {
-	now       int64
-	seq       uint64
-	heap      []*Proc // indexed min-heap by (at, seq); one entry per ready proc
+	scheds    []*sched
 	done      chan struct{}
 	procs     []*Proc
-	running   *Proc
-	live      int // processes spawned and not yet done
-	blocked   int // processes currently blocked
 	lookahead int64
 	started   bool
-	stats     Stats
+
+	// Partitioned-mode state (see partition.go). windowed is set by
+	// EnablePartitions; partOf maps a node index to a partition index;
+	// drained carries each partition's end-of-window notification to the
+	// coordinator; barrierHook, when non-nil, runs at every window barrier.
+	windowed    bool
+	partOf      func(node int) int
+	drained     chan *sched
+	barrierHook func(windowStart int64)
+	xscratch    []exchangeReq
+	activeScr   []*sched
+	windows     uint64
+	barrierNs   int64
 
 	// probe, when non-nil, receives a typed event for every state
 	// transition (see internal/probe). Probes are purely observational; a
-	// nil probe costs the hot paths one pointer check.
+	// nil probe costs the hot paths one pointer check. An attached probe
+	// forces partitioned windows to execute sequentially so the event
+	// stream stays deterministic.
 	probe *probe.Probe
 
 	// interrupted is the only piece of engine state that may be touched
@@ -171,13 +238,17 @@ type Engine struct {
 
 	// trapPanics converts a real panic in a process body into a run error
 	// (see TrapPanics); trapped holds that error until Run returns it.
+	// trapMu guards trapped: partitions may panic concurrently.
 	trapPanics bool
+	trapMu     sync.Mutex
 	trapped    error
 }
 
 // New creates an empty simulation engine at virtual time zero.
 func New() *Engine {
-	return &Engine{done: make(chan struct{}, 1), lookahead: DefaultLookahead}
+	e := &Engine{done: make(chan struct{}, 1), lookahead: DefaultLookahead}
+	e.scheds = []*sched{newSched(e, 0)}
+	return e
 }
 
 // SetProbe attaches an observability probe (nil detaches). Attach before
@@ -190,49 +261,108 @@ func (e *Engine) Probe() *probe.Probe { return e.probe }
 
 // Now returns the current virtual time in nanoseconds. A process that has
 // charged time lazily since its last synchronization point is logically ahead
-// of this clock; see Proc.LocalNow.
-func (e *Engine) Now() int64 { return e.now }
+// of this clock; see Proc.LocalNow. On a partitioned engine the partitions'
+// clocks advance independently inside a window, so Now reports the furthest
+// one; call it only from outside the run (it is exact once Run returns, and
+// process bodies should use Proc.Now instead).
+func (e *Engine) Now() int64 {
+	if len(e.scheds) == 1 {
+		return e.scheds[0].now
+	}
+	var mx int64
+	for _, s := range e.scheds {
+		if s.now > mx {
+			mx = s.now
+		}
+	}
+	return mx
+}
+
+// Now returns the current virtual time of the process's partition. For a
+// classic engine this equals Engine.Now. Unlike Engine.Now it is always safe
+// to call from a running process body.
+func (p *Proc) Now() int64 { return p.sd.now }
 
 // SetLookahead bounds how much virtual time a process may accumulate via
-// Charge before being flushed through the event queue. Values <= 0 make every
-// Charge flush immediately (eager charging, useful to bisect equivalence
-// issues). The default is DefaultLookahead.
+// Charge before being flushed through the event queue, and — on a partitioned
+// engine — sets the width of the synchronization window. Values <= 0 make
+// every Charge flush immediately (eager charging, useful to bisect
+// equivalence issues). The default is DefaultLookahead.
 func (e *Engine) SetLookahead(d int64) { e.lookahead = d }
 
 // Lookahead returns the current lookahead threshold.
 func (e *Engine) Lookahead() int64 { return e.lookahead }
 
-// Stats returns a copy of the engine counters.
-func (e *Engine) Stats() Stats { return e.stats }
+// Stats returns a copy of the engine counters, summed across partitions.
+func (e *Engine) Stats() Stats {
+	if len(e.scheds) == 1 {
+		return e.scheds[0].stats
+	}
+	var t Stats
+	for _, s := range e.scheds {
+		t.Events += s.stats.Events
+		t.Spawned += s.stats.Spawned
+		t.Completed += s.stats.Completed
+		t.Charges += s.stats.Charges
+		t.Parks += s.stats.Parks
+		t.LazyFlushes += s.stats.LazyFlushes
+		t.Exchanges += s.stats.Exchanges
+		if s.stats.MaxHeapDepth > t.MaxHeapDepth {
+			t.MaxHeapDepth = s.stats.MaxHeapDepth
+		}
+	}
+	return t
+}
 
 // Procs returns all processes ever spawned, in spawn order.
 func (e *Engine) Procs() []*Proc { return e.procs }
 
-// Running returns the currently executing process, or nil outside Run.
-func (e *Engine) Running() *Proc { return e.running }
+// Running returns the currently executing process, or nil outside Run. On a
+// partitioned engine it is meaningful only while windows run sequentially
+// (probe attached or single partition); prefer per-process context.
+func (e *Engine) Running() *Proc {
+	for _, s := range e.scheds {
+		if r := s.running; r != nil {
+			return r
+		}
+	}
+	return nil
+}
 
 // Spawn creates a new simulated process bound to the given node and schedules
 // it to start at the current virtual time. fn runs as the process body; when
 // fn returns the process completes. Spawn may be called before Run or from
 // inside a running process. A running caller's local clock is flushed first,
 // so the child starts at the caller's true current time.
+//
+// On a partitioned engine all processes must be spawned before Run: the
+// process population is part of the static partitioning, so mid-run spawns
+// panic.
 func (e *Engine) Spawn(name string, node int, fn func(p *Proc)) *Proc {
-	if r := e.running; r != nil && r.local > 0 {
-		r.sync()
+	var s *sched
+	if e.windowed {
+		if e.started {
+			panic("sim: Spawn during a partitioned run (spawn all processes before Run)")
+		}
+		s = e.scheds[e.partOf(node)]
+	} else {
+		s = e.scheds[0]
+		s.flushRunning()
 	}
 	p := &Proc{
 		ID:        len(e.procs),
 		Name:      name,
 		Node:      node,
 		eng:       e,
+		sd:        s,
 		resume:    make(chan struct{}, 1),
 		state:     stateNew,
-		spawnedAt: e.now,
+		spawnedAt: s.now,
 		heapIdx:   -1,
 	}
 	e.procs = append(e.procs, p)
-	e.live++
-	e.stats.Spawned++
+	s.live++
+	s.stats.Spawned++
 	go func() {
 		<-p.resume // wait for first dispatch
 		// The completion notification is deferred so that the simulation
@@ -248,19 +378,19 @@ func (e *Engine) Spawn(name string, node int, fn func(p *Proc)) *Proc {
 				}
 			}
 			p.state = stateDone
-			p.finishedAt = e.now
-			e.live--
-			e.stats.Completed++
+			p.finishedAt = s.now
+			s.live--
+			s.stats.Completed++
 			if pr := e.probe; pr != nil {
-				pr.ProcRun(p.dispatchedAt, e.now-p.dispatchedAt, p.ID)
-				pr.ProcDone(e.now, p.ID)
+				pr.ProcRun(p.dispatchedAt, s.now-p.dispatchedAt, p.ID)
+				pr.ProcDone(s.now, p.ID)
 			}
 			// Hand control to the next scheduled process directly; this
 			// goroutine is finished and never parks again.
-			if next := e.popNext(); next != nil {
+			if next := s.popNext(); next != nil {
 				next.resume <- struct{}{}
 			} else {
-				e.endRun()
+				s.suspend()
 			}
 		}()
 		defer func() {
@@ -280,9 +410,11 @@ func (e *Engine) Spawn(name string, node int, fn func(p *Proc)) *Proc {
 				// Trapped mode (a service hosting the simulation): the run
 				// aborts with an error naming the panic instead of taking
 				// the host process down with it.
+				e.trapMu.Lock()
 				if e.trapped == nil {
 					e.trapped = fmt.Errorf("sim: process %d (%s) on node %d panicked: %v", p.ID, p.Name, p.Node, r)
 				}
+				e.trapMu.Unlock()
 				e.Interrupt()
 				p.exited = true
 				p.fatal = r
@@ -294,10 +426,10 @@ func (e *Engine) Spawn(name string, node int, fn func(p *Proc)) *Proc {
 			fn(p)
 		}
 	}()
-	e.schedule(p, e.now)
+	s.schedule(p, s.now)
 	if pr := e.probe; pr != nil {
-		p.parkedAt = e.now
-		pr.ProcSpawn(e.now, p.ID, node, p.Name)
+		p.parkedAt = s.now
+		pr.ProcSpawn(s.now, p.ID, node, p.Name)
 	}
 	return p
 }
@@ -316,22 +448,22 @@ type Terminator interface {
 }
 
 // schedule enqueues a resumption of p at time at and marks it ready.
-func (e *Engine) schedule(p *Proc, at int64) {
-	if at < e.now {
-		at = e.now
+func (s *sched) schedule(p *Proc, at int64) {
+	if at < s.now {
+		at = s.now
 	}
-	e.seq++
-	p.at, p.seq = at, e.seq
+	s.seq++
+	p.at, p.seq = at, s.seq
 	p.state = stateReady
 	if p.heapIdx < 0 {
-		p.heapIdx = len(e.heap)
-		e.heap = append(e.heap, p)
-		e.siftUp(p.heapIdx)
-		if n := len(e.heap); n > e.stats.MaxHeapDepth {
-			e.stats.MaxHeapDepth = n
+		p.heapIdx = len(s.heap)
+		s.heap = append(s.heap, p)
+		s.siftUp(p.heapIdx)
+		if n := len(s.heap); n > s.stats.MaxHeapDepth {
+			s.stats.MaxHeapDepth = n
 		}
-	} else if !e.siftUp(p.heapIdx) {
-		e.siftDown(p.heapIdx)
+	} else if !s.siftUp(p.heapIdx) {
+		s.siftDown(p.heapIdx)
 	}
 }
 
@@ -345,8 +477,8 @@ func eventLess(a, b *Proc) bool {
 
 // siftUp restores the heap property upward from slot i and reports whether
 // the entry moved.
-func (e *Engine) siftUp(i int) bool {
-	h := e.heap
+func (s *sched) siftUp(i int) bool {
+	h := s.heap
 	p := h[i]
 	moved := false
 	for i > 0 {
@@ -366,8 +498,8 @@ func (e *Engine) siftUp(i int) bool {
 }
 
 // siftDown restores the heap property downward from slot i.
-func (e *Engine) siftDown(i int) {
-	h := e.heap
+func (s *sched) siftDown(i int) {
+	h := s.heap
 	n := len(h)
 	p := h[i]
 	for {
@@ -389,50 +521,56 @@ func (e *Engine) siftDown(i int) {
 	p.heapIdx = i
 }
 
-// popNext removes the earliest pending event, advances the clock to it, and
-// returns its process marked running. It returns nil if no event is pending.
-func (e *Engine) popNext() *Proc {
-	n := len(e.heap)
-	if n == 0 {
-		e.running = nil
+// popNext removes the earliest pending event within the current window,
+// advances the partition clock to it, and returns its process marked running.
+// It returns nil if no dispatchable event is pending.
+func (s *sched) popNext() *Proc {
+	n := len(s.heap)
+	if n == 0 || s.heap[0].at >= s.windowEnd {
+		s.running = nil
 		return nil
 	}
-	p := e.heap[0]
+	p := s.heap[0]
 	n--
-	last := e.heap[n]
-	e.heap[n] = nil
-	e.heap = e.heap[:n]
+	last := s.heap[n]
+	s.heap[n] = nil
+	s.heap = s.heap[:n]
 	if n > 0 {
-		e.heap[0] = last
+		s.heap[0] = last
 		last.heapIdx = 0
-		e.siftDown(0)
+		s.siftDown(0)
 	}
 	p.heapIdx = -1
-	if p.at > e.now {
-		e.now = p.at
+	if p.at > s.now {
+		s.now = p.at
 	}
-	if e.interrupted.Load() {
+	if s.eng.interrupted.Load() {
 		// The run is being torn down: every process dies at its dispatch
 		// point (the same unwind path Kill uses), so the event chain drains
 		// instead of executing further user code.
 		p.killed = true
 		p.exited = true
 	}
-	e.stats.Events++
-	e.running = p
+	s.stats.Events++
+	s.running = p
 	p.state = stateRunning
-	if pr := e.probe; pr != nil {
-		pr.ProcDispatch(e.now, p.ID, e.now-p.parkedAt, p.parkedBlocked)
-		p.dispatchedAt = e.now
+	if pr := s.eng.probe; pr != nil {
+		pr.ProcDispatch(s.now, p.ID, s.now-p.parkedAt, p.parkedBlocked)
+		p.dispatchedAt = s.now
 		p.parkedBlocked = false
 	}
 	return p
 }
 
-// endRun signals Run that no pending event remains.
-func (e *Engine) endRun() {
-	e.running = nil
-	e.done <- struct{}{}
+// suspend returns control to Run when the partition has no dispatchable
+// event left: the classic engine is simply finished; a partitioned one
+// notifies the coordinator that this partition drained its window.
+func (s *sched) suspend() {
+	if s.eng.windowed {
+		s.eng.drained <- s
+	} else {
+		s.eng.done <- struct{}{}
+	}
 }
 
 // Run executes the simulation until no events remain. It returns nil on a
@@ -444,22 +582,34 @@ func (e *Engine) Run() error {
 		panic("sim: Engine.Run called more than once")
 	}
 	e.started = true
-	// Dispatch is a chain of direct goroutine-to-goroutine handoffs: each
-	// parking process resumes the next scheduled one itself, and control
-	// returns here only when the event queue is empty.
-	if first := e.popNext(); first != nil {
-		first.resume <- struct{}{}
-		<-e.done
+	if e.windowed {
+		e.runWindows()
+	} else {
+		// Dispatch is a chain of direct goroutine-to-goroutine handoffs: each
+		// parking process resumes the next scheduled one itself, and control
+		// returns here only when the event queue is empty.
+		s := e.scheds[0]
+		if first := s.popNext(); first != nil {
+			first.resume <- struct{}{}
+			<-e.done
+		}
 	}
-	if e.trapped != nil {
-		return e.trapped
+	e.trapMu.Lock()
+	trapped := e.trapped
+	e.trapMu.Unlock()
+	if trapped != nil {
+		return trapped
+	}
+	live := 0
+	for _, s := range e.scheds {
+		live += s.live
 	}
 	if e.interrupted.Load() {
-		return &InterruptError{Now: e.now, Live: e.live}
+		return &InterruptError{Now: e.Now(), Live: live}
 	}
-	if e.live > 0 {
+	if live > 0 {
 		// Everything left alive is blocked: deadlock.
-		de := &DeadlockError{Now: e.now}
+		de := &DeadlockError{Now: e.Now()}
 		for _, p := range e.procs {
 			if p.state == stateBlocked {
 				de.Blocked = append(de.Blocked, BlockedProc{ID: p.ID, Name: p.Name, Node: p.Node, Reason: p.blockedOn})
@@ -476,14 +626,14 @@ func (e *Engine) Run() error {
 // uncontended timeline), the clock advances in place with no goroutine
 // switch at all.
 func (p *Proc) park() {
-	e := p.eng
-	e.stats.Parks++
-	if pr := e.probe; pr != nil {
-		pr.ProcRun(p.dispatchedAt, e.now-p.dispatchedAt, p.ID)
-		p.parkedAt = e.now
+	s := p.sd
+	s.stats.Parks++
+	if pr := s.eng.probe; pr != nil {
+		pr.ProcRun(p.dispatchedAt, s.now-p.dispatchedAt, p.ID)
+		p.parkedAt = s.now
 		p.parkedBlocked = p.state == stateBlocked
 	}
-	next := e.popNext()
+	next := s.popNext()
 	if next == p {
 		if p.killed && !p.finishing {
 			panic(errExit) // killed while parked: die at the resumption point
@@ -493,7 +643,7 @@ func (p *Proc) park() {
 	if next != nil {
 		next.resume <- struct{}{}
 	} else {
-		e.endRun()
+		s.suspend()
 	}
 	<-p.resume
 	if p.killed && !p.finishing {
@@ -501,10 +651,11 @@ func (p *Proc) park() {
 	}
 }
 
-// mustBeRunning panics unless p is the currently executing process. All
-// time-consuming operations must be issued by the running process itself.
+// mustBeRunning panics unless p is the currently executing process of its
+// partition. All time-consuming operations must be issued by the running
+// process itself.
 func (p *Proc) mustBeRunning(op string) {
-	if p.eng.running != p {
+	if p.sd.running != p {
 		panic(fmt.Sprintf("sim: %s called on proc %d %q which is not the running process", op, p.ID, p.Name))
 	}
 }
@@ -520,7 +671,7 @@ func (p *Proc) Charge(d int64) {
 		panic("sim: Charge with negative duration")
 	}
 	p.local += d
-	p.eng.stats.Charges++
+	p.sd.stats.Charges++
 	if p.local >= p.eng.lookahead {
 		p.sync()
 	}
@@ -540,20 +691,20 @@ func (p *Proc) sync() {
 	if p.local == 0 {
 		return
 	}
-	e := p.eng
+	s := p.sd
 	d := p.local
 	p.local = 0
-	e.stats.LazyFlushes++
-	if pr := e.probe; pr != nil {
-		pr.ProcFlush(e.now, p.ID, d)
+	s.stats.LazyFlushes++
+	if pr := s.eng.probe; pr != nil {
+		pr.ProcFlush(s.now, p.ID, d)
 	}
-	e.schedule(p, e.now+d)
+	s.schedule(p, s.now+d)
 	p.park()
 }
 
 // LocalNow returns the calling process's view of the current virtual time:
-// the shared clock plus any lazily charged local time.
-func (p *Proc) LocalNow() int64 { return p.eng.now + p.local }
+// its partition's shared clock plus any lazily charged local time.
+func (p *Proc) LocalNow() int64 { return p.sd.now + p.local }
 
 // Advance charges d nanoseconds of virtual time to the calling process: the
 // process is suspended and resumes once the clock has advanced past all other
@@ -565,7 +716,7 @@ func (p *Proc) Advance(d int64) {
 		panic("sim: Advance with negative duration")
 	}
 	p.sync()
-	p.eng.schedule(p, p.eng.now+d)
+	p.sd.schedule(p, p.sd.now+d)
 	p.park()
 }
 
@@ -581,9 +732,9 @@ func (p *Proc) Block(reason string) {
 	p.sync()
 	p.state = stateBlocked
 	p.blockedOn = reason
-	p.eng.blocked++
+	p.sd.blocked++
 	if pr := p.eng.probe; pr != nil {
-		pr.ProcBlock(p.eng.now, p.ID, reason)
+		pr.ProcBlock(p.sd.now, p.ID, reason)
 	}
 	p.park()
 }
@@ -593,10 +744,20 @@ func (p *Proc) Block(reason string) {
 // from engine setup, never on a process that is not blocked. A running
 // caller's local clock is flushed first, so the wake happens at the caller's
 // true current time.
+//
+// During a partitioned run the caller must be a process on the same node as
+// p: waking across nodes would couple partitions mid-window. The partitioned
+// programming model routes all cross-node interaction through the machine
+// layer's exchange operations instead.
 func (e *Engine) Unblock(p *Proc, delay int64) {
-	if r := e.running; r != nil && r.local > 0 {
-		r.sync()
+	s := p.sd
+	if e.windowed && e.started {
+		r := s.running
+		if r == nil || r.Node != p.Node {
+			panic(fmt.Sprintf("sim: Unblock of proc %d %q (node %d) from another node during a partitioned run", p.ID, p.Name, p.Node))
+		}
 	}
+	s.flushRunning()
 	if p.timedWait {
 		// The process is waiting with a timeout: it is stateReady with a
 		// pending timeout event in the heap, not stateBlocked. Clearing
@@ -604,20 +765,20 @@ func (e *Engine) Unblock(p *Proc, delay int64) {
 		// timed out" to BlockTimeout; rescheduling moves the wake earlier.
 		p.timedWait = false
 		p.blockedOn = ""
-		e.schedule(p, e.now+delay)
+		s.schedule(p, s.now+delay)
 		if pr := e.probe; pr != nil {
-			pr.ProcUnblock(e.now, p.ID)
+			pr.ProcUnblock(s.now, p.ID)
 		}
 		return
 	}
 	if p.state != stateBlocked {
 		panic(fmt.Sprintf("sim: Unblock of proc %d %q in state %v", p.ID, p.Name, p.state))
 	}
-	e.blocked--
+	s.blocked--
 	p.blockedOn = ""
-	e.schedule(p, e.now+delay)
+	s.schedule(p, s.now+delay)
 	if pr := e.probe; pr != nil {
-		pr.ProcUnblock(e.now, p.ID)
+		pr.ProcUnblock(s.now, p.ID)
 	}
 }
 
@@ -671,25 +832,28 @@ func (e *Engine) TrapPanics() { e.trapPanics = true }
 // its next dispatch. Any lazily charged local time the victim has accumulated
 // is discarded — a killed process's unflushed work never happened. Killing
 // the running process is not allowed (use Exit); killing a completed or
-// already killed process is a no-op.
+// already killed process is a no-op. Kill is not available during a
+// partitioned run (fault injection requires the classic engine).
 func (e *Engine) Kill(p *Proc) {
 	if p == nil || p.state == stateDone || p.killed {
 		return
 	}
-	if p == e.running {
+	if e.windowed && e.started {
+		panic("sim: Kill during a partitioned run (fault injection requires the classic engine)")
+	}
+	s := p.sd
+	if p == s.running {
 		panic(fmt.Sprintf("sim: Kill of running proc %d %q (use Exit)", p.ID, p.Name))
 	}
-	if r := e.running; r != nil && r.local > 0 {
-		r.sync()
-	}
+	s.flushRunning()
 	p.killed = true
 	p.exited = true
 	if p.state == stateBlocked {
-		e.blocked--
+		s.blocked--
 	}
 	p.blockedOn = ""
 	p.timedWait = false
-	e.schedule(p, e.now)
+	s.schedule(p, s.now)
 }
 
 // BlockTimeout suspends the calling process until either Unblock is called on
@@ -702,14 +866,14 @@ func (p *Proc) BlockTimeout(reason string, d int64) (timedOut bool) {
 	if d < 0 {
 		panic("sim: BlockTimeout with negative duration")
 	}
-	e := p.eng
+	s := p.sd
 	p.sync()
 	p.timedWait = true
 	p.blockedOn = reason
-	if pr := e.probe; pr != nil {
-		pr.ProcBlock(e.now, p.ID, reason)
+	if pr := s.eng.probe; pr != nil {
+		pr.ProcBlock(s.now, p.ID, reason)
 	}
-	e.schedule(p, e.now+d)
+	s.schedule(p, s.now+d)
 	p.park()
 	timedOut = p.timedWait
 	p.timedWait = false

@@ -50,9 +50,7 @@ func (q *WaitQueue) WaitTimeout(p *Proc, d int64) (timedOut bool) {
 // failed) are discarded silently. It reports whether a process was woken.
 // A running caller's local clock is flushed before the queue is examined.
 func (q *WaitQueue) WakeOne(e *Engine, delay int64) bool {
-	if r := e.running; r != nil && r.local > 0 {
-		r.sync()
-	}
+	q.flushWaker(e)
 	for len(q.procs) > 0 {
 		p := q.procs[0]
 		copy(q.procs, q.procs[1:])
@@ -71,9 +69,7 @@ func (q *WaitQueue) WakeOne(e *Engine, delay int64) bool {
 // number of processes woken. A running caller's local clock is flushed before
 // the queue is examined.
 func (q *WaitQueue) WakeAll(e *Engine, delay int64) int {
-	if r := e.running; r != nil && r.local > 0 {
-		r.sync()
-	}
+	q.flushWaker(e)
 	n := 0
 	for _, p := range q.procs {
 		if p.killed {
@@ -84,6 +80,21 @@ func (q *WaitQueue) WakeAll(e *Engine, delay int64) int {
 	}
 	q.procs = q.procs[:0]
 	return n
+}
+
+// flushWaker flushes the running caller's lazy clock before a wake operation
+// examines the queue. On a classic engine the caller is the single running
+// process. On a partitioned engine wakes are same-node by contract (see
+// Engine.Unblock), so the caller is reached through the first waiter's
+// partition; an empty queue needs no flush, since there is nobody to wake.
+func (q *WaitQueue) flushWaker(e *Engine) {
+	if !e.windowed {
+		e.scheds[0].flushRunning()
+		return
+	}
+	if len(q.procs) > 0 {
+		q.procs[0].sd.flushRunning()
+	}
 }
 
 // Remove deletes a specific process from the queue without waking it
