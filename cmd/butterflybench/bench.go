@@ -11,6 +11,7 @@ import (
 	"butterfly/internal/core"
 	"butterfly/internal/machine"
 	"butterfly/internal/sim"
+	"butterfly/internal/workload"
 )
 
 // benchPartitionCounts is the partition-scaling sweep -bench-out measures.
@@ -48,12 +49,33 @@ type benchEntry struct {
 	CritSpeedupVsP1 float64 `json:"critical_path_speedup_vs_p1"`
 }
 
-// benchDoc is the JSON document -bench-out writes.
+// workloadBench is one service's open-loop baseline: the virtual-time
+// figures (rates, percentiles) are host-independent and deterministic; wall
+// time and events/sec describe the simulator on this host.
+type workloadBench struct {
+	Service         string  `json:"service"`
+	Pattern         string  `json:"pattern"`
+	OfferedPerSec   float64 `json:"offered_per_sec"`
+	CompletedPerSec float64 `json:"completed_per_sec"`
+	Errors          uint64  `json:"errors"`
+	P50Ns           int64   `json:"p50_ns"`
+	P99Ns           int64   `json:"p99_ns"`
+	MeanNs          int64   `json:"mean_ns"`
+	VTimeNs         int64   `json:"vtime_ns"`
+	WallNs          int64   `json:"wall_ns"`
+}
+
+// benchDoc is the JSON document -bench-out writes. The host block exists so
+// a checked-in report is interpretable later: wall-clock numbers mean
+// nothing without the machine that produced them.
 type benchDoc struct {
-	GOMAXPROCS  int          `json:"gomaxprocs"`
-	Quick       bool         `json:"quick"`
-	Repetitions int          `json:"repetitions"`
-	Results     []benchEntry `json:"results"`
+	GOMAXPROCS  int             `json:"gomaxprocs"`
+	NumCPU      int             `json:"num_cpu"`
+	GoVersion   string          `json:"go_version"`
+	Quick       bool            `json:"quick"`
+	Repetitions int             `json:"repetitions"`
+	Results     []benchEntry    `json:"results"`
+	Workloads   []workloadBench `json:"workloads"`
 }
 
 // runBenchOut measures every partitionable experiment at 1, 2, 4, and 8
@@ -71,7 +93,13 @@ func runBenchOut(path string, quick bool) error {
 		return fmt.Errorf("no partitionable experiments registered")
 	}
 
-	doc := benchDoc{GOMAXPROCS: runtime.GOMAXPROCS(0), Quick: quick, Repetitions: benchRepetitions}
+	doc := benchDoc{
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		GoVersion:   runtime.Version(),
+		Quick:       quick,
+		Repetitions: benchRepetitions,
+	}
 	fmt.Printf("%-10s %11s %12s %10s %14s %9s %9s %11s\n",
 		"experiment", "partitions", "wall", "events", "events/sec", "windows", "speedup", "crit-path")
 	for _, e := range exps {
@@ -97,6 +125,17 @@ func runBenchOut(path string, quick bool) error {
 		}
 	}
 
+	wl, err := benchWorkloads(quick)
+	if err != nil {
+		return fmt.Errorf("workload baselines: %w", err)
+	}
+	doc.Workloads = wl
+	fmt.Printf("\n%-16s %12s %14s %10s %10s\n", "service", "offered/s", "completed/s", "p50 (ms)", "p99 (ms)")
+	for _, b := range wl {
+		fmt.Printf("%-16s %12.0f %14.0f %10.3f %10.3f\n",
+			b.Service, b.OfferedPerSec, b.CompletedPerSec, float64(b.P50Ns)/1e6, float64(b.P99Ns)/1e6)
+	}
+
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -107,9 +146,61 @@ func runBenchOut(path string, quick bool) error {
 	if err := enc.Encode(doc); err != nil {
 		return err
 	}
-	fmt.Printf("\nwrote %s (GOMAXPROCS=%d, best of %d runs per cell, tables byte-identical across the sweep)\n",
-		path, doc.GOMAXPROCS, benchRepetitions)
+	fmt.Printf("\nwrote %s (GOMAXPROCS=%d, NumCPU=%d, %s; best of %d runs per cell, tables byte-identical across the sweep)\n",
+		path, doc.GOMAXPROCS, doc.NumCPU, doc.GoVersion, benchRepetitions)
 	return nil
+}
+
+// benchWorkloads measures the open-loop service baselines the workload
+// subsystem serves: one run per service on the default traffic config, the
+// same shapes the `service` experiment uses.
+func benchWorkloads(quick bool) ([]workloadBench, error) {
+	cfg := workload.Default()
+	nodes := 24
+	cfg.Rate, cfg.Sources, cfg.Servers = 2400, 4, 4
+	if quick {
+		nodes = 16
+		cfg.Rate, cfg.Sources, cfg.Servers = 1500, 3, 2
+		cfg.DurationNs = 24 * sim.Millisecond
+		cfg.WindowNs = 6 * sim.Millisecond
+	}
+	runs := []struct {
+		name string
+		run  func() (*workload.Result, error)
+	}{
+		{"lynx-echo", func() (*workload.Result, error) {
+			return workload.RunLynxEcho(cfg, workload.EchoOpts{Machine: core.ButterflyI(nodes), EchoFlops: 8, ReplyWords: 16})
+		}},
+		{"us-tasks", func() (*workload.Result, error) {
+			return workload.RunUSTasks(cfg, workload.TasksOpts{Machine: core.ButterflyI(nodes), Workers: 16, RowWords: 64, TaskFlops: 4})
+		}},
+		{"hotspot-counter", func() (*workload.Result, error) {
+			return workload.RunHotspotCounter(cfg, workload.CounterOpts{Machine: core.ButterflyI(nodes), WorkNs: 50 * sim.Microsecond})
+		}},
+	}
+	out := make([]workloadBench, 0, len(runs))
+	for _, r := range runs {
+		start := time.Now()
+		res, err := r.run()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", r.name, err)
+		}
+		tr := res.Tracker
+		secs := float64(cfg.DurationNs) / 1e9
+		out = append(out, workloadBench{
+			Service:         r.name,
+			Pattern:         string(cfg.Pattern),
+			OfferedPerSec:   float64(tr.Offered) / secs,
+			CompletedPerSec: float64(tr.Completed-tr.Errors) / secs,
+			Errors:          tr.Errors,
+			P50Ns:           tr.Total.Quantile(0.50),
+			P99Ns:           tr.Total.Quantile(0.99),
+			MeanNs:          tr.Total.Mean(),
+			VTimeNs:         res.VTimeNs,
+			WallNs:          time.Since(start).Nanoseconds(),
+		})
+	}
+	return out, nil
 }
 
 // benchCell runs one experiment at one partition count benchRepetitions

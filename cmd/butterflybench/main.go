@@ -17,6 +17,8 @@
 //	butterflybench -experiment hotspot -trace-out trace.json  # Chrome/Perfetto trace
 //	butterflybench -experiment fig5 -faults 'drop 0.001; kill 7 @ 20ms'
 //	butterflybench -experiment hotspot -faults @sched.txt -fault-seed 42
+//	butterflybench -experiment service -workload 'pattern bursty; rate 6000; seed 7'
+//	butterflybench -experiment service -slo-report      # per-window SLO tables
 //
 // Experiment runs are deterministic and independent, so -parallel N fans
 // them out over the lab's worker pool and reassembles stdout in experiment
@@ -48,6 +50,7 @@ import (
 	"butterfly/internal/machine"
 	"butterfly/internal/probe"
 	"butterfly/internal/sim"
+	"butterfly/internal/workload"
 )
 
 func main() {
@@ -69,6 +72,8 @@ func main() {
 		faultSeed  = flag.Uint64("fault-seed", 0, "override the fault schedule's random seed (requires -faults)")
 		server     = flag.String("server", "", "run experiments on a remote butterflyd at this base URL instead of in-process")
 		partitions = flag.Int("partitions", 0, "run partitionable experiments on the parallel engine with this many partitions (results stay bit-identical)")
+		workloadFl = flag.String("workload", "", "workload directives for workload-driven experiments, e.g. 'pattern bursty; rate 6000; seed 7; duration 60ms'")
+		sloReport  = flag.Bool("slo-report", false, "print the full per-window SLO table for workload-driven experiments (sugar for the 'detail' workload directive)")
 		benchOut   = flag.String("bench-out", "", "run every partitionable experiment at 1/2/4/8 partitions, verify byte-identical tables, and write a JSON scaling report to this file")
 	)
 	flag.Parse()
@@ -107,6 +112,22 @@ func main() {
 		// whichever execution path is taken.
 		if _, err := fault.ParseConfig(*faults); err != nil {
 			fmt.Fprintf(os.Stderr, "butterflybench: -faults: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	// -slo-report is sugar for the 'detail' workload directive, so it rides
+	// the same string through specs and the lab cache fingerprint.
+	workloadStr := *workloadFl
+	if *sloReport {
+		if workloadStr != "" {
+			workloadStr += "; detail"
+		} else {
+			workloadStr = "detail"
+		}
+	}
+	if workloadStr != "" {
+		if _, err := workload.Parse(workloadStr, workload.Default()); err != nil {
+			fmt.Fprintf(os.Stderr, "butterflybench: -workload: %v\n", err)
 			os.Exit(1)
 		}
 	}
@@ -182,6 +203,13 @@ func main() {
 			}
 		}
 	}
+	if workloadStr != "" {
+		for _, e := range seeds {
+			if !e.WorkloadDriven {
+				fmt.Fprintf(os.Stderr, "butterflybench: note: %s is not workload-driven; -workload/-slo-report ignored for it\n", e.ID)
+			}
+		}
+	}
 
 	if *server != "" {
 		runViaServer(*server, seeds, labOpts{
@@ -192,6 +220,7 @@ func main() {
 			faults:     *faults,
 			faultSeed:  ptrIf(seedSet, *faultSeed),
 			partitions: *partitions,
+			workload:   workloadStr,
 			headers:    *all,
 		})
 		return
@@ -209,12 +238,16 @@ func main() {
 			faults:     *faults,
 			faultSeed:  ptrIf(seedSet, *faultSeed),
 			partitions: *partitions,
+			workload:   workloadStr,
 			headers:    *all, // -all prints the banner between experiments
 		})
 		return
 	}
 
 	// Sequential in-process path.
+	if workloadStr != "" {
+		workload.SetAmbient(workloadStr)
+	}
 	if *faults != "" {
 		cfg, err := fault.ParseConfig(*faults)
 		if err != nil {
@@ -271,6 +304,7 @@ type labOpts struct {
 	faults     string
 	faultSeed  *uint64
 	partitions int
+	workload   string
 	headers    bool
 }
 
@@ -286,6 +320,9 @@ func specFor(e core.Experiment, o labOpts) core.Spec {
 	}
 	if e.Partitionable {
 		spec.Partitions = o.partitions
+	}
+	if e.WorkloadDriven {
+		spec.Workload = o.workload
 	}
 	return spec
 }

@@ -22,6 +22,7 @@
 //	butterflyd -journal-dir /tmp/labjournal
 //	butterflyd -no-journal              # volatile: forget all jobs on exit
 //	butterflyd -rate 20 -burst 40       # per-remote submissions/sec
+//	butterflyd -pprof                   # expose /debug/pprof/ (off by default)
 //
 // API quickstart:
 //
@@ -46,6 +47,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	netpprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -68,6 +70,7 @@ func main() {
 		burst        = flag.Int("burst", 100, "per-remote submission burst size")
 		maxBody      = flag.Int64("max-body", 1<<20, "maximum POST body size in bytes")
 		drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "how long shutdown waits for queued and in-flight jobs")
+		pprofOn      = flag.Bool("pprof", false, "expose Go profiling endpoints under /debug/pprof/ (off by default; do not enable on untrusted networks)")
 	)
 	flag.Parse()
 	log.SetPrefix("butterflyd: ")
@@ -81,9 +84,23 @@ func main() {
 		RatePerSec:   *rate,
 		RateBurst:    *burst,
 	})
+	// Profiling endpoints are mounted on an explicit mux (never the default
+	// one) and only when asked for: the lab API stays the whole surface on a
+	// stock deployment.
+	var handler http.Handler = srv
+	if *pprofOn {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", netpprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+		mux.Handle("/", srv)
+		handler = mux
+	}
 	httpSrv := &http.Server{
 		Addr:    *addr,
-		Handler: srv,
+		Handler: handler,
 		// Slow-client hygiene: a peer that trickles its headers, never
 		// reads its response, or parks an idle keep-alive cannot pin a
 		// connection forever.

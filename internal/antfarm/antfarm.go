@@ -80,6 +80,11 @@ type Farm struct {
 	live     int
 	yield    chan struct{}
 	wakeup   *chrysalis.Event
+	// fatal holds a process-terminating panic value (the engine's kill/exit
+	// sentinel or a hardware-fault Terminator) that unwound a *thread*
+	// goroutine; the scheduler re-raises it on the farm's root goroutine,
+	// where the engine's recovery handler runs.
+	fatal any
 	// pendingWake records that a wakeup post is owed because the farm may
 	// be blocked in its scheduler.
 	idle bool
@@ -125,11 +130,15 @@ func Run(self *chrysalis.Process, cfg Config, main func(t *Thread)) *Farm {
 	farmsMu.Lock()
 	farms[self] = f
 	farmsMu.Unlock()
+	// Deregister on the way out even when a kill or fault unwinds the
+	// scheduler (a farm on a failed node must not leak its table entry).
+	defer func() {
+		farmsMu.Lock()
+		delete(farms, self)
+		farmsMu.Unlock()
+	}()
 	f.Spawn("main", main)
 	f.scheduleLoop()
-	farmsMu.Lock()
-	delete(farms, self)
-	farmsMu.Unlock()
 	return f
 }
 
@@ -169,6 +178,23 @@ func (f *Farm) Spawn(name string, body func(t *Thread)) *Thread {
 	f.stats.Spawned++
 	go func() {
 		<-t.resume
+		defer func() {
+			r := recover()
+			if r == nil {
+				return
+			}
+			// While a thread runs it *is* the farm's process, so a node kill
+			// (the engine's exit sentinel) or an unhandled hardware fault can
+			// unwind this goroutine instead of the process's root. Forward
+			// the value to the scheduler, which dies with it in the right
+			// place; anything else is a real bug and propagates.
+			if term, ok := r.(sim.Terminator); sim.IsExitPanic(r) || (ok && term.TerminatesProcess()) {
+				f.fatal = r
+				f.yield <- struct{}{}
+				return
+			}
+			panic(r)
+		}()
 		t.body(t)
 		t.state = threadDone
 		f.live--
@@ -229,6 +255,9 @@ func (f *Farm) scheduleLoop() {
 		t.state = threadRunning
 		t.resume <- struct{}{}
 		<-f.yield
+		if f.fatal != nil {
+			panic(f.fatal) // re-raise a forwarded kill/fault on the root goroutine
+		}
 		f.current = nil
 	}
 }

@@ -74,9 +74,7 @@ func (c *Channel) Send(t *Thread, payload any, words int) {
 	c.chargeTouch(t)
 	msg := chanMsg{payload: payload, words: words, from: t.P().Node}
 	// Direct handoff to a waiting receiver.
-	if len(c.recvQ) > 0 {
-		r := c.recvQ[0]
-		c.recvQ = c.recvQ[:copy(c.recvQ, c.recvQ[1:])]
+	if r := c.popReceiver(); r != nil {
 		c.deliver(t.P(), r, msg)
 		return
 	}
@@ -88,6 +86,22 @@ func (c *Channel) Send(t *Thread, payload any, words int) {
 	c.pendingSend[t] = msg
 	c.sendersQ = append(c.sendersQ, t)
 	t.BlockThread("antfarm channel send")
+}
+
+// popReceiver returns the longest-waiting receiver that is still blocked,
+// discarding stale queue entries: a RecvTimeout whose deadline has expired
+// leaves its thread in recvQ (marked ready by its farm's scheduler) until
+// the thread runs and withdraws, and delivering to it would misdeliver the
+// message and panic the wake.
+func (c *Channel) popReceiver() *Thread {
+	for len(c.recvQ) > 0 {
+		r := c.recvQ[0]
+		c.recvQ = c.recvQ[:copy(c.recvQ, c.recvQ[1:])]
+		if r.state == threadBlocked {
+			return r
+		}
+	}
+	return nil
 }
 
 // deliver hands msg to receiver thread r, paying the payload copy if the

@@ -65,6 +65,10 @@ type Experiment struct {
 	// the driver must not also attach the ambient -faults configuration to
 	// their machines.
 	ManagesFaults bool
+	// WorkloadDriven marks experiments that serve an open-loop workload:
+	// they honor a workload directive string (Spec.Workload,
+	// `butterflybench -workload`) overlaid on their default traffic config.
+	WorkloadDriven bool
 	// Partitionable marks experiments written for the partitioned parallel
 	// engine: all processes spawned before Run, no cross-node wakes, no Go
 	// state shared between nodes. Only these accept a partition-count

@@ -41,7 +41,8 @@ func TestRegistryComplete(t *testing.T) {
 		"fig5", "numa", "hough", "spread", "hotspot", "switch", "prims", "darpa",
 		"crowd", "alloc", "replay", "bridge", "connect", "speedups", "fig6",
 		"sarcache", "models", "vision", "rpc", "psyche", "search", "pedagogy",
-		"degrade", "pgauss", "phot",
+		"degrade", "service", "saturate", "calibrate", "brownout", "pgauss",
+		"phot",
 	}
 	for _, id := range want {
 		if _, ok := Lookup(id); !ok {

@@ -7,6 +7,7 @@ import (
 	"butterfly/internal/fault"
 	"butterfly/internal/machine"
 	"butterfly/internal/switchnet"
+	"butterfly/internal/workload"
 )
 
 // Spec is the serializable description of one experiment job: which
@@ -38,6 +39,13 @@ type Spec struct {
 	// FaultSeed, when non-nil, overrides the schedule's seed. A pointer so
 	// that an explicit seed of 0 is distinguishable from "unset".
 	FaultSeed *uint64 `json:"fault_seed,omitempty"`
+	// Workload is a workload directive string (internal/workload syntax,
+	// e.g. "pattern bursty; rate 6000; seed 7; duration 60ms") overlaid on
+	// a workload-driven experiment's default traffic config, exactly like
+	// `butterflybench -workload`. Valid only for experiments marked
+	// WorkloadDriven; it changes the printed table, so it participates in
+	// the lab cache fingerprint.
+	Workload string `json:"workload,omitempty"`
 	// Partitions, when positive, runs the experiment's machines on the
 	// partitioned parallel engine with that many partitions. Valid only for
 	// experiments marked Partitionable; results are bit-identical at every
@@ -110,6 +118,15 @@ func (s Spec) Validate() error {
 		}
 	} else if s.FaultSeed != nil {
 		return fmt.Errorf("spec: fault_seed has no effect without faults")
+	}
+	if s.Workload != "" {
+		exp, _ := Lookup(s.Experiment)
+		if !exp.WorkloadDriven {
+			return fmt.Errorf("spec: experiment %q is not workload-driven", s.Experiment)
+		}
+		if _, err := workload.Parse(s.Workload, workload.Default()); err != nil {
+			return fmt.Errorf("spec: workload: %w", err)
+		}
 	}
 	if s.TimeoutMs < 0 {
 		return fmt.Errorf("spec: timeout_ms must be >= 0, got %d", s.TimeoutMs)

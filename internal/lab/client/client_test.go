@@ -231,3 +231,93 @@ func TestClientWaitReady(t *testing.T) {
 		t.Fatalf("WaitReady after attach: %v", err)
 	}
 }
+
+// TestClientFlakyMixCappedBackoff: a server that flaps between 429 and 503
+// (no Retry-After) before recovering. The client must ride through every
+// failure and its sleeps must show the capped-jitter shape: each gap at
+// least half the current backoff step, and no gap beyond MaxDelay plus
+// scheduling slack — the exponential schedule stops growing at the cap.
+func TestClientFlakyMixCappedBackoff(t *testing.T) {
+	const failures = 6
+	var mu sync.Mutex
+	var stamps []time.Time
+	statuses := []int{
+		http.StatusTooManyRequests, http.StatusServiceUnavailable,
+		http.StatusTooManyRequests, http.StatusServiceUnavailable,
+		http.StatusServiceUnavailable, http.StatusTooManyRequests,
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		n := len(stamps)
+		stamps = append(stamps, time.Now())
+		mu.Unlock()
+		if n < failures {
+			w.WriteHeader(statuses[n])
+			json.NewEncoder(w).Encode(map[string]string{"error": "flaky"})
+			return
+		}
+		json.NewEncoder(w).Encode(lab.JobStatus{ID: "j0001-flaky"})
+	}))
+	defer srv.Close()
+
+	c := fastClient(srv.URL)
+	c.BaseDelay = 2 * time.Millisecond
+	c.MaxDelay = 8 * time.Millisecond
+	c.MaxAttempts = failures + 2
+
+	start := time.Now()
+	st, err := c.Submit(context.Background(), core.Spec{Experiment: "numa"})
+	if err != nil {
+		t.Fatalf("submit through flaky server: %v", err)
+	}
+	if st.ID != "j0001-flaky" {
+		t.Errorf("status = %+v", st)
+	}
+	if got := len(stamps); got != failures+1 {
+		t.Fatalf("server saw %d calls, want %d", got, failures+1)
+	}
+	// The whole conversation is bounded by the cap: 6 sleeps of at most
+	// 8ms each, far below what an uncapped doubling schedule would reach.
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("conversation took %v; backoff cap not applied", elapsed)
+	}
+	delay := c.BaseDelay
+	for i := 1; i < len(stamps); i++ {
+		gap := stamps[i].Sub(stamps[i-1])
+		if gap < delay/2 {
+			t.Errorf("gap %d = %v, want >= %v (jitter floor of the backoff step)", i, gap, delay/2)
+		}
+		// Generous slack: wall-clock sleeps on a loaded CI host overshoot.
+		if gap > c.MaxDelay+250*time.Millisecond {
+			t.Errorf("gap %d = %v, want <= MaxDelay %v (plus slack)", i, gap, c.MaxDelay)
+		}
+		if delay *= 2; delay > c.MaxDelay {
+			delay = c.MaxDelay
+		}
+	}
+}
+
+// TestClientFailsFastAcrossNonRetryable4xx: every client-error status
+// (other than 429) settles in exactly one attempt.
+func TestClientFailsFastAcrossNonRetryable4xx(t *testing.T) {
+	for _, code := range []int{
+		http.StatusBadRequest, http.StatusForbidden, http.StatusNotFound,
+		http.StatusConflict, http.StatusUnprocessableEntity,
+	} {
+		var calls atomic.Int32
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			calls.Add(1)
+			w.WriteHeader(code)
+			json.NewEncoder(w).Encode(map[string]string{"error": "nope"})
+		}))
+		_, err := fastClient(srv.URL).Submit(context.Background(), core.Spec{Experiment: "numa"})
+		srv.Close()
+		var ae *APIError
+		if !errors.As(err, &ae) || ae.StatusCode != code {
+			t.Errorf("status %d: err = %v, want APIError with that code", code, err)
+		}
+		if got := calls.Load(); got != 1 {
+			t.Errorf("status %d: server saw %d calls, want 1", code, got)
+		}
+	}
+}

@@ -46,7 +46,11 @@ type canonicalSpec struct {
 	Preset     string        `json:"preset"`
 	Nodes      int           `json:"nodes"`
 	Faults     *fault.Config `json:"faults,omitempty"`
-	Probe      bool          `json:"probe"`
+	// Workload is fingerprinted as the raw directive string: two spellings
+	// of the same workload are merely a cache miss, never a wrong hit.
+	// omitempty keeps every pre-workload fingerprint stable.
+	Workload string `json:"workload,omitempty"`
+	Probe    bool   `json:"probe"`
 }
 
 // codeVersion is the code salt mixed into every fingerprint: a result is
@@ -102,6 +106,7 @@ func Fingerprint(spec core.Spec) string {
 		Preset:     spec.Preset,
 		Nodes:      spec.Nodes,
 		Faults:     cfg,
+		Workload:   spec.Workload,
 		Probe:      spec.Probe,
 	}
 	b, err := json.Marshal(c)

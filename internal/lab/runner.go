@@ -13,6 +13,7 @@ import (
 	"butterfly/internal/machine"
 	"butterfly/internal/probe"
 	"butterfly/internal/sim"
+	"butterfly/internal/workload"
 )
 
 // Execution errors, classified so retry policy can reuse the fault
@@ -88,6 +89,11 @@ func executeOnce(exp core.Experiment, spec core.Spec, st *execState) (res *core.
 	}
 	var engines []*sim.Engine
 	var probed []probedMachine
+	// The workload directive rides a goroutine scope, like the machine
+	// hooks: two lab workers can run different workloads concurrently, and
+	// an empty scope shields lab jobs from any ambient CLI workload.
+	wlRelease := workload.Scope(spec.Workload)
+	defer wlRelease()
 	release := machine.ScopeHooks(spec.ConfigTransform(), func(m *machine.Machine) {
 		st.add(m.E)
 		engines = append(engines, m.E)

@@ -143,6 +143,25 @@ func EventsToChrome(pid int, label string, events []Event) []ChromeEvent {
 				Ts: usTs(ev.Time), Pid: pid, Tid: tid,
 				Args: map[string]any{"node": ev.Node},
 			})
+		case KindReqStart:
+			out = append(out, ChromeEvent{
+				Name: "req: " + ev.Name, Cat: "req", Ph: "i", S: "t",
+				Ts: usTs(ev.Time), Pid: pid, Tid: ev.Proc,
+			})
+		case KindReqDone:
+			// A completed request renders as a span covering its whole
+			// lifetime [arrival, completion] on the completing process's
+			// track, so queueing under overload is visible as stacked bars.
+			status := "ok"
+			if ev.Words == 0 {
+				status = "error"
+			}
+			out = append(out, ChromeEvent{
+				Name: "req done: " + ev.Name, Cat: "req", Ph: "X",
+				Ts: usTs(ev.Time - ev.Dur), Dur: usTs(ev.Dur),
+				Pid: pid, Tid: ev.Proc,
+				Args: map[string]any{"status": status, "latency_us": usTs(ev.Dur)},
+			})
 		case KindDispatch, KindUnblock:
 			// High-frequency bookkeeping instants; the compute spans already
 			// show the schedule, so these stay out of the export to keep

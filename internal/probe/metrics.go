@@ -100,6 +100,13 @@ type Metrics struct {
 	// FaultLog retains every injected-fault record, in occurrence order.
 	// Empty (and unreported) when no fault injector is attached.
 	FaultLog []FaultRecord
+
+	// Workload request lifecycle (all zero — and unreported — unless a
+	// workload adapter emits request events).
+	Requests   uint64 // injected
+	ReqDone    uint64 // completed, ok or not
+	ReqErrors  uint64 // completed with an error
+	ReqLatHist Hist   // end-to-end request latencies
 }
 
 // FaultRecord is one injected-fault observation.
@@ -352,11 +359,41 @@ func (m *Metrics) WriteReport(w io.Writer, elapsedNs int64, topN int) {
 		}
 	}
 
+	// Workload request lifecycle. Reported only when a workload adapter
+	// injected requests, so non-service probe reports stay byte-identical.
+	if m.Requests > 0 {
+		fmt.Fprintf(w, "\nworkload requests: %d injected, %d completed, %d errors\n",
+			m.Requests, m.ReqDone, m.ReqErrors)
+		if total := m.ReqLatHist.Total(); total > 0 {
+			fmt.Fprintf(w, "  latency histogram:\n")
+			last := 0
+			for i, v := range m.ReqLatHist.Buckets {
+				if v > 0 {
+					last = i
+				}
+			}
+			for i := 0; i <= last; i++ {
+				v := m.ReqLatHist.Buckets[i]
+				if v == 0 {
+					continue
+				}
+				label := "0"
+				if i > 0 {
+					label = fmt.Sprintf("<%s", humanNs(int64(1)<<uint(i)))
+				}
+				fmt.Fprintf(w, "  %8s %10d (%5.1f%%)\n", label, v, 100*float64(v)/float64(total))
+			}
+		}
+	}
+
 	fmt.Fprintf(w, "\ncounters: spawns=%d dispatches=%d parks=%d flushes=%d blocks=%d enq=%d deq=%d prims=%d send=%d recv=%d",
 		m.Spawns, m.Dispatches, m.Parks, m.Flushes, m.Blocks,
 		m.Enqueues, m.Dequeues, m.Prims, m.MsgSends, m.MsgRecvs)
 	if m.Faults > 0 {
 		fmt.Fprintf(w, " faults=%d", m.Faults)
+	}
+	if m.Requests > 0 {
+		fmt.Fprintf(w, " reqs=%d", m.Requests)
 	}
 	fmt.Fprintf(w, "\n")
 }

@@ -64,6 +64,13 @@ const (
 	// process issuing the failed reference or -1, Name = fault label like
 	// "node-down", "packet-loss", "parity").
 	KindFault
+	// KindReqStart: a workload request was injected into a service
+	// (Time = scheduled arrival, Proc = injecting process, Name = service).
+	KindReqStart
+	// KindReqDone: a workload request completed (Time = completion,
+	// Dur = latency from scheduled arrival, Proc = completing process,
+	// Name = service, Words = 1 on success, 0 on error).
+	KindReqDone
 
 	numKinds
 )
@@ -101,6 +108,10 @@ func (k Kind) String() string {
 		return "recv"
 	case KindFault:
 		return "fault"
+	case KindReqStart:
+		return "reqstart"
+	case KindReqDone:
+		return "reqdone"
 	}
 	return "invalid"
 }
@@ -297,6 +308,27 @@ func (p *Probe) MsgSend(t int64, proc, dstNode, words int, model string) {
 func (p *Probe) MsgRecv(t int64, proc, srcNode, words int, model string) {
 	p.met.MsgRecvs++
 	p.emit(Event{Kind: KindMsgRecv, Time: t, Proc: proc, Node: srcNode, Words: words, Name: model})
+}
+
+// ReqStart records a workload request injected into a service at its
+// scheduled arrival time.
+func (p *Probe) ReqStart(t int64, proc int, service string) {
+	p.met.Requests++
+	p.emit(Event{Kind: KindReqStart, Time: t, Proc: proc, Name: service})
+}
+
+// ReqDone records a workload request completing at t with the given
+// end-to-end latency (measured from the scheduled arrival). ok is false
+// for timeouts, dead-node errors, and remote exceptions.
+func (p *Probe) ReqDone(t, latencyNs int64, proc int, service string, ok bool) {
+	p.met.ReqDone++
+	w := 1
+	if !ok {
+		p.met.ReqErrors++
+		w = 0
+	}
+	p.met.ReqLatHist.add(latencyNs)
+	p.emit(Event{Kind: KindReqDone, Time: t, Dur: latencyNs, Proc: proc, Words: w, Name: service})
 }
 
 // Fault records an injected fault hitting the simulation: a node death, an

@@ -437,6 +437,13 @@ func (e *Engine) Spawn(name string, node int, fn func(p *Proc)) *Proc {
 // errExit is the sentinel panic value used by Proc.Exit.
 var errExit = new(int)
 
+// IsExitPanic reports whether a recovered panic value is the engine's
+// process-exit sentinel — a Proc.Exit or a kill unwinding the process.
+// Coroutine schedulers that run process code on auxiliary goroutines
+// (antfarm threads) use it to recognize the unwind and forward it to the
+// process's root goroutine, where the engine's recovery handler runs.
+func IsExitPanic(r any) bool { return r == errExit }
+
 // Terminator is implemented by panic values that terminate only the raising
 // process rather than the whole simulation — the software analogue of a
 // hardware trap delivered to one processor. chrysalis.ThrowError and

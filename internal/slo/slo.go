@@ -1,0 +1,337 @@
+// Package slo is the service-level accounting layer for workload-driven
+// runs: per-request latency recorded into fixed-bucket log-linear
+// histograms, offered-vs-achieved throughput, a derived in-flight (queue
+// depth) curve, and windowed pass/fail verdicts against an explicit
+// objective — all in virtual time.
+//
+// Everything here is exact integer arithmetic over virtual nanoseconds:
+// recording the same request stream produces byte-identical reports, which
+// is what lets the golden test pin a full SLO report and what makes a
+// report a legitimate experiment table (cacheable by the lab, diffable in
+// CI). The package is a leaf — standard library only — so the workload
+// adapters and the core experiments can both hold a Tracker without import
+// cycles.
+package slo
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+)
+
+// Hist is a log-linear latency histogram: values 0..15 ns get exact
+// buckets, and every octave above that is split into 16 sub-buckets, so
+// the relative quantization error is bounded by 1/16 (~6%) at any
+// magnitude while the whole table stays a fixed 960-entry array. The
+// layout is the HdrHistogram idea shrunk to the simulator's needs: fixed
+// size (no allocation on the record path), deterministic (bucket index is
+// pure integer arithmetic), and mergeable.
+type Hist struct {
+	buckets [960]uint64
+	n       uint64
+	sum     int64
+	max     int64
+}
+
+// bucketOf maps a non-negative latency to its bucket index.
+func bucketOf(v int64) int {
+	if v < 16 {
+		return int(v)
+	}
+	e := bits.Len64(uint64(v)) // >= 5
+	idx := (e-4)*16 + int((uint64(v)>>(e-5))&15)
+	if idx >= len(Hist{}.buckets) {
+		idx = len(Hist{}.buckets) - 1
+	}
+	return idx
+}
+
+// bucketUpper is the largest value that maps to bucket idx — the value
+// Quantile reports, so quantiles always over-estimate (never flatter the
+// service) and stay within the 1/16 quantization bound.
+func bucketUpper(idx int) int64 {
+	if idx < 16 {
+		return int64(idx)
+	}
+	e := idx/16 + 4
+	sub := idx % 16
+	width := int64(1) << (e - 5)
+	return (int64(16+sub) << (e - 5)) + width - 1
+}
+
+// Add records one latency. Negative values clamp to zero (a request can
+// complete no earlier than it arrived; clock skew is not a thing in
+// virtual time, but defensive truncation keeps the histogram total exact).
+func (h *Hist) Add(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketOf(v)]++
+	h.n++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// N is the number of recorded values.
+func (h *Hist) N() uint64 { return h.n }
+
+// Mean is the exact mean of recorded values (0 when empty).
+func (h *Hist) Mean() int64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / int64(h.n)
+}
+
+// Max is the largest recorded value (exact, not bucketized).
+func (h *Hist) Max() int64 { return h.max }
+
+// Quantile returns the upper bound of the bucket holding the q-th
+// quantile (0 < q <= 1) of the recorded values, or 0 when empty. q == 1
+// returns the exact maximum.
+func (h *Hist) Quantile(q float64) int64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := uint64(q * float64(h.n))
+	if float64(rank) < q*float64(h.n) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.buckets[i]
+		if cum >= rank {
+			return bucketUpper(i)
+		}
+	}
+	return h.max
+}
+
+// Merge folds other into h.
+func (h *Hist) Merge(other *Hist) {
+	for i := range h.buckets {
+		h.buckets[i] += other.buckets[i]
+	}
+	h.n += other.n
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Window is one fixed-width slice of the run. Latency (and the error
+// count) is attributed to the window the request *arrived* in — the
+// convention that makes a brownout legible: requests issued while a node
+// was down show their degradation in the window of the outage, not
+// smeared into whenever the retries finally resolved.
+type Window struct {
+	Arrivals uint64 // requests whose scheduled arrival fell in this window
+	Done     uint64 // of those, how many have completed (ok or not)
+	Errors   uint64 // of those, how many completed with an error
+	Finished uint64 // completions whose *completion time* fell here (queue-depth curve)
+	Lat      Hist   // latency of requests arriving in this window
+}
+
+// Tracker accumulates per-request accounting for one service under load.
+// It is single-goroutine (the simulation is sequential) and allocation-free
+// on the record path except for window-slice growth.
+type Tracker struct {
+	// WindowNs is the verdict/reporting window width.
+	WindowNs int64
+
+	// Total pools every request's latency.
+	Total Hist
+
+	Offered   uint64 // requests injected (arrivals)
+	Completed uint64 // requests finished, successfully or not
+	Errors    uint64 // requests finished with an error (timeouts, dead nodes)
+
+	LastDoneNs int64 // latest completion time seen
+
+	windows []Window
+}
+
+// NewTracker creates a tracker with the given reporting window width.
+func NewTracker(windowNs int64) *Tracker {
+	if windowNs <= 0 {
+		windowNs = 10_000_000 // 10 ms
+	}
+	return &Tracker{WindowNs: windowNs}
+}
+
+func (t *Tracker) window(atNs int64) *Window {
+	if atNs < 0 {
+		atNs = 0
+	}
+	i := int(atNs / t.WindowNs)
+	for len(t.windows) <= i {
+		t.windows = append(t.windows, Window{})
+	}
+	return &t.windows[i]
+}
+
+// Arrival records a request injected at its scheduled arrival time.
+func (t *Tracker) Arrival(atNs int64) {
+	t.Offered++
+	t.window(atNs).Arrivals++
+}
+
+// Done records a request (scheduled arrival atNs) completing at doneNs.
+// ok is false for timeouts, dead-node errors, and remote exceptions.
+func (t *Tracker) Done(atNs, doneNs int64, ok bool) {
+	lat := doneNs - atNs
+	if lat < 0 {
+		lat = 0
+	}
+	t.Completed++
+	t.Total.Add(lat)
+	w := t.window(atNs)
+	w.Done++
+	w.Lat.Add(lat)
+	if !ok {
+		t.Errors++
+		w.Errors++
+	}
+	t.window(doneNs).Finished++
+	if doneNs > t.LastDoneNs {
+		t.LastDoneNs = doneNs
+	}
+}
+
+// Windows returns the recorded windows (window i covers
+// [i*WindowNs, (i+1)*WindowNs)).
+func (t *Tracker) Windows() []Window { return t.windows }
+
+// InFlightAtEnd is the number of requests arrived but not yet finished at
+// the end of window i — the queue-depth curve, derived exactly from the
+// arrival and completion streams rather than sampled.
+func (t *Tracker) InFlightAtEnd(i int) int64 {
+	var arr, fin uint64
+	for k := 0; k <= i && k < len(t.windows); k++ {
+		arr += t.windows[k].Arrivals
+		fin += t.windows[k].Finished
+	}
+	return int64(arr) - int64(fin)
+}
+
+// Objective is an explicit service-level objective: every window must keep
+// its p99 at or under P99Ns and its error rate at or under MaxErrRate.
+type Objective struct {
+	Name       string
+	P99Ns      int64
+	MaxErrRate float64
+}
+
+// Verdict is one window's judgment against an Objective.
+type Verdict struct {
+	Window  int
+	Pass    bool
+	P99Ns   int64
+	ErrRate float64
+}
+
+// Verdicts judges every window against the objective. A window with no
+// arrivals passes vacuously. Requests that arrived but never completed
+// (only possible if the service hung — the adapters guarantee completion
+// via timeouts) count as errors, so a silent hang cannot pass.
+func (t *Tracker) Verdicts(o Objective) []Verdict {
+	out := make([]Verdict, len(t.windows))
+	for i := range t.windows {
+		w := &t.windows[i]
+		v := Verdict{Window: i, Pass: true}
+		if w.Arrivals > 0 {
+			v.P99Ns = w.Lat.Quantile(0.99)
+			pending := w.Arrivals - w.Done
+			v.ErrRate = float64(w.Errors+pending) / float64(w.Arrivals)
+			v.Pass = v.P99Ns <= o.P99Ns && v.ErrRate <= o.MaxErrRate
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// VerdictLine compresses a verdict sequence into the run's arc: "PASS"
+// (never failed), "FAIL" (never passed after first failing), or
+// "PASS->FAIL->PASS (recovered)" style transitions. Windows with no
+// arrivals are skipped (the drain tail after injection stops).
+func VerdictLine(vs []Verdict, windows []Window) string {
+	var arc []string
+	for i, v := range vs {
+		if windows[i].Arrivals == 0 {
+			continue
+		}
+		s := "PASS"
+		if !v.Pass {
+			s = "FAIL"
+		}
+		if len(arc) == 0 || arc[len(arc)-1] != s {
+			arc = append(arc, s)
+		}
+	}
+	if len(arc) == 0 {
+		return "PASS (no traffic)"
+	}
+	line := arc[0]
+	for _, s := range arc[1:] {
+		line += "->" + s
+	}
+	if len(arc) >= 3 && arc[len(arc)-1] == "PASS" {
+		line += " (recovered)"
+	}
+	return line
+}
+
+// ms formats virtual nanoseconds as milliseconds with fixed precision.
+func ms(ns int64) string { return fmt.Sprintf("%.3f", float64(ns)/1e6) }
+
+// WriteSummary writes the one-service summary block: offered vs achieved
+// throughput over the horizon and the pooled latency percentiles.
+// horizonNs is the traffic horizon (the configured duration) used for the
+// offered rate; the achieved rate uses the same horizon so the two are
+// comparable (a saturated service completes work after the horizon too,
+// but its *rate* during the run is what capacity means).
+func (t *Tracker) WriteSummary(w io.Writer, horizonNs int64) {
+	secs := float64(horizonNs) / 1e9
+	if secs <= 0 {
+		secs = 1
+	}
+	okDone := t.Completed - t.Errors
+	fmt.Fprintf(w, "requests: offered %d (%.0f/s), completed %d (%.0f/s ok), errors %d\n",
+		t.Offered, float64(t.Offered)/secs, t.Completed, float64(okDone)/secs, t.Errors)
+	fmt.Fprintf(w, "latency (ms): p50 %s  p95 %s  p99 %s  p999 %s  mean %s  max %s\n",
+		ms(t.Total.Quantile(0.50)), ms(t.Total.Quantile(0.95)),
+		ms(t.Total.Quantile(0.99)), ms(t.Total.Quantile(0.999)),
+		ms(t.Total.Mean()), ms(t.Total.Max()))
+}
+
+// WriteWindows writes the per-window table: arrivals, completions, errors,
+// latency percentiles, queue depth at window end, and the SLO verdict.
+func (t *Tracker) WriteWindows(w io.Writer, o Objective) {
+	vs := t.Verdicts(o)
+	fmt.Fprintf(w, "%-14s %8s %8s %6s %10s %10s %9s  %s\n",
+		"window", "arrive", "done", "errs", "p50 (ms)", "p99 (ms)", "inflight", "slo")
+	for i := range t.windows {
+		win := &t.windows[i]
+		label := fmt.Sprintf("%.0f-%.0fms",
+			float64(int64(i)*t.WindowNs)/1e6, float64(int64(i+1)*t.WindowNs)/1e6)
+		verdict := "pass"
+		if !vs[i].Pass {
+			verdict = "FAIL"
+		}
+		if win.Arrivals == 0 {
+			verdict = "-"
+		}
+		fmt.Fprintf(w, "%-14s %8d %8d %6d %10s %10s %9d  %s\n",
+			label, win.Arrivals, win.Done, win.Errors,
+			ms(win.Lat.Quantile(0.50)), ms(win.Lat.Quantile(0.99)),
+			t.InFlightAtEnd(i), verdict)
+	}
+}

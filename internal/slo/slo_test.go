@@ -1,0 +1,185 @@
+package slo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistSmallValuesExact(t *testing.T) {
+	var h Hist
+	for v := int64(0); v <= 15; v++ {
+		h.Add(v)
+	}
+	if h.N() != 16 {
+		t.Fatalf("n = %d", h.N())
+	}
+	// Every value below 16 has its own bucket: quantiles are exact.
+	if got := h.Quantile(0.0001); got != 0 {
+		t.Errorf("q0001 = %d, want 0", got)
+	}
+	if got := h.Quantile(1); got != 15 {
+		t.Errorf("q100 = %d, want exact max 15", got)
+	}
+}
+
+func TestHistBoundedRelativeError(t *testing.T) {
+	// 16 sub-buckets per octave bound the bucket-upper error at 1/16.
+	for _, v := range []int64{17, 100, 999, 12345, 7_777_777, 1 << 40} {
+		var h Hist
+		h.Add(v)
+		got := h.Quantile(0.5)
+		if got < v {
+			t.Errorf("quantile(%d) = %d, below the sample", v, got)
+		}
+		if relErr := float64(got-v) / float64(v); relErr > 1.0/16 {
+			t.Errorf("quantile(%d) = %d, rel err %.3f > 1/16", v, got, relErr)
+		}
+	}
+}
+
+func TestHistQuantileRanks(t *testing.T) {
+	var h Hist
+	for _, v := range []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10} {
+		h.Add(v)
+	}
+	if got := h.Quantile(0.5); got != 5 {
+		t.Errorf("p50 of 1..10 = %d, want 5", got)
+	}
+	if got := h.Quantile(0.9); got != 9 {
+		t.Errorf("p90 of 1..10 = %d, want 9", got)
+	}
+	if got := h.Quantile(1); got != 10 {
+		t.Errorf("p100 of 1..10 = %d, want 10", got)
+	}
+	if got := h.Mean(); got != 5 {
+		t.Errorf("mean = %d, want 5 (integer division of 55/10)", got)
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	var a, b Hist
+	a.Add(10)
+	b.Add(1000)
+	b.Add(20)
+	a.Merge(&b)
+	if a.N() != 3 {
+		t.Errorf("merged n = %d", a.N())
+	}
+	if a.Max() != 1000 {
+		t.Errorf("merged max = %d", a.Max())
+	}
+}
+
+func TestTrackerWindowAttribution(t *testing.T) {
+	tr := NewTracker(10) // 10ns windows
+	tr.Arrival(5)        // window 0
+	tr.Done(5, 25, true) // completes in window 2, latency 20
+
+	ws := tr.Windows()
+	if len(ws) != 3 {
+		t.Fatalf("windows = %d, want 3", len(ws))
+	}
+	// Latency lands in the ARRIVAL window; the completion count lands in
+	// the completion window (that is the queue-depth curve).
+	if ws[0].Arrivals != 1 || ws[0].Done != 1 || ws[0].Lat.N() != 1 {
+		t.Errorf("window 0 = %+v, want the arrival, its completion, and its latency", ws[0])
+	}
+	if ws[2].Finished != 1 {
+		t.Errorf("window 2 finished = %d, want 1", ws[2].Finished)
+	}
+	if ws[0].Finished != 0 {
+		t.Errorf("window 0 finished = %d, want 0", ws[0].Finished)
+	}
+}
+
+func TestTrackerInFlight(t *testing.T) {
+	tr := NewTracker(10)
+	tr.Arrival(1)
+	tr.Arrival(2)
+	tr.Arrival(12)
+	tr.Done(1, 15, true) // arrives w0, finishes w1
+
+	// End of window 0: 2 arrived, 0 finished -> 2 in flight.
+	if got := tr.InFlightAtEnd(0); got != 2 {
+		t.Errorf("inflight after w0 = %d, want 2", got)
+	}
+	// End of window 1: 3 arrived, 1 finished -> 2 in flight.
+	if got := tr.InFlightAtEnd(1); got != 2 {
+		t.Errorf("inflight after w1 = %d, want 2", got)
+	}
+}
+
+func TestVerdicts(t *testing.T) {
+	tr := NewTracker(10)
+	// Window 0: one fast ok request -> pass.
+	tr.Arrival(1)
+	tr.Done(1, 3, true)
+	// Window 1: one error -> err rate 100% -> fail.
+	tr.Arrival(11)
+	tr.Done(11, 13, false)
+	// Window 2: empty -> vacuous pass.
+	// Window 3: slow request -> p99 fail.
+	tr.Arrival(31)
+	tr.Done(31, 131, true)
+
+	obj := Objective{Name: "t", P99Ns: 50, MaxErrRate: 0.01}
+	vs := tr.Verdicts(obj)
+	// The late completion at t=131 extends the window slice; trailing
+	// windows have no arrivals and pass vacuously.
+	want := []bool{true, false, true, false}
+	if len(vs) < len(want) {
+		t.Fatalf("verdicts = %d, want >= %d", len(vs), len(want))
+	}
+	for i, w := range want {
+		if vs[i].Pass != w {
+			t.Errorf("window %d pass = %v, want %v", i, vs[i].Pass, w)
+		}
+	}
+	for i := len(want); i < len(vs); i++ {
+		if !vs[i].Pass {
+			t.Errorf("empty window %d failed; vacuous pass expected", i)
+		}
+	}
+}
+
+func TestVerdictsCountPendingAsErrors(t *testing.T) {
+	tr := NewTracker(10)
+	tr.Arrival(1) // never completes
+	vs := tr.Verdicts(Objective{P99Ns: 1 << 40, MaxErrRate: 0.01})
+	if len(vs) != 1 || vs[0].Pass {
+		t.Errorf("verdicts = %+v, want a single FAIL (pending request counts against the SLO)", vs)
+	}
+}
+
+func TestVerdictLineArc(t *testing.T) {
+	tr := NewTracker(10)
+	tr.Arrival(1)
+	tr.Done(1, 2, true)
+	tr.Arrival(11)
+	tr.Done(11, 12, false) // fail window
+	// window 2 empty (skipped in the arc)
+	tr.Arrival(31)
+	tr.Done(31, 32, true) // recovery
+
+	obj := Objective{P99Ns: 50, MaxErrRate: 0.01}
+	got := VerdictLine(tr.Verdicts(obj), tr.Windows())
+	if got != "PASS->FAIL->PASS (recovered)" {
+		t.Errorf("arc = %q", got)
+	}
+}
+
+func TestWriteSummaryAndWindows(t *testing.T) {
+	tr := NewTracker(10)
+	tr.Arrival(1)
+	tr.Done(1, 4, true)
+	var sb strings.Builder
+	tr.WriteSummary(&sb, 10)
+	if !strings.Contains(sb.String(), "offered 1") {
+		t.Errorf("summary missing offered count:\n%s", sb.String())
+	}
+	sb.Reset()
+	tr.WriteWindows(&sb, Objective{P99Ns: 50, MaxErrRate: 0.01})
+	if !strings.Contains(sb.String(), "pass") {
+		t.Errorf("window table missing verdict:\n%s", sb.String())
+	}
+}

@@ -393,6 +393,19 @@ func (u *US) genOnIndexFaulty(w *Worker) {
 	}
 }
 
+// Submit enqueues a single task outside any generation — the open-loop
+// injection path the workload subsystem uses to run the Uniform System as
+// a service: one task per request arrival, paced by the generator's clock,
+// with no closed-loop barrier. The caller tracks its own completions (for
+// example with a counter inside fn) and drains before returning from the
+// program function; remaining is still maintained so the queue-drained
+// notification stays coherent (a spurious post is harmless — nothing waits
+// on it in service mode).
+func (u *US) Submit(w *Worker, fn Task, index int) {
+	u.remaining++
+	u.enqueueTask(w.P, fn, index)
+}
+
 // Shutdown poisons every manager. It is called automatically when the
 // program function returns.
 func (u *US) Shutdown(w *Worker) {

@@ -1,0 +1,98 @@
+// Package calibrate validates measured service curves against paper-derived
+// expectations with explicit tolerances — the step that turns "the
+// fingerprints didn't change" into "the simulator predicts the published
+// numbers within ε". A Check pairs one measurement with its expectation,
+// the tolerance it must meet, and the source of the expectation (a paper
+// table, or queueing theory applied to measured parameters); a Suite
+// renders the verdict table and reports overall pass/fail.
+//
+// The design follows the scalability-estimation idiom cited in PAPERS.md:
+// predictions are only worth publishing alongside the measurement error
+// bars, and a calibration harness that fails loudly when the model drifts
+// is what keeps every other table in the repository honest.
+package calibrate
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// Check is one calibration point: a measured value, the expected value it
+// must approximate, and the relative tolerance ε it must meet.
+type Check struct {
+	// Name identifies the check in the report.
+	Name string
+	// Unit labels both values ("us", "ms", "ratio", ...).
+	Unit string
+	// Measured is the simulator's number; Expected is the paper-derived
+	// (or theory-derived) prediction.
+	Measured, Expected float64
+	// Tol is the relative tolerance: |measured-expected|/|expected| <= Tol.
+	Tol float64
+	// Source cites where Expected comes from.
+	Source string
+}
+
+// RelErr is the relative error of the measurement (infinite when the
+// expectation is zero but the measurement is not).
+func (c Check) RelErr() float64 {
+	if c.Expected == 0 {
+		if c.Measured == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(c.Measured-c.Expected) / math.Abs(c.Expected)
+}
+
+// Pass reports whether the measurement is within tolerance.
+func (c Check) Pass() bool { return c.RelErr() <= c.Tol }
+
+// Suite accumulates checks in insertion order.
+type Suite struct {
+	Checks []Check
+}
+
+// Add appends one check.
+func (s *Suite) Add(c Check) { s.Checks = append(s.Checks, c) }
+
+// Failures returns the checks outside tolerance.
+func (s *Suite) Failures() []Check {
+	var out []Check
+	for _, c := range s.Checks {
+		if !c.Pass() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// WriteReport renders the verdict table and returns whether every check
+// passed.
+func (s *Suite) WriteReport(w io.Writer) bool {
+	fmt.Fprintf(w, "%-34s %12s %12s %8s %7s %7s  %s\n",
+		"check", "measured", "expected", "unit", "err", "tol", "verdict")
+	all := true
+	for _, c := range s.Checks {
+		verdict := "PASS"
+		if !c.Pass() {
+			verdict = "FAIL"
+			all = false
+		}
+		fmt.Fprintf(w, "%-34s %12.3f %12.3f %8s %6.1f%% %6.0f%%  %s\n",
+			c.Name, c.Measured, c.Expected, c.Unit, 100*c.RelErr(), 100*c.Tol, verdict)
+	}
+	n := len(s.Checks)
+	fails := len(s.Failures())
+	if fails == 0 {
+		fmt.Fprintf(w, "\ncalibration: %d/%d checks within tolerance\n", n, n)
+	} else {
+		fmt.Fprintf(w, "\ncalibration: %d/%d checks FAILED tolerance\n", fails, n)
+		for _, c := range s.Failures() {
+			fmt.Fprintf(w, "  %s: measured %.3f vs expected %.3f (%s)\n",
+				c.Name, c.Measured, c.Expected, c.Source)
+		}
+	}
+	return all
+}

@@ -1,0 +1,78 @@
+package calibrate
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCheckPassAndRelErr(t *testing.T) {
+	cases := []struct {
+		name string
+		c    Check
+		err  float64
+		pass bool
+	}{
+		{"exact", Check{Measured: 4.4, Expected: 4.4, Tol: 0}, 0, true},
+		{"within", Check{Measured: 4.8, Expected: 4.0, Tol: 0.25}, 0.2, true},
+		{"at-bound", Check{Measured: 5.0, Expected: 4.0, Tol: 0.25}, 0.25, true},
+		{"outside", Check{Measured: 5.2, Expected: 4.0, Tol: 0.25}, 0.3, false},
+		{"negative-expected", Check{Measured: -0.9, Expected: -1.0, Tol: 0.2}, 0.1, true},
+		{"both-zero", Check{Measured: 0, Expected: 0, Tol: 0}, 0, true},
+	}
+	for _, tc := range cases {
+		if got := tc.c.RelErr(); math.Abs(got-tc.err) > 1e-9 {
+			t.Errorf("%s: RelErr = %v, want %v", tc.name, got, tc.err)
+		}
+		if got := tc.c.Pass(); got != tc.pass {
+			t.Errorf("%s: Pass = %v, want %v", tc.name, got, tc.pass)
+		}
+	}
+	// Nonzero measurement against a zero expectation can never pass.
+	c := Check{Measured: 0.001, Expected: 0, Tol: 0.99}
+	if !math.IsInf(c.RelErr(), 1) || c.Pass() {
+		t.Errorf("zero-expectation check: RelErr = %v, Pass = %v", c.RelErr(), c.Pass())
+	}
+}
+
+func TestSuiteReportAllPass(t *testing.T) {
+	var s Suite
+	s.Add(Check{Name: "rtt", Unit: "us", Measured: 4.5, Expected: 4.4, Tol: 0.1, Source: "tbl"})
+	s.Add(Check{Name: "ratio", Unit: "ratio", Measured: 1.0, Expected: 1.0, Tol: 0.05, Source: "theory"})
+	var sb strings.Builder
+	if !s.WriteReport(&sb) {
+		t.Fatalf("all-pass suite reported failure:\n%s", sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "2/2 checks within tolerance") {
+		t.Errorf("missing pass summary:\n%s", out)
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Errorf("spurious FAIL:\n%s", out)
+	}
+	if len(s.Failures()) != 0 {
+		t.Errorf("Failures = %v", s.Failures())
+	}
+}
+
+func TestSuiteReportWithFailure(t *testing.T) {
+	var s Suite
+	s.Add(Check{Name: "good", Unit: "us", Measured: 1.0, Expected: 1.0, Tol: 0.1, Source: "a"})
+	s.Add(Check{Name: "bad", Unit: "us", Measured: 2.0, Expected: 1.0, Tol: 0.1, Source: "paper tbl 3"})
+	var sb strings.Builder
+	if s.WriteReport(&sb) {
+		t.Fatal("suite with a failing check reported success")
+	}
+	out := sb.String()
+	if !strings.Contains(out, "1/2 checks FAILED tolerance") {
+		t.Errorf("missing fail summary:\n%s", out)
+	}
+	// The failure detail cites the expectation's source.
+	if !strings.Contains(out, "paper tbl 3") {
+		t.Errorf("failure detail missing source:\n%s", out)
+	}
+	fails := s.Failures()
+	if len(fails) != 1 || fails[0].Name != "bad" {
+		t.Errorf("Failures = %v", fails)
+	}
+}

@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workload directives travel to a workload-driven experiment the same two
+// ways a fault schedule does: an ambient string set once by a sequential
+// driver (`butterflybench -workload`), and a goroutine-scoped override for
+// the lab's concurrent workers, where two jobs with different workloads run
+// at once and a process-wide ambient would race. The scoped form mirrors
+// machine.ScopeHooks — experiments read their workload on the goroutine
+// that called Experiment.Run, which is exactly the lab worker's goroutine.
+
+var ambientDirectives atomic.Pointer[string]
+
+// SetAmbient installs the process-wide workload directive string (empty
+// string clears it). Sequential drivers only; the lab uses Scope.
+func SetAmbient(directives string) {
+	if directives == "" {
+		ambientDirectives.Store(nil)
+		return
+	}
+	ambientDirectives.Store(&directives)
+}
+
+var (
+	// scopeCount gates the goroutine-id lookup, so experiments outside the
+	// lab pay one atomic load to discover no scope exists.
+	scopeCount atomic.Int32
+	scopeMu    sync.RWMutex
+	scopes     map[uint64]string
+)
+
+// Scope installs directives visible only on the calling goroutine,
+// shadowing the ambient string. The returned release must be called when
+// the job ends; registering twice on one goroutine without releasing
+// panics.
+func Scope(directives string) (release func()) {
+	id := goid()
+	scopeMu.Lock()
+	if scopes == nil {
+		scopes = make(map[uint64]string)
+	}
+	if _, dup := scopes[id]; dup {
+		scopeMu.Unlock()
+		panic("workload: Scope already registered on this goroutine")
+	}
+	scopes[id] = directives
+	scopeMu.Unlock()
+	scopeCount.Add(1)
+	return func() {
+		scopeMu.Lock()
+		delete(scopes, id)
+		scopeMu.Unlock()
+		scopeCount.Add(-1)
+	}
+}
+
+// Current returns the directive string in effect for the calling
+// goroutine: its scoped string if one is registered (even when empty),
+// else the ambient string, else "".
+func Current() string {
+	if scopeCount.Load() > 0 {
+		id := goid()
+		scopeMu.RLock()
+		s, ok := scopes[id]
+		scopeMu.RUnlock()
+		if ok {
+			return s
+		}
+	}
+	if p := ambientDirectives.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// goid parses the runtime's goroutine id from a one-goroutine stack dump
+// header ("goroutine 123 [running]:") — the same idiom machine.ScopeHooks
+// uses (its goid is unexported, and a ~12-line parser is cheaper than
+// widening that package's API).
+func goid() uint64 {
+	var buf [40]byte
+	n := runtime.Stack(buf[:], false)
+	const prefix = len("goroutine ")
+	var id uint64
+	for _, c := range buf[prefix:n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}

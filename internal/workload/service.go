@@ -1,0 +1,349 @@
+package workload
+
+import (
+	"fmt"
+
+	"butterfly/internal/antfarm"
+	"butterfly/internal/chrysalis"
+	"butterfly/internal/fault"
+	"butterfly/internal/lynx"
+	"butterfly/internal/machine"
+	"butterfly/internal/sim"
+	"butterfly/internal/slo"
+	"butterfly/internal/us"
+)
+
+// The service adapters run an existing Butterfly runtime as a service
+// under an open-loop arrival stream and return its SLO accounting. Each
+// adapter builds its own machine (so the lab's scoped construction hooks —
+// presets, node overrides, probes, fault injectors — apply), paces the
+// injectors against the scheduled arrival times, measures every request
+// from its *scheduled* arrival to its completion in virtual time, and
+// drains the backlog before returning, so a saturated run still terminates
+// with every request accounted for.
+
+// Result is one service run's outcome.
+type Result struct {
+	// Tracker holds the per-request accounting.
+	Tracker *slo.Tracker
+	// Injected is the arrival-stream length.
+	Injected int
+	// VTimeNs is the engine's final virtual time (traffic horizon plus
+	// drain tail).
+	VTimeNs int64
+}
+
+// drainPollNs is how often a drained injector re-checks its completion
+// count. Polling (rather than a wakeup) keeps the adapters out of the
+// runtimes' internals; the poll happens off the service's critical path.
+const drainPollNs = 1 * sim.Millisecond
+
+// EchoOpts tunes the Lynx RPC echo service.
+type EchoOpts struct {
+	// Machine is the hardware the service runs on.
+	Machine machine.Config
+	// Faults, when non-nil, arms a fault injector on the machine (the
+	// brownout experiment's kill schedule).
+	Faults *fault.Config
+	// EchoFlops is the per-request handler computation.
+	EchoFlops int
+	// ReplyWords is the marshalled size of request and reply.
+	ReplyWords int
+	// CallTimeoutNs bounds each RPC; 0 keeps Lynx's block-forever default
+	// unless Faults is set, in which case a safety timeout is imposed so a
+	// mid-call node death cannot hang a client thread.
+	CallTimeoutNs int64
+}
+
+// RunLynxEcho serves cfg's arrival stream with Servers Lynx echo processes
+// (nodes 1..Servers) called by Sources client processes (the next Sources
+// nodes). Requests route round-robin by arrival index, skipping servers on
+// failed nodes — the service-level recovery a brownout exercises.
+func RunLynxEcho(cfg Config, o EchoOpts) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	need := 1 + cfg.Servers + cfg.Sources
+	if o.Machine.Nodes < need {
+		return nil, fmt.Errorf("workload: lynx-echo needs %d nodes (1 + %d servers + %d sources), machine has %d",
+			need, cfg.Servers, cfg.Sources, o.Machine.Nodes)
+	}
+	arr := cfg.Arrivals()
+	m := machine.New(o.Machine)
+	if o.Faults != nil {
+		m.AttachFaults(fault.NewInjector(*o.Faults))
+	}
+	osys := chrysalis.New(m)
+
+	lcfg := lynx.DefaultConfig()
+	lcfg.CallTimeoutNs = o.CallTimeoutNs
+	if lcfg.CallTimeoutNs == 0 && o.Faults != nil {
+		lcfg.CallTimeoutNs = 8 * sim.Millisecond
+	}
+
+	tr := slo.NewTracker(cfg.WindowNs)
+	pr := m.Probe()
+
+	servers := make([]*lynx.Proc, cfg.Servers)
+	for s := range servers {
+		sp, err := lynx.Spawn(osys, fmt.Sprintf("echo-%d", s), 1+s, lcfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		sp.Bind("echo", func(t *antfarm.Thread, args any, words int) (any, int, error) {
+			if o.EchoFlops > 0 {
+				m.Flops(t.P(), o.EchoFlops)
+			}
+			return args, o.ReplyWords, nil
+		})
+		servers[s] = sp
+	}
+
+	// links[c][s] connects client c to server s; filled in after the client
+	// processes exist, before the engine runs.
+	links := make([][]*lynx.Link, cfg.Sources)
+	clientsDone := 0
+
+	for c := 0; c < cfg.Sources; c++ {
+		ci := c
+		var self *lynx.Proc
+		cp, err := lynx.Spawn(osys, fmt.Sprintf("client-%d", ci), 1+cfg.Servers+ci, lcfg,
+			func(lp *lynx.Proc, t *antfarm.Thread) {
+				pending := 0
+				for idx := ci; idx < len(arr); idx += cfg.Sources {
+					at := arr[idx]
+					if d := at - t.P().LocalNow(); d > 0 {
+						t.BlockThreadTimeout("workload-pace", d)
+					}
+					tr.Arrival(at)
+					if pr != nil {
+						pr.ReqStart(at, t.P().ID, "lynx-echo")
+					}
+					k := idx
+					pending++
+					t.Farm.Spawn("req", func(ct *antfarm.Thread) {
+						ok := false
+						if si := liveServer(m, servers, k); si >= 0 {
+							_, err := self.Call(ct, links[ci][si], "echo", k, o.ReplyWords)
+							ok = err == nil
+						}
+						end := ct.P().LocalNow()
+						tr.Done(at, end, ok)
+						if pr != nil {
+							pr.ReqDone(end, end-at, ct.P().ID, "lynx-echo", ok)
+						}
+						pending--
+					})
+				}
+				for pending > 0 {
+					t.BlockThreadTimeout("workload-drain", drainPollNs)
+				}
+				clientsDone++
+				if clientsDone == cfg.Sources {
+					// Last client out turns off the lights. A server whose
+					// node died cannot receive the shutdown message (its
+					// dispatcher is already dead); a reference fault on the
+					// send is likewise survivable.
+					for _, s := range servers {
+						if m.NodeFailed(s.Node) {
+							continue
+						}
+						srv := s
+						func() {
+							var e error
+							defer fault.CatchRef(&e)
+							srv.Shutdown(t)
+						}()
+					}
+				}
+			})
+		if err != nil {
+			return nil, err
+		}
+		self = cp
+		links[ci] = make([]*lynx.Link, cfg.Servers)
+		for s := range servers {
+			links[ci][s] = lynx.NewLink(cp, servers[s])
+		}
+	}
+
+	if err := m.E.Run(); err != nil {
+		return nil, err
+	}
+	return &Result{Tracker: tr, Injected: len(arr), VTimeNs: m.E.Now()}, nil
+}
+
+// liveServer picks the request's server: round-robin by arrival index
+// across the servers whose nodes are still alive, so a dead server's share
+// of the traffic spreads evenly over the survivors instead of piling onto
+// one neighbor. Deterministic — the same request lands on the same server
+// given the same fault history. Returns -1 when every server is dead.
+func liveServer(m *machine.Machine, servers []*lynx.Proc, k int) int {
+	live := 0
+	for _, s := range servers {
+		if !m.NodeFailed(s.Node) {
+			live++
+		}
+	}
+	if live == 0 {
+		return -1
+	}
+	want := k % live
+	for i, s := range servers {
+		if m.NodeFailed(s.Node) {
+			continue
+		}
+		if want == 0 {
+			return i
+		}
+		want--
+	}
+	return -1
+}
+
+// TasksOpts tunes the Uniform System task service.
+type TasksOpts struct {
+	// Machine is the hardware the service runs on.
+	Machine machine.Config
+	// Workers is the Uniform System worker count (0 = every node). Worker
+	// 0 is the injector; workers 1..Workers-1 execute tasks.
+	Workers int
+	// RowWords is the block each task copies from its data's home node to
+	// its own before computing (the §4.1 caching idiom).
+	RowWords int
+	// TaskFlops is the per-task computation.
+	TaskFlops int
+}
+
+// RunUSTasks serves cfg's arrival stream by submitting one Uniform System
+// task per request through the open-loop us.Submit path: the generator
+// process paces injection against the arrival clock while the manager pool
+// dequeues and executes. Sources and Servers are fixed by the US shape
+// (one generator, Workers-1 managers), so cfg.Sources/Servers are ignored.
+func RunUSTasks(cfg Config, o TasksOpts) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := machine.New(o.Machine)
+	osys := chrysalis.New(m)
+	workers := o.Workers
+	if workers <= 0 || workers > m.N() {
+		workers = m.N()
+	}
+	if workers < 2 {
+		return nil, fmt.Errorf("workload: us-tasks needs at least 2 workers (1 generator + 1 manager), got %d", workers)
+	}
+	arr := cfg.Arrivals()
+	tr := slo.NewTracker(cfg.WindowNs)
+	pr := m.Probe()
+
+	completed := 0
+	_, err := us.Initialize(osys, us.DefaultConfig(workers), func(g *us.Worker) {
+		for i, at := range arr {
+			if d := at - g.P.LocalNow(); d > 0 {
+				g.P.Advance(d)
+			}
+			tr.Arrival(at)
+			if pr != nil {
+				pr.ReqStart(at, g.P.ID, "us-tasks")
+			}
+			arrivedAt := at
+			home := i % workers
+			g.U.Submit(g, func(tw *us.Worker, index int) {
+				if o.RowWords > 0 && home != tw.ID {
+					m.BlockCopy(tw.P, home, tw.ID, o.RowWords)
+				}
+				if o.TaskFlops > 0 {
+					m.Flops(tw.P, o.TaskFlops)
+				}
+				m.Write(tw.P, home, 1) // publish the result to the data's home
+				tw.P.Sync()
+				end := tw.P.LocalNow()
+				tr.Done(arrivedAt, end, true)
+				if pr != nil {
+					pr.ReqDone(end, end-arrivedAt, tw.P.ID, "us-tasks", true)
+				}
+				completed++
+			}, i)
+		}
+		for completed < len(arr) {
+			g.P.Advance(drainPollNs)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := m.E.Run(); err != nil {
+		return nil, err
+	}
+	return &Result{Tracker: tr, Injected: len(arr), VTimeNs: m.E.Now()}, nil
+}
+
+// CounterOpts tunes the hot-spot shared-counter service.
+type CounterOpts struct {
+	// Machine is the hardware the service runs on.
+	Machine machine.Config
+	// WorkNs is per-request local work after the counter update.
+	WorkNs int64
+}
+
+// RunHotspotCounter serves cfg's arrival stream against the paper's
+// hot-spot pathology run as a service: every request performs one atomic
+// fetch-and-increment on a single shared counter at node 0. Each request
+// is its own short-lived process (spawned mid-run on a node chosen
+// round-robin), so the only bottleneck is the contended memory module
+// itself — the saturation knee this service exhibits *is* the module's
+// service capacity, which makes it the cleanest curve for calibration.
+func RunHotspotCounter(cfg Config, o CounterOpts) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := machine.New(o.Machine)
+	if m.N() < cfg.Sources+2 {
+		return nil, fmt.Errorf("workload: hotspot-counter needs %d nodes (counter + %d sources + a worker), machine has %d",
+			cfg.Sources+2, cfg.Sources, m.N())
+	}
+	arr := cfg.Arrivals()
+	tr := slo.NewTracker(cfg.WindowNs)
+	pr := m.Probe()
+
+	for s := 0; s < cfg.Sources; s++ {
+		src := s
+		m.Spawn(fmt.Sprintf("inject-%d", src), 1+src, func(p *sim.Proc) {
+			for idx := src; idx < len(arr); idx += cfg.Sources {
+				at := arr[idx]
+				if d := at - p.LocalNow(); d > 0 {
+					p.Advance(d)
+				}
+				tr.Arrival(at)
+				if pr != nil {
+					pr.ReqStart(at, p.ID, "hotspot-counter")
+				}
+				node := 1 + idx%(m.N()-1)
+				m.Spawn("req", node, func(rp *sim.Proc) {
+					var ferr error
+					func() {
+						defer fault.CatchRef(&ferr)
+						m.Atomic(rp, 0)
+						rp.Sync()
+					}()
+					if o.WorkNs > 0 {
+						rp.Advance(o.WorkNs)
+					}
+					end := rp.LocalNow()
+					tr.Done(at, end, ferr == nil)
+					if pr != nil {
+						pr.ReqDone(end, end-at, rp.ID, "hotspot-counter", ferr == nil)
+					}
+				})
+			}
+		})
+	}
+
+	// No explicit drain: the engine runs until the injectors finish and
+	// every spawned request process completes.
+	if err := m.E.Run(); err != nil {
+		return nil, err
+	}
+	return &Result{Tracker: tr, Injected: len(arr), VTimeNs: m.E.Now()}, nil
+}

@@ -1,0 +1,89 @@
+// Golden SLO-report regression: the `service` experiment, run at quick
+// scale under a fixed workload directive, must reproduce its full per-window
+// SLO report byte-for-byte — every histogram quantile, every verdict, every
+// queue-depth sample. This is the workload subsystem's determinism contract
+// stated at its strongest: not just matching fingerprints, but the literal
+// report a user would read, identical across runs, with probes attached, and
+// under -race.
+//
+// Regenerate after an intentional model change with:
+//
+//	go test -run TestWorkloadReportGolden -update .
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"butterfly/internal/core"
+	"butterfly/internal/machine"
+	"butterfly/internal/probe"
+	"butterfly/internal/workload"
+)
+
+// workloadGoldenDirectives is the pinned traffic config: bursty arrivals so
+// the stream exercises the MMPP generator, detail so the report includes the
+// per-window verdict table.
+const workloadGoldenDirectives = "pattern bursty; rate 1200; burst-rate 4800; seed 11; detail"
+
+// serviceReport runs the `service` experiment at quick scale under the
+// pinned workload directive and returns the full report bytes. When probed
+// is non-nil every machine gets an observability probe attached.
+func serviceReport(t *testing.T, probed *probe.Counter) []byte {
+	t.Helper()
+	e, ok := core.Lookup("service")
+	if !ok {
+		t.Fatal("service experiment not registered")
+	}
+	release := workload.Scope(workloadGoldenDirectives)
+	defer release()
+	var hooksRelease func()
+	if probed != nil {
+		hooksRelease = machine.ScopeHooks(nil, func(m *machine.Machine) {
+			m.AttachProbe(probe.New(probed))
+		})
+		defer hooksRelease()
+	}
+	var buf bytes.Buffer
+	if err := e.Run(&buf, true); err != nil {
+		t.Fatalf("service: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestWorkloadReportGolden(t *testing.T) {
+	got := serviceReport(t, nil)
+
+	path := filepath.Join("testdata", "slo_service.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run `go test -run TestWorkloadReportGolden -update .`): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("SLO report drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// Same spec, same seed, second run: byte-identical.
+	if again := serviceReport(t, nil); !bytes.Equal(again, got) {
+		t.Errorf("second run produced a different report:\n--- run2 ---\n%s", again)
+	}
+
+	// Probes attached: still byte-identical (observation must not perturb),
+	// and the probe must actually have seen traffic.
+	var c probe.Counter
+	if probed := serviceReport(t, &c); !bytes.Equal(probed, got) {
+		t.Errorf("probed run produced a different report:\n--- probed ---\n%s", probed)
+	}
+	if c.Total() == 0 {
+		t.Error("probe recorded no events during the workload run")
+	}
+}
