@@ -47,20 +47,24 @@ type daemon struct {
 }
 
 // startDaemon launches butterflyd on addr with the given state directories.
-func startDaemon(t *testing.T, bin, addr, journalDir, cacheDir, logPath string) *daemon {
+// Extra flags are appended last, so they override the defaults (Go's flag
+// package keeps the final occurrence).
+func startDaemon(t *testing.T, bin, addr, journalDir, cacheDir, logPath string, extra ...string) *daemon {
 	t.Helper()
 	logf, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cmd := exec.Command(bin,
+	args := []string{
 		"-addr", addr,
 		"-journal-dir", journalDir,
 		"-cache-dir", cacheDir,
 		"-workers", "2",
 		"-queue", "64",
 		"-drain-timeout", "30s",
-	)
+	}
+	args = append(args, extra...)
+	cmd := exec.Command(bin, args...)
 	cmd.Stdout = logf
 	cmd.Stderr = logf
 	if err := cmd.Start(); err != nil {

@@ -38,6 +38,27 @@
 // intake stops, queued and in-flight jobs drain (bounded by -drain-timeout)
 // while status polling keeps working, then the journal is compacted and the
 // process exits.
+//
+// # Fleet mode
+//
+// butterflyd also runs as a fleet: one coordinator that places jobs on
+// workers by consistent-hashing the spec content-address, and N workers
+// that execute them. The coordinator speaks the exact same job API — point
+// butterflybench -server (or any client) at it and a sweep fans out across
+// the fleet, reassembling byte-identical to a single-node run.
+//
+//	butterflyd -role coordinator -addr :7788
+//	butterflyd -role worker -addr :7790 -join http://127.0.0.1:7788
+//	butterflyd -role worker -addr :7791 -join http://127.0.0.1:7788
+//
+// Robustness: workers heartbeat the coordinator (-heartbeat); a worker
+// that misses them for -dead-after has its in-flight jobs reassigned to
+// the next ring node (logged as `fleet: reassign ...`, idempotent because
+// results are content-addressed); workers probe ring siblings' caches
+// before simulating (peer fill); and the coordinator journals fleet
+// membership through its write-ahead journal, so a SIGKILLed coordinator
+// restarts, replays, re-probes the last-known workers, and resumes the
+// sweep under the original job IDs.
 package main
 
 import (
@@ -50,11 +71,13 @@ import (
 	netpprof "net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"butterfly/internal/core"
 	"butterfly/internal/lab"
+	"butterfly/internal/lab/fleet"
 )
 
 func main() {
@@ -71,10 +94,27 @@ func main() {
 		maxBody      = flag.Int64("max-body", 1<<20, "maximum POST body size in bytes")
 		drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "how long shutdown waits for queued and in-flight jobs")
 		pprofOn      = flag.Bool("pprof", false, "expose Go profiling endpoints under /debug/pprof/ (off by default; do not enable on untrusted networks)")
+
+		role      = flag.String("role", "single", `fleet role: "single" (default), "coordinator" (place jobs on workers), or "worker" (execute jobs for a coordinator)`)
+		joinURL   = flag.String("join", "", "worker: coordinator base URL to join (required with -role worker)")
+		advertise = flag.String("advertise", "", "worker: base URL peers reach this daemon on (default derived from -addr on loopback)")
+		workerID  = flag.String("worker-id", "", "worker: stable ring identity (default: the advertise host:port)")
+		heartbeat = flag.Duration("heartbeat", time.Second, "worker: heartbeat interval")
+		deadAfter = flag.Duration("dead-after", 5*time.Second, "coordinator: reassign a worker's jobs after this long without a heartbeat")
+		dispatch  = flag.Int("dispatch", 16, "coordinator: concurrent remote dispatches (used when -workers is 0)")
 	)
 	flag.Parse()
 	log.SetPrefix("butterflyd: ")
 	log.SetFlags(log.LstdFlags)
+
+	switch *role {
+	case "single", "coordinator", "worker":
+	default:
+		log.Fatalf("-role must be single, coordinator, or worker (got %q)", *role)
+	}
+	if *role == "worker" && *joinURL == "" {
+		log.Fatalf("-role worker requires -join <coordinator URL>")
+	}
 
 	// Listen before the journal replay so health probes get answers from
 	// the first moment: /healthz is alive, /readyz is 503 until the
@@ -129,19 +169,68 @@ func main() {
 			log.Printf("journal: dropped a torn final record (previous process died mid-append)")
 		}
 	}
-	sched := lab.NewScheduler(lab.Config{
+	cfg := lab.Config{
 		Workers:    *workers,
 		QueueDepth: *queueDepth,
 		Cache:      cache,
 		Journal:    journal,
-	})
+	}
+
+	// Fleet wiring happens between journal replay and scheduler creation:
+	// a restarting coordinator must rediscover live workers BEFORE the
+	// scheduler requeues mid-flight jobs, so those jobs re-dispatch
+	// immediately instead of spinning on an empty ring.
+	var coord *fleet.Coordinator
+	var fworker *fleet.Worker
+	switch *role {
+	case "coordinator":
+		coord = fleet.NewCoordinator(fleet.CoordinatorConfig{
+			DeadAfter: *deadAfter,
+			Journal:   journal,
+			Logf:      log.Printf,
+		})
+		if journal != nil {
+			if known := journal.Workers(); len(known) > 0 {
+				log.Printf("fleet: probing %d journaled workers", len(known))
+				coord.RecoverWorkers(known)
+			}
+		}
+		coord.Mount(srv)
+		cfg.Execute = coord.Execute
+		if cfg.Workers == 0 {
+			// Dispatch slots are parked on HTTP polls, not CPU; give the
+			// coordinator more of them than it has cores.
+			cfg.Workers = *dispatch
+		}
+	case "worker":
+		self := core.WorkerRecord{ID: *workerID, URL: *advertise}
+		if self.URL == "" {
+			self.URL = advertiseFromAddr(*addr)
+		}
+		if self.ID == "" {
+			self.ID = idFromURL(self.URL)
+		}
+		fworker = fleet.NewWorker(fleet.WorkerConfig{
+			Self:           self,
+			Coordinator:    *joinURL,
+			HeartbeatEvery: *heartbeat,
+			Logf:           log.Printf,
+		})
+		cfg.PeerFill = fworker.PeerFill
+		srv.AugmentMetrics(func() any { return fworker.Metrics() })
+	}
+
+	sched := lab.NewScheduler(cfg)
 	srv.Attach(sched)
 	if rec := sched.Recovery(); rec.Replayed > 0 {
 		log.Printf("journal: replayed %d jobs (%d restored, %d requeued)",
 			rec.Replayed, rec.Restored, rec.Requeued)
 	}
-	log.Printf("serving %d experiments on %s (%d workers, queue %d, cache %s, journal %s)",
-		len(core.Experiments()), *addr, sched.Workers(), *queueDepth, cacheDesc(cache), journalDesc(journal))
+	if fworker != nil {
+		fworker.Start()
+	}
+	log.Printf("serving %d experiments on %s (role %s, %d workers, queue %d, cache %s, journal %s)",
+		len(core.Experiments()), *addr, *role, sched.Workers(), *queueDepth, cacheDesc(cache), journalDesc(journal))
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -161,6 +250,15 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	drainErr := sched.Shutdown(ctx)
+	// A worker keeps heartbeating through its own drain — the coordinator
+	// must see it alive while it finishes dispatched jobs — and only goes
+	// quiet once the queue is empty.
+	if fworker != nil {
+		fworker.Stop()
+	}
+	if coord != nil {
+		coord.Close()
+	}
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("http shutdown: %v", err)
 	}
@@ -192,4 +290,21 @@ func journalDesc(j *lab.Journal) string {
 		return "off"
 	}
 	return fmt.Sprintf("%q", j.Dir())
+}
+
+// advertiseFromAddr derives a peer-reachable base URL from a listen
+// address: a bare ":port" becomes loopback (the single-box fleet case);
+// anything with a host keeps it.
+func advertiseFromAddr(addr string) string {
+	if strings.HasPrefix(addr, ":") {
+		return "http://127.0.0.1" + addr
+	}
+	return "http://" + addr
+}
+
+// idFromURL derives a stable worker identity from the advertise URL, so a
+// worker restarted on the same address reclaims its ring arcs (and the
+// cached results parked behind them).
+func idFromURL(u string) string {
+	return strings.TrimPrefix(strings.TrimPrefix(u, "https://"), "http://")
 }

@@ -1,0 +1,81 @@
+package core
+
+// Fleet record types: the durable and wire forms of butterflyd's
+// multi-process mode, where one coordinator places jobs on a ring of
+// workers by spec content-address. They live in core — like the job
+// journal records — so the journal, the HTTP layer, and the fleet
+// runtime agree on one vocabulary without import cycles.
+
+// WorkerRecord identifies one fleet worker durably: the coordinator
+// journals membership changes (EventWorkerUp / EventWorkerDown) so a
+// restarted coordinator knows which workers to probe before any of them
+// happens to heartbeat again.
+type WorkerRecord struct {
+	// ID is the worker's stable name on the ring; placement hashes it, so
+	// a worker that restarts under the same ID reclaims the same arcs.
+	ID string `json:"id"`
+	// URL is the base URL the coordinator (and ring siblings) reach the
+	// worker's job API on.
+	URL string `json:"url"`
+}
+
+// JoinRequest is a worker announcing itself to the coordinator — sent on
+// startup and implicitly on every heartbeat, so a coordinator that lost
+// its memory (or never had it) re-learns the fleet from the traffic.
+type JoinRequest struct {
+	Worker WorkerRecord `json:"worker"`
+}
+
+// HeartbeatRequest is a worker's periodic liveness report, carrying the
+// counters the coordinator aggregates into fleet metrics.
+type HeartbeatRequest struct {
+	Worker WorkerRecord `json:"worker"`
+	// PeerHits counts jobs this worker resolved from a ring sibling's
+	// cache instead of simulating.
+	PeerHits uint64 `json:"peer_hits"`
+	// Simulated counts jobs this worker actually executed.
+	Simulated uint64 `json:"simulated"`
+}
+
+// FleetView is the coordinator's answer to joins and heartbeats: the
+// current live membership, from which every worker derives the same ring
+// the coordinator places by.
+type FleetView struct {
+	Workers []WorkerRecord `json:"workers"`
+}
+
+// WorkerHealth is one worker's row in the coordinator's fleet metrics.
+type WorkerHealth struct {
+	ID             string `json:"id"`
+	URL            string `json:"url"`
+	Alive          bool   `json:"alive"`
+	HeartbeatAgeMs int64  `json:"heartbeat_age_ms"`
+	PeerHits       uint64 `json:"peer_hits"`
+	Simulated      uint64 `json:"simulated"`
+}
+
+// FleetMetrics is the fleet block of a coordinator's /metrics document.
+type FleetMetrics struct {
+	Role           string         `json:"role"`
+	LiveWorkers    int            `json:"live_workers"`
+	KnownWorkers   int            `json:"known_workers"`
+	ReassignedJobs uint64         `json:"reassigned_jobs"`
+	PeerHits       uint64         `json:"peer_hits"`
+	Simulated      uint64         `json:"simulated"`
+	MaxBeatAgeMs   int64          `json:"max_heartbeat_age_ms"`
+	Workers        []WorkerHealth `json:"workers,omitempty"`
+}
+
+// WorkerMetrics is the fleet block of a worker's /metrics document.
+type WorkerMetrics struct {
+	Role        string `json:"role"`
+	ID          string `json:"id"`
+	Coordinator string `json:"coordinator"`
+	RingSize    int    `json:"ring_size"`
+	PeerHits    uint64 `json:"peer_hits"`
+	Simulated   uint64 `json:"simulated"`
+	// LastAckAgeMs is how stale the worker's view of the fleet is: time
+	// since the coordinator last acknowledged a heartbeat (-1 before the
+	// first ack).
+	LastAckAgeMs int64 `json:"last_ack_age_ms"`
+}

@@ -39,6 +39,22 @@ const (
 	EventInterrupted JournalEvent = "interrupted"
 )
 
+// Fleet membership events. A coordinator journals worker arrivals and
+// departures so a restart can probe the last-known fleet immediately
+// instead of waiting for each worker's next heartbeat. They carry a
+// WorkerRecord and no job; replay folds them into a membership table, not
+// the job table.
+const (
+	EventWorkerUp   JournalEvent = "worker-up"
+	EventWorkerDown JournalEvent = "worker-down"
+)
+
+// FleetEvent reports whether the event mutates fleet membership rather
+// than a job's lifecycle.
+func (e JournalEvent) FleetEvent() bool {
+	return e == EventWorkerUp || e == EventWorkerDown
+}
+
 // Terminal reports whether the event ends a job's life (and therefore must
 // be flushed durably before the journal acknowledges it).
 func (e JournalEvent) Terminal() bool {
@@ -60,6 +76,9 @@ type JournalRecord struct {
 	Fingerprint string `json:"fingerprint,omitempty"`
 	// Error carries the failure message on EventFailed.
 	Error string `json:"error,omitempty"`
+	// Worker travels only on fleet membership events (EventWorkerUp /
+	// EventWorkerDown), which carry no job.
+	Worker *WorkerRecord `json:"worker,omitempty"`
 	// UnixMs timestamps the record (wall clock; informational only — replay
 	// depends on order, never on time).
 	UnixMs int64 `json:"unix_ms,omitempty"`

@@ -1,6 +1,7 @@
 package lab
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -99,6 +100,71 @@ func TestRemoteKey(t *testing.T) {
 	for in, want := range cases {
 		if got := remoteKey(in); got != want {
 			t.Errorf("remoteKey(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestRetryAfterHintColdStart: before any job has completed there is no
+// observed throughput — the hint must not divide by zero and must not emit
+// 0s (which would invite an immediate thundering-herd retry).
+func TestRetryAfterHintColdStart(t *testing.T) {
+	s := NewScheduler(Config{Workers: 1})
+	t.Cleanup(func() { s.Shutdown(context.Background()) })
+	got := s.RetryAfterHint()
+	if got < retryAfterMin || got > retryAfterMax {
+		t.Fatalf("cold-start hint %v escapes [%v, %v]", got, retryAfterMin, retryAfterMax)
+	}
+	if got != 2*time.Second {
+		t.Errorf("cold-start hint = %v, want the flat 2s fallback", got)
+	}
+}
+
+// TestRetryAfterHintClampEdges pins both clamp edges: a pool completing
+// jobs faster than one per second hints the 1s floor (never 0), and a pool
+// slower than one per 30s hints the 30s ceiling (never parks a client for
+// minutes).
+func TestRetryAfterHintClampEdges(t *testing.T) {
+	fast := NewScheduler(Config{Workers: 1})
+	t.Cleanup(func() { fast.Shutdown(context.Background()) })
+	fast.began = time.Now().Add(-10 * time.Millisecond)
+	fast.completed.Store(1_000_000) // ~10ns per slot: far below the floor
+	if got := fast.RetryAfterHint(); got != retryAfterMin {
+		t.Errorf("fast-pipeline hint = %v, want clamp to %v", got, retryAfterMin)
+	}
+
+	slow := NewScheduler(Config{Workers: 1})
+	t.Cleanup(func() { slow.Shutdown(context.Background()) })
+	slow.began = time.Now().Add(-2 * time.Hour)
+	slow.completed.Store(1) // one job in two hours: far above the ceiling
+	if got := slow.RetryAfterHint(); got != retryAfterMax {
+		t.Errorf("slow-pipeline hint = %v, want clamp to %v", got, retryAfterMax)
+	}
+
+	// A scheduler whose clock appears to have stepped backward (up <= 0)
+	// takes the cold-start path, not a negative division.
+	stepped := NewScheduler(Config{Workers: 1})
+	t.Cleanup(func() { stepped.Shutdown(context.Background()) })
+	stepped.began = time.Now().Add(time.Hour)
+	stepped.completed.Store(50)
+	if got := stepped.RetryAfterHint(); got < retryAfterMin || got > retryAfterMax {
+		t.Errorf("clock-step hint %v escapes the clamp", got)
+	}
+}
+
+// TestClampRetryAfter covers the raw clamp on exact boundary values.
+func TestClampRetryAfter(t *testing.T) {
+	cases := []struct{ in, want time.Duration }{
+		{-time.Second, retryAfterMin},
+		{0, retryAfterMin},
+		{retryAfterMin, retryAfterMin},
+		{retryAfterMin + time.Millisecond, retryAfterMin + time.Millisecond},
+		{retryAfterMax - time.Millisecond, retryAfterMax - time.Millisecond},
+		{retryAfterMax, retryAfterMax},
+		{time.Hour, retryAfterMax},
+	}
+	for _, tc := range cases {
+		if got := clampRetryAfter(tc.in); got != tc.want {
+			t.Errorf("clampRetryAfter(%v) = %v, want %v", tc.in, got, tc.want)
 		}
 	}
 }

@@ -1,0 +1,114 @@
+package client
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrCircuitOpen is returned without touching the network while an
+// endpoint's circuit breaker is open: the endpoint failed at the
+// connection level often enough in a row that further attempts would only
+// burn the caller's backoff schedule. A fleet coordinator uses this to
+// fail over a dead worker's jobs in milliseconds instead of retry-minutes.
+var ErrCircuitOpen = errors.New("client: circuit open")
+
+// Breaker is a per-endpoint consecutive-failure circuit breaker. Each
+// Client owns at most one (a Client talks to one base URL, so per-client
+// is per-endpoint).
+//
+// States: closed (requests flow; consecutive connection failures are
+// counted), open (requests fail fast with ErrCircuitOpen until Cooldown
+// elapses), half-open (exactly one probe request is let through; its
+// outcome closes or re-opens the circuit).
+//
+// Only connection-level failures trip it — a daemon answering 429/503 is
+// alive and shedding load, which the retry/backoff policy already
+// handles; a daemon answering nothing at all is what the breaker is for.
+type Breaker struct {
+	// Threshold is how many consecutive connection failures open the
+	// circuit (default 3).
+	Threshold int
+	// Cooldown is how long the circuit stays open before a half-open
+	// probe is allowed (default 2s).
+	Cooldown time.Duration
+
+	// now is injectable so tests can script the clock.
+	now func() time.Time
+
+	mu       sync.Mutex
+	fails    int
+	open     bool
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+}
+
+// NewBreaker returns a breaker opening after threshold consecutive
+// connection failures and probing again after cooldown. Zero values pick
+// the defaults.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	return &Breaker{Threshold: threshold, Cooldown: cooldown, now: time.Now}
+}
+
+func (b *Breaker) threshold() int {
+	if b.Threshold <= 0 {
+		return 3
+	}
+	return b.Threshold
+}
+
+func (b *Breaker) cooldown() time.Duration {
+	if b.Cooldown <= 0 {
+		return 2 * time.Second
+	}
+	return b.Cooldown
+}
+
+// Allow reports whether a request may be attempted now. While open it
+// returns ErrCircuitOpen until the cooldown elapses, then admits exactly
+// one probe (half-open); concurrent requests keep failing fast until that
+// probe settles via Success or Failure.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return nil
+	}
+	if b.probing || b.now().Sub(b.openedAt) < b.cooldown() {
+		return ErrCircuitOpen
+	}
+	b.probing = true
+	return nil
+}
+
+// Success reports a request that reached the endpoint and got any HTTP
+// answer at all: the endpoint is alive, so the circuit closes and the
+// failure streak resets.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	b.open = false
+	b.probing = false
+}
+
+// Failure reports a connection-level failure. The streak grows; at the
+// threshold (or on a failed half-open probe) the circuit opens and the
+// cooldown restarts.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	if b.probing || b.fails >= b.threshold() {
+		b.open = true
+		b.openedAt = b.now()
+		b.probing = false
+	}
+}
+
+// Open reports whether the circuit is currently open (fail-fast mode).
+func (b *Breaker) Open() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.open
+}

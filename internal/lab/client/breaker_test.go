@@ -1,0 +1,207 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// newListenerAt rebinds the host:port a (now closed) httptest server used,
+// so a "revived endpoint on the same address" can be simulated.
+func newListenerAt(t *testing.T, baseURL string) (net.Listener, error) {
+	t.Helper()
+	return net.Listen("tcp", strings.TrimPrefix(baseURL, "http://"))
+}
+
+// scriptedClock advances only when told, so cooldown timing is exact.
+type scriptedClock struct{ t time.Time }
+
+func (c *scriptedClock) now() time.Time          { return c.t }
+func (c *scriptedClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*Breaker, *scriptedClock) {
+	clk := &scriptedClock{t: time.Unix(1_000_000, 0)}
+	b := NewBreaker(threshold, cooldown)
+	b.now = clk.now
+	return b, clk
+}
+
+// TestBreakerStateMachine walks the full closed -> open -> half-open ->
+// closed cycle on a scripted clock.
+func TestBreakerStateMachine(t *testing.T) {
+	b, clk := newTestBreaker(3, 2*time.Second)
+
+	// Closed: requests flow; two failures are below threshold.
+	for i := 0; i < 2; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("closed breaker denied request %d: %v", i, err)
+		}
+		b.Failure()
+	}
+	if b.Open() {
+		t.Fatal("breaker opened below threshold")
+	}
+
+	// Third consecutive failure opens it: fail-fast, no network.
+	b.Failure()
+	if !b.Open() {
+		t.Fatal("breaker closed at threshold")
+	}
+	if err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("open breaker admitted a request: %v", err)
+	}
+
+	// Cooldown not yet elapsed: still failing fast.
+	clk.advance(1999 * time.Millisecond)
+	if err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("breaker probed before cooldown: %v", err)
+	}
+
+	// Cooldown elapsed: exactly one half-open probe; concurrent requests
+	// keep failing fast until the probe settles.
+	clk.advance(time.Millisecond)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("half-open probe denied: %v", err)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("second in-flight probe admitted: %v", err)
+	}
+
+	// The probe succeeds: circuit closes, streak resets.
+	b.Success()
+	if b.Open() {
+		t.Fatal("breaker still open after successful probe")
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("closed breaker denied post-recovery request: %v", err)
+	}
+
+	// The reset is complete: it takes a full threshold of new failures to
+	// re-open, not a leftover streak.
+	b.Failure()
+	b.Failure()
+	if b.Open() {
+		t.Fatal("failure streak survived the reset")
+	}
+}
+
+// TestBreakerFailedProbeReopens: a half-open probe that fails re-opens the
+// circuit immediately and restarts the cooldown.
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	b, clk := newTestBreaker(2, time.Second)
+	b.Failure()
+	b.Failure()
+	clk.advance(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe denied: %v", err)
+	}
+	b.Failure() // probe failed
+	if !b.Open() {
+		t.Fatal("breaker closed after failed probe")
+	}
+	// A fresh full cooldown is required before the next probe.
+	clk.advance(999 * time.Millisecond)
+	if err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("cooldown did not restart after failed probe: %v", err)
+	}
+	clk.advance(time.Millisecond)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("second probe denied: %v", err)
+	}
+}
+
+// TestBreakerSuccessInterruptsStreak: consecutive means consecutive — an
+// HTTP answer between failures resets the count.
+func TestBreakerSuccessInterruptsStreak(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.Open() {
+		t.Fatal("non-consecutive failures opened the breaker")
+	}
+}
+
+// TestClientBreakerAgainstScriptedServer drives a breaker-armed Client
+// against a server that dies and comes back: the breaker must fail fast
+// while the endpoint is down and recover transparently once it answers.
+func TestClientBreakerAgainstScriptedServer(t *testing.T) {
+	var served atomic.Int64
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		w.Write([]byte(`[]`))
+	}))
+	defer backend.Close()
+	// A reverse proxy we can "kill": while down, connections are refused at
+	// the TCP level — the failure mode breakers exist for.
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		resp, err := http.Get(backend.URL + r.URL.Path)
+		if err != nil {
+			panic(err)
+		}
+		defer resp.Body.Close()
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+	}))
+	proxyURL := proxy.URL
+
+	c := New(proxyURL)
+	c.MaxAttempts = 1 // isolate breaker behavior from retry behavior
+	c.Breaker = NewBreaker(2, 50*time.Millisecond)
+	ctx := context.Background()
+
+	// Healthy endpoint: requests flow.
+	if _, err := c.Experiments(ctx); err != nil {
+		t.Fatalf("healthy request failed: %v", err)
+	}
+
+	// Endpoint dies. Two connection failures open the circuit.
+	proxy.CloseClientConnections()
+	proxy.Close()
+	for i := 0; i < 2; i++ {
+		if _, err := c.Experiments(ctx); err == nil {
+			t.Fatalf("request %d to dead endpoint succeeded", i)
+		}
+	}
+	if !c.Breaker.Open() {
+		t.Fatal("breaker closed after consecutive connection failures")
+	}
+	// While open, calls fail instantly without touching the network.
+	start := time.Now()
+	_, err := c.Experiments(ctx)
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("open-circuit call error = %v, want ErrCircuitOpen", err)
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Millisecond {
+		t.Errorf("open-circuit call took %v — it dialed instead of failing fast", elapsed)
+	}
+
+	// The endpoint comes back on the same address after the cooldown: the
+	// half-open probe succeeds and traffic resumes.
+	l, err := newListenerAt(t, proxyURL)
+	if err != nil {
+		t.Skipf("could not rebind proxy address: %v", err)
+	}
+	revived := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`[]`))
+	})}
+	go revived.Serve(l)
+	defer revived.Close()
+
+	time.Sleep(60 * time.Millisecond) // past the 50ms cooldown
+	if _, err := c.Experiments(ctx); err != nil {
+		t.Fatalf("post-recovery probe failed: %v", err)
+	}
+	if c.Breaker.Open() {
+		t.Error("breaker still open after successful probe")
+	}
+}

@@ -52,6 +52,11 @@ type Client struct {
 	MaxDelay  time.Duration
 	// PollInterval paces WaitResult's status polling (default 100ms).
 	PollInterval time.Duration
+	// Breaker, when non-nil, short-circuits requests to an endpoint that
+	// keeps failing at the connection level (see Breaker). Off by default:
+	// a single-daemon client prefers patient backoff across restarts; a
+	// fleet coordinator arms it so dead workers fail over fast.
+	Breaker *Breaker
 
 	base string
 	hc   *http.Client
@@ -204,6 +209,17 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 	}
 	var lastErr error
 	for attempt := 1; ; attempt++ {
+		if c.Breaker != nil {
+			if berr := c.Breaker.Allow(); berr != nil {
+				// Fail fast: the endpoint is known-dead and the cooldown
+				// has not elapsed. Preserve the underlying cause when this
+				// request saw one before the circuit opened.
+				if lastErr != nil {
+					return fmt.Errorf("client: %w (last error: %v)", berr, lastErr)
+				}
+				return berr
+			}
+		}
 		var rdr io.Reader
 		if body != nil {
 			rdr = bytes.NewReader(body)
@@ -219,9 +235,19 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 		retryable := false
 		resp, err := c.hc.Do(req)
 		if err != nil {
-			// Connection-level failure: the daemon may be restarting.
+			// Connection-level failure: the daemon may be restarting. A
+			// canceled context is the caller's doing, not the endpoint's —
+			// it never counts against the breaker.
+			if c.Breaker != nil && ctx.Err() == nil {
+				c.Breaker.Failure()
+			}
 			retryable, lastErr = true, err
 		} else {
+			// Any HTTP answer — even a 429 or 503 — proves the endpoint
+			// alive; load shedding is the backoff policy's business.
+			if c.Breaker != nil {
+				c.Breaker.Success()
+			}
 			done, derr := consume(resp, out)
 			if done {
 				return derr

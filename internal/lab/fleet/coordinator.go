@@ -1,0 +1,416 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"butterfly/internal/core"
+	"butterfly/internal/lab"
+	"butterfly/internal/lab/client"
+)
+
+// errWorkerLost marks a dispatch abandoned because its worker died (or
+// vanished from the network) — the one error Execute answers by moving
+// the job to the next ring node instead of failing it.
+var errWorkerLost = errors.New("fleet: worker lost")
+
+// CoordinatorConfig parameterizes a Coordinator.
+type CoordinatorConfig struct {
+	// DeadAfter is how long a worker may go without a heartbeat before
+	// its jobs are reassigned (default 5s).
+	DeadAfter time.Duration
+	// PollInterval paces the coordinator's polling of dispatched jobs
+	// (default 50ms).
+	PollInterval time.Duration
+	// Journal, when non-nil, receives worker-up/worker-down records so a
+	// restarted coordinator can probe the last-known fleet immediately.
+	Journal *lab.Journal
+	// Logf receives the coordinator's structured log lines (default:
+	// discard). Reassignments always log through it — one key=value line
+	// per reassignment, so operators can reconstruct failure timelines.
+	Logf func(format string, args ...any)
+}
+
+// Coordinator owns fleet membership and remote dispatch. It plugs into a
+// lab.Scheduler as its Execute hook: the scheduler keeps owning the
+// queue, journal, cache, admission, and job IDs — exactly the machinery
+// PR 5 made crash-safe — while the coordinator turns "run this spec" into
+// "place it on the ring, watch the worker, reassign on death".
+type Coordinator struct {
+	cfg  CoordinatorConfig
+	dir  *Directory
+	ring atomic.Pointer[Ring]
+
+	mu      sync.Mutex
+	clients map[string]*client.Client // worker ID → client (rebuilt on URL change)
+	urls    map[string]string         // worker ID → URL the client above targets
+
+	reassigned atomic.Uint64
+	stop       chan struct{}
+	stopOnce   sync.Once
+	swept      sync.WaitGroup
+}
+
+// NewCoordinator builds a coordinator and starts its heartbeat-timeout
+// sweeper. Call Close to stop it.
+func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
+	if cfg.DeadAfter <= 0 {
+		cfg.DeadAfter = 5 * time.Second
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 50 * time.Millisecond
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		dir:     NewDirectory(cfg.DeadAfter),
+		clients: make(map[string]*client.Client),
+		urls:    make(map[string]string),
+		stop:    make(chan struct{}),
+	}
+	c.ring.Store(NewRing(nil))
+	c.swept.Add(1)
+	go c.sweepLoop()
+	return c
+}
+
+// Close stops the heartbeat sweeper. In-flight Executes keep running;
+// they exit through their jobs' cancellation.
+func (c *Coordinator) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.swept.Wait()
+}
+
+// sweepLoop downs workers whose heartbeats stopped, twice per timeout.
+func (c *Coordinator) sweepLoop() {
+	defer c.swept.Done()
+	t := time.NewTicker(c.cfg.DeadAfter / 2)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			for _, w := range c.dir.Sweep() {
+				c.workerDown(w, "heartbeat-timeout")
+			}
+		}
+	}
+}
+
+// workerDown records a worker's death everywhere it matters: directory
+// (already done by the caller or Sweep), journal, log, ring.
+func (c *Coordinator) workerDown(w core.WorkerRecord, reason string) {
+	if c.cfg.Journal != nil {
+		_ = c.cfg.Journal.WorkerDown(w)
+	}
+	c.cfg.Logf("fleet: worker-down id=%s url=%s reason=%s live=%d", w.ID, w.URL, reason, len(c.dir.Live()))
+	c.refreshRing()
+}
+
+// workerUp records a worker joining (or rejoining).
+func (c *Coordinator) workerUp(w core.WorkerRecord, how string) {
+	if c.cfg.Journal != nil {
+		_ = c.cfg.Journal.WorkerUp(w)
+	}
+	c.cfg.Logf("fleet: worker-up id=%s url=%s via=%s live=%d", w.ID, w.URL, how, len(c.dir.Live()))
+	c.refreshRing()
+}
+
+// refreshRing rebuilds the placement ring from the live membership.
+func (c *Coordinator) refreshRing() { c.ring.Store(NewRing(c.dir.Live())) }
+
+// Ring returns the current placement ring (never nil).
+func (c *Coordinator) Ring() *Ring { return c.ring.Load() }
+
+// Directory returns the coordinator's membership table.
+func (c *Coordinator) Directory() *Directory { return c.dir }
+
+// Reassigned returns how many dispatches moved to another worker after a
+// death.
+func (c *Coordinator) Reassigned() uint64 { return c.reassigned.Load() }
+
+// clientFor returns the (breaker-armed) client for a worker, caching per
+// worker ID and rebuilding when the worker rejoined under a new URL.
+func (c *Coordinator) clientFor(w core.WorkerRecord) *client.Client {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cl, ok := c.clients[w.ID]; ok && c.urls[w.ID] == w.URL {
+		return cl
+	}
+	cl := client.New(w.URL)
+	// Dispatch wants fast failure detection, not patient backoff: the
+	// ring has somewhere else to put the job. The breaker makes repeat
+	// dispatches to a dead worker fail in microseconds until it proves
+	// itself alive again.
+	cl.MaxAttempts = 3
+	cl.BaseDelay = 50 * time.Millisecond
+	cl.MaxDelay = 500 * time.Millisecond
+	cl.Breaker = client.NewBreaker(3, c.cfg.DeadAfter)
+	c.clients[w.ID] = cl
+	c.urls[w.ID] = w.URL
+	return cl
+}
+
+// RecoverWorkers probes the journal's last-known membership — called once
+// at startup, so a restarted coordinator rediscovers its fleet in one
+// round-trip instead of waiting out each worker's heartbeat interval.
+// Workers that fail the probe are journaled down; live ones rejoin the
+// ring immediately (and keep refreshing via their own heartbeats).
+func (c *Coordinator) RecoverWorkers(known []core.WorkerRecord) {
+	var wg sync.WaitGroup
+	for _, w := range known {
+		wg.Add(1)
+		go func(w core.WorkerRecord) {
+			defer wg.Done()
+			hc := &http.Client{Timeout: 2 * time.Second}
+			resp, err := hc.Get(w.URL + "/healthz")
+			if err == nil {
+				resp.Body.Close()
+			}
+			if err == nil && resp.StatusCode == http.StatusOK {
+				if c.dir.Upsert(w) {
+					c.workerUp(w, "recovery-probe")
+				}
+				return
+			}
+			c.dir.MarkDead(w.ID)
+			c.workerDown(w, "recovery-probe-failed")
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Execute is the lab.Config.Execute hook: place the job's fingerprint on
+// the ring, dispatch it to the owning worker, and wait — reassigning to
+// the next ring node whenever the worker dies mid-flight. Re-execution
+// after a reassignment is idempotent: the result is content-addressed,
+// and any worker that already holds it (its own cache or a ring
+// sibling's) serves it without simulating.
+func (c *Coordinator) Execute(spec core.Spec, fp string, canceled func() bool) (*core.Result, error) {
+	var lastWorker string
+	for {
+		if canceled() {
+			return nil, lab.ErrCanceled
+		}
+		w, ok := c.Ring().Owner(fp)
+		if !ok {
+			// No live workers. Hold the job rather than failing it — the
+			// fleet losing its last worker is exactly when an operator is
+			// mid-restart. Cancellation (or shutdown) is the way out.
+			if !sleepUnlessCanceled(200*time.Millisecond, canceled) {
+				return nil, lab.ErrCanceled
+			}
+			continue
+		}
+		if lastWorker != "" && lastWorker != w.ID {
+			n := c.reassigned.Add(1)
+			c.cfg.Logf("fleet: reassign fp=%.12s from=%s to=%s reason=worker-lost total_reassigned=%d",
+				fp, lastWorker, w.ID, n)
+		}
+		lastWorker = w.ID
+		res, err := c.dispatch(w, spec, fp, canceled)
+		switch {
+		case err == nil:
+			return res, nil
+		case errors.Is(err, errWorkerLost):
+			continue // the ring has already been refreshed without w
+		case errors.Is(err, errWorkerBusy):
+			if !sleepUnlessCanceled(c.cfg.PollInterval, canceled) {
+				return nil, lab.ErrCanceled
+			}
+			continue // same worker, after a breath
+		default:
+			return nil, err // deterministic job failure — reassignment cannot help
+		}
+	}
+}
+
+// errWorkerBusy marks a dispatch turned away by a live worker (429/503
+// after the client's own retries): back off and try again rather than
+// declaring the worker dead.
+var errWorkerBusy = errors.New("fleet: worker busy")
+
+// dispatch submits the spec to one worker and waits for its result,
+// watching the directory so a worker death mid-wait abandons the attempt
+// promptly instead of waiting out a network timeout.
+func (c *Coordinator) dispatch(w core.WorkerRecord, spec core.Spec, fp string, canceled func() bool) (*core.Result, error) {
+	ctx := context.Background()
+	cl := c.clientFor(w)
+	st, err := cl.Submit(ctx, spec)
+	if err != nil {
+		return nil, c.classify(w, err, "submit")
+	}
+	for {
+		if canceled() {
+			// Best-effort: stop the worker burning cycles on a job nobody
+			// will collect.
+			_ = cl.Cancel(ctx, st.ID)
+			return nil, lab.ErrCanceled
+		}
+		if !c.dir.Alive(w.ID) {
+			return nil, errWorkerLost
+		}
+		jst, err := cl.Job(ctx, st.ID)
+		if err != nil {
+			return nil, c.classify(w, err, "poll")
+		}
+		switch jst.State {
+		case core.JobDone:
+			res, err := cl.Result(ctx, st.ID)
+			if err != nil {
+				return nil, c.classify(w, err, "fetch")
+			}
+			return res, nil
+		case core.JobFailed:
+			return nil, fmt.Errorf("fleet: job failed on worker %s: %s", w.ID, jst.Error)
+		case core.JobCanceled:
+			// Only the coordinator cancels worker jobs; a cancellation it
+			// did not ask for means the worker restarted confused — rerun.
+			return nil, errWorkerLost
+		}
+		if !sleepUnlessCanceled(c.cfg.PollInterval, canceled) {
+			_ = cl.Cancel(ctx, st.ID)
+			return nil, lab.ErrCanceled
+		}
+	}
+}
+
+// classify sorts a client error into the fleet's three kinds: an HTTP
+// answer that is backpressure (busy), an HTTP answer that is a verdict
+// (permanent), and no answer at all (the worker is gone — mark it dead,
+// reassign its work).
+func (c *Coordinator) classify(w core.WorkerRecord, err error, op string) error {
+	var ae *client.APIError
+	if errors.As(err, &ae) {
+		switch ae.StatusCode {
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			return fmt.Errorf("%w: %s %s: %v", errWorkerBusy, w.ID, op, err)
+		}
+		return fmt.Errorf("fleet: worker %s %s: %w", w.ID, op, err)
+	}
+	// Connection-level failure (or an open breaker): the worker is
+	// unreachable. Down it now — the heartbeat timeout would get there,
+	// but the job should not wait for it.
+	if c.dir.MarkDead(w.ID) {
+		c.workerDown(w, "connection-failed op="+op)
+	}
+	return fmt.Errorf("%w: %s %s: %v", errWorkerLost, w.ID, op, err)
+}
+
+// sleepUnlessCanceled naps in small slices so cancellation is honored
+// within ~20ms. Reports false when canceled.
+func sleepUnlessCanceled(d time.Duration, canceled func() bool) bool {
+	const slice = 20 * time.Millisecond
+	for d > 0 {
+		if canceled != nil && canceled() {
+			return false
+		}
+		step := d
+		if step > slice {
+			step = slice
+		}
+		time.Sleep(step)
+		d -= step
+	}
+	return canceled == nil || !canceled()
+}
+
+// Metrics assembles the coordinator's fleet gauges for /metrics.
+func (c *Coordinator) Metrics() core.FleetMetrics {
+	health := c.dir.Health()
+	m := core.FleetMetrics{
+		Role:           "coordinator",
+		KnownWorkers:   len(health),
+		ReassignedJobs: c.reassigned.Load(),
+		Workers:        health,
+	}
+	for _, h := range health {
+		if h.Alive {
+			m.LiveWorkers++
+			if h.HeartbeatAgeMs > m.MaxBeatAgeMs {
+				m.MaxBeatAgeMs = h.HeartbeatAgeMs
+			}
+		}
+		m.PeerHits += h.PeerHits
+		m.Simulated += h.Simulated
+	}
+	return m
+}
+
+// Mount wires the coordinator's HTTP surface onto a lab server:
+//
+//	POST /fleet/join       worker announces itself (body: core.JoinRequest)
+//	POST /fleet/heartbeat  liveness + counters (body: core.HeartbeatRequest)
+//	GET  /fleet            fleet status document (core.FleetMetrics)
+//
+// and registers the fleet block of /metrics.
+func (c *Coordinator) Mount(srv *lab.Server) {
+	srv.Handle("POST /fleet/join", http.HandlerFunc(c.handleJoin))
+	srv.Handle("POST /fleet/heartbeat", http.HandlerFunc(c.handleHeartbeat))
+	srv.Handle("GET /fleet", http.HandlerFunc(c.handleStatus))
+	srv.AugmentMetrics(func() any { return c.Metrics() })
+}
+
+func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req core.JoinRequest
+	if !decodeFleetBody(w, r, &req) || !validWorker(w, req.Worker) {
+		return
+	}
+	if c.dir.Upsert(req.Worker) {
+		c.workerUp(req.Worker, "join")
+	}
+	writeFleetJSON(w, core.FleetView{Workers: c.dir.Live()})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req core.HeartbeatRequest
+	if !decodeFleetBody(w, r, &req) || !validWorker(w, req.Worker) {
+		return
+	}
+	// A heartbeat from an unknown (or believed-dead) worker is an
+	// implicit join: this is how a restarted coordinator re-learns its
+	// fleet from traffic alone.
+	if c.dir.Beat(req) {
+		c.workerUp(req.Worker, "heartbeat")
+	}
+	writeFleetJSON(w, core.FleetView{Workers: c.dir.Live()})
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeFleetJSON(w, c.Metrics())
+}
+
+// decodeFleetBody parses a small fleet POST (bounded well under the lab's
+// body cap — a membership record is a hundred bytes).
+func decodeFleetBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<16)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":"bad fleet body: %v"}`, err), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func validWorker(w http.ResponseWriter, rec core.WorkerRecord) bool {
+	if rec.ID == "" || rec.URL == "" {
+		http.Error(w, `{"error":"worker id and url are required"}`, http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeFleetJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

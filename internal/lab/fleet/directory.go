@@ -1,0 +1,146 @@
+package fleet
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"butterfly/internal/core"
+)
+
+// Directory is the coordinator's membership table: which workers exist,
+// when each last heartbeat, and the counters they reported. Liveness is
+// purely heartbeat-driven — a worker that misses beats for DeadAfter is
+// dead until it beats again (a SIGKILLed worker and a partitioned one
+// look identical from here, and both are handled the same way: their
+// in-flight jobs move to the next ring node).
+type Directory struct {
+	deadAfter time.Duration
+	now       func() time.Time // injectable for tests
+
+	mu      sync.Mutex
+	members map[string]*member
+}
+
+type member struct {
+	rec       core.WorkerRecord
+	lastBeat  time.Time
+	alive     bool
+	peerHits  uint64
+	simulated uint64
+}
+
+// NewDirectory builds a directory that declares a worker dead after
+// deadAfter without a heartbeat (minimum 100ms to keep a mistyped flag
+// from flapping the whole fleet).
+func NewDirectory(deadAfter time.Duration) *Directory {
+	if deadAfter < 100*time.Millisecond {
+		deadAfter = 100 * time.Millisecond
+	}
+	return &Directory{deadAfter: deadAfter, now: time.Now, members: make(map[string]*member)}
+}
+
+// Upsert records a worker as alive right now — a join, or the implicit
+// join every heartbeat carries (how a restarted coordinator re-learns its
+// fleet from traffic). It reports whether the worker was previously
+// unknown or dead, i.e. whether membership just changed.
+func (d *Directory) Upsert(rec core.WorkerRecord) (changed bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	m, ok := d.members[rec.ID]
+	if !ok {
+		m = &member{}
+		d.members[rec.ID] = m
+	}
+	changed = !ok || !m.alive || m.rec.URL != rec.URL
+	m.rec = rec
+	m.lastBeat = d.now()
+	m.alive = true
+	return changed
+}
+
+// Beat folds one heartbeat in: liveness plus the worker's reported
+// counters. Unknown and dead workers are revived via Upsert semantics.
+func (d *Directory) Beat(req core.HeartbeatRequest) (changed bool) {
+	changed = d.Upsert(req.Worker)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if m, ok := d.members[req.Worker.ID]; ok {
+		m.peerHits = req.PeerHits
+		m.simulated = req.Simulated
+	}
+	return changed
+}
+
+// MarkDead downs a worker immediately — the coordinator calls it when a
+// dispatch fails at the connection level, rather than waiting out the
+// heartbeat timeout. Reports whether the worker was alive.
+func (d *Directory) MarkDead(id string) (was bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	m, ok := d.members[id]
+	if !ok || !m.alive {
+		return false
+	}
+	m.alive = false
+	return true
+}
+
+// Sweep downs every worker whose last heartbeat is older than DeadAfter
+// and returns the newly-dead, for the caller to journal and log.
+func (d *Directory) Sweep() []core.WorkerRecord {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	now := d.now()
+	var dead []core.WorkerRecord
+	for _, m := range d.members {
+		if m.alive && now.Sub(m.lastBeat) > d.deadAfter {
+			m.alive = false
+			dead = append(dead, m.rec)
+		}
+	}
+	sort.Slice(dead, func(a, b int) bool { return dead[a].ID < dead[b].ID })
+	return dead
+}
+
+// Alive reports whether the worker is currently believed live.
+func (d *Directory) Alive(id string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	m, ok := d.members[id]
+	return ok && m.alive
+}
+
+// Live returns the live membership sorted by ID — the input to NewRing.
+func (d *Directory) Live() []core.WorkerRecord {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]core.WorkerRecord, 0, len(d.members))
+	for _, m := range d.members {
+		if m.alive {
+			out = append(out, m.rec)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// Health snapshots every known worker for the fleet metrics block.
+func (d *Directory) Health() []core.WorkerHealth {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	now := d.now()
+	out := make([]core.WorkerHealth, 0, len(d.members))
+	for _, m := range d.members {
+		out = append(out, core.WorkerHealth{
+			ID:             m.rec.ID,
+			URL:            m.rec.URL,
+			Alive:          m.alive,
+			HeartbeatAgeMs: now.Sub(m.lastBeat).Milliseconds(),
+			PeerHits:       m.peerHits,
+			Simulated:      m.simulated,
+		})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}

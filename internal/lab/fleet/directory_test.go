@@ -1,0 +1,86 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"butterfly/internal/core"
+)
+
+func testDirectory(deadAfter time.Duration) (*Directory, *time.Time) {
+	d := NewDirectory(deadAfter)
+	now := time.Unix(1_000_000, 0)
+	d.now = func() time.Time { return now }
+	return d, &now
+}
+
+func TestDirectoryLifecycle(t *testing.T) {
+	d, now := testDirectory(time.Second)
+	w := core.WorkerRecord{ID: "w1", URL: "http://w1"}
+
+	if !d.Upsert(w) {
+		t.Fatal("first join not reported as a membership change")
+	}
+	if d.Upsert(w) {
+		t.Error("repeat join of a live worker reported as a change")
+	}
+	if !d.Alive("w1") {
+		t.Fatal("joined worker not alive")
+	}
+
+	// Silence for longer than deadAfter downs the worker — exactly once.
+	*now = now.Add(1500 * time.Millisecond)
+	dead := d.Sweep()
+	if len(dead) != 1 || dead[0].ID != "w1" {
+		t.Fatalf("sweep = %v, want [w1]", dead)
+	}
+	if len(d.Sweep()) != 0 {
+		t.Error("second sweep re-reported the same death")
+	}
+	if d.Alive("w1") {
+		t.Error("swept worker still alive")
+	}
+
+	// A heartbeat revives it (implicit rejoin) and reports the change.
+	if !d.Beat(core.HeartbeatRequest{Worker: w, PeerHits: 3, Simulated: 7}) {
+		t.Fatal("revival heartbeat not reported as a change")
+	}
+	h := d.Health()
+	if len(h) != 1 || !h[0].Alive || h[0].PeerHits != 3 || h[0].Simulated != 7 {
+		t.Fatalf("health after revival = %+v", h)
+	}
+}
+
+func TestDirectoryMarkDead(t *testing.T) {
+	d, _ := testDirectory(time.Hour) // heartbeat timeout far away: only MarkDead acts
+	d.Upsert(core.WorkerRecord{ID: "w1", URL: "http://w1"})
+	d.Upsert(core.WorkerRecord{ID: "w2", URL: "http://w2"})
+
+	if !d.MarkDead("w1") {
+		t.Fatal("MarkDead on a live worker reported nothing")
+	}
+	if d.MarkDead("w1") {
+		t.Error("MarkDead twice reported a second transition")
+	}
+	if d.MarkDead("ghost") {
+		t.Error("MarkDead on an unknown worker reported a transition")
+	}
+	live := d.Live()
+	if len(live) != 1 || live[0].ID != "w2" {
+		t.Fatalf("live = %v, want [w2]", live)
+	}
+}
+
+// TestDirectoryURLChange: a worker rejoining under a new URL (same identity,
+// new port) must be reported as a change so the ring and client cache refresh.
+func TestDirectoryURLChange(t *testing.T) {
+	d, _ := testDirectory(time.Second)
+	d.Upsert(core.WorkerRecord{ID: "w1", URL: "http://old"})
+	if !d.Upsert(core.WorkerRecord{ID: "w1", URL: "http://new"}) {
+		t.Error("URL change not reported")
+	}
+	live := d.Live()
+	if len(live) != 1 || live[0].URL != "http://new" {
+		t.Fatalf("live = %v, want the new URL", live)
+	}
+}

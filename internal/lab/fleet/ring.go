@@ -1,0 +1,125 @@
+// Package fleet makes butterflyd horizontal: one coordinator places jobs
+// on a ring of workers by spec content-address, workers heartbeat the
+// coordinator and fill their caches from ring siblings, and the
+// coordinator journals fleet state through the lab's write-ahead journal
+// so a SIGKILL of any member — worker or coordinator — never loses a job
+// or changes a byte of output.
+//
+// The design leans on the same property the single-box lab does: every
+// simulation is deterministic and its result is content-addressed.
+// Placement by fingerprint makes scheduling cache-friendly (the same spec
+// always lands where its result already is), reassignment after a worker
+// death is idempotent (a re-executed job reproduces the same bytes), and
+// byte-identity of a fleet sweep against the sequential driver is a
+// theorem, not a hope — the chaos test enforces it anyway.
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+
+	"butterfly/internal/core"
+)
+
+// vnodesPerWorker is how many points each worker claims on the hash ring.
+// Enough that a 3-worker fleet splits a sweep roughly evenly; placement
+// only needs balance, not perfection, because the cache forgives moves.
+const vnodesPerWorker = 64
+
+// Ring is an immutable consistent-hash ring over a set of workers. Build
+// one from the current live membership; rebuild on every membership
+// change (rings are tiny — rebuild costs microseconds and immutability
+// makes them safe to share across dispatch goroutines without locks).
+type Ring struct {
+	points  []ringPoint
+	workers map[string]core.WorkerRecord
+}
+
+type ringPoint struct {
+	hash uint64
+	id   string // worker ID
+}
+
+// NewRing builds the ring for the given members. Order does not matter:
+// two processes that agree on the member set agree on every placement —
+// the property that lets workers compute their own siblings from the
+// membership list the coordinator's heartbeat acks carry.
+func NewRing(members []core.WorkerRecord) *Ring {
+	r := &Ring{workers: make(map[string]core.WorkerRecord, len(members))}
+	for _, m := range members {
+		if _, dup := r.workers[m.ID]; dup {
+			continue
+		}
+		r.workers[m.ID] = m
+		for v := 0; v < vnodesPerWorker; v++ {
+			r.points = append(r.points, ringPoint{hash: hashString(m.ID + "#" + strconv.Itoa(v)), id: m.ID})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].id < r.points[b].id // deterministic even on hash collision
+	})
+	return r
+}
+
+// Len returns the number of distinct workers on the ring.
+func (r *Ring) Len() int { return len(r.workers) }
+
+// Members returns the ring's workers sorted by ID.
+func (r *Ring) Members() []core.WorkerRecord {
+	out := make([]core.WorkerRecord, 0, len(r.workers))
+	for _, w := range r.workers {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// Owner returns the worker owning the fingerprint: the first ring point at
+// or clockwise of the fingerprint's hash. ok is false on an empty ring.
+func (r *Ring) Owner(fingerprint string) (core.WorkerRecord, bool) {
+	seq := r.Successors(fingerprint, 1)
+	if len(seq) == 0 {
+		return core.WorkerRecord{}, false
+	}
+	return seq[0], true
+}
+
+// Successors returns up to n distinct workers in ring order starting at
+// the fingerprint's owner. Successors(fp, Len()) is the full failover
+// order: when the owner dies, the next entry inherits the job; the
+// entries after the owner are the "siblings" a worker probes for a cached
+// result before simulating.
+func (r *Ring) Successors(fingerprint string, n int) []core.WorkerRecord {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	h := hashString(fingerprint)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if n > len(r.workers) {
+		n = len(r.workers)
+	}
+	out := make([]core.WorkerRecord, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.id] {
+			continue
+		}
+		seen[p.id] = true
+		out = append(out, r.workers[p.id])
+	}
+	return out
+}
+
+// hashString maps a key to a ring position. SHA-256 keeps placement
+// well-mixed and — unlike a seeded fast hash — identical across every
+// process and architecture in the fleet.
+func hashString(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}

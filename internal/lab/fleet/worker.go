@@ -1,0 +1,237 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"butterfly/internal/core"
+)
+
+// WorkerConfig parameterizes a fleet Worker.
+type WorkerConfig struct {
+	// Self identifies this worker on the ring: a stable ID and the URL
+	// the coordinator and ring siblings reach its job API on.
+	Self core.WorkerRecord
+	// Coordinator is the coordinator's base URL (butterflyd -join).
+	Coordinator string
+	// HeartbeatEvery paces liveness reports (default 1s).
+	HeartbeatEvery time.Duration
+	// ProbeSiblings is how many ring siblings to ask for a cached result
+	// before simulating (default 2).
+	ProbeSiblings int
+	// Logf receives the worker's log lines (default: discard).
+	Logf func(format string, args ...any)
+}
+
+// Worker is the fleet-side of a butterflyd worker process: it joins the
+// coordinator, heartbeats it (carrying peer-fill counters), keeps a local
+// copy of the ring from each heartbeat ack, and offers PeerFill — the
+// scheduler hook that resolves a job from a ring sibling's cache instead
+// of simulating it.
+type Worker struct {
+	cfg   WorkerConfig
+	hc    *http.Client // heartbeats and sibling cache probes
+	peers atomic.Pointer[Ring]
+
+	peerHits  atomic.Uint64
+	simulated atomic.Uint64
+	lastAck   atomic.Int64 // UnixNano of the last heartbeat ack; 0 = never
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     sync.WaitGroup
+}
+
+// NewWorker builds a worker runtime. Call Start to begin heartbeating and
+// Stop to halt.
+func NewWorker(cfg WorkerConfig) *Worker {
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = time.Second
+	}
+	if cfg.ProbeSiblings <= 0 {
+		cfg.ProbeSiblings = 2
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	// A missed heartbeat is retried by the next tick, not by backoff: one
+	// bounded attempt per tick keeps the cadence honest while the
+	// coordinator is down, and the first successful beat after its restart
+	// re-joins this worker automatically.
+	w := &Worker{
+		cfg:  cfg,
+		hc:   &http.Client{Timeout: 2 * time.Second},
+		stop: make(chan struct{}),
+	}
+	w.peers.Store(NewRing(nil))
+	return w
+}
+
+// Start joins the coordinator (retrying until it answers) and then
+// heartbeats forever. Both run on a background goroutine so a worker can
+// come up before its coordinator does.
+func (w *Worker) Start() {
+	w.done.Add(1)
+	go func() {
+		defer w.done.Done()
+		w.join()
+		t := time.NewTicker(w.cfg.HeartbeatEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-w.stop:
+				return
+			case <-t.C:
+				w.beat()
+			}
+		}
+	}()
+}
+
+// Stop halts the heartbeat loop.
+func (w *Worker) Stop() {
+	w.stopOnce.Do(func() { close(w.stop) })
+	w.done.Wait()
+}
+
+// join announces the worker until the coordinator answers. Heartbeats
+// would get there eventually (they join implicitly), but an explicit join
+// makes a fresh worker placeable after one round-trip.
+func (w *Worker) join() {
+	body, _ := json.Marshal(core.JoinRequest{Worker: w.cfg.Self})
+	for {
+		select {
+		case <-w.stop:
+			return
+		default:
+		}
+		resp, err := w.hc.Post(w.cfg.Coordinator+"/fleet/join", "application/json", bytes.NewReader(body))
+		if err == nil {
+			view, derr := decodeView(resp)
+			if derr == nil {
+				w.acceptView(view)
+				w.cfg.Logf("fleet: joined coordinator=%s ring=%d", w.cfg.Coordinator, len(view.Workers))
+				return
+			}
+			err = derr
+		}
+		w.cfg.Logf("fleet: join pending coordinator=%s err=%v", w.cfg.Coordinator, err)
+		select {
+		case <-w.stop:
+			return
+		case <-time.After(w.cfg.HeartbeatEvery):
+		}
+	}
+}
+
+// beat sends one heartbeat and folds the ack's membership into the local
+// ring. Failure is logged and forgotten: the next tick tries again, and
+// the first beat a restarted coordinator receives re-joins this worker.
+func (w *Worker) beat() {
+	body, _ := json.Marshal(core.HeartbeatRequest{
+		Worker:    w.cfg.Self,
+		PeerHits:  w.peerHits.Load(),
+		Simulated: w.simulated.Load(),
+	})
+	resp, err := w.hc.Post(w.cfg.Coordinator+"/fleet/heartbeat", "application/json", bytes.NewReader(body))
+	if err != nil {
+		w.cfg.Logf("fleet: heartbeat failed coordinator=%s err=%v", w.cfg.Coordinator, err)
+		return
+	}
+	view, err := decodeView(resp)
+	if err != nil {
+		w.cfg.Logf("fleet: heartbeat ack unreadable err=%v", err)
+		return
+	}
+	w.acceptView(view)
+}
+
+// acceptView installs the coordinator's membership list as the local ring.
+func (w *Worker) acceptView(view core.FleetView) {
+	w.peers.Store(NewRing(view.Workers))
+	w.lastAck.Store(time.Now().UnixNano())
+}
+
+// PeerFill is the lab.Config.PeerFill hook: before simulating, ask up to
+// ProbeSiblings ring neighbors whether they already hold the result. The
+// fleet has usually computed any given fingerprint exactly once — on this
+// job's previous owner — so a worker that just joined (or inherited an
+// arc in a reassignment) fills its cache instead of burning CPU.
+func (w *Worker) PeerFill(fp string) (*core.Result, bool) {
+	ring := w.peers.Load()
+	probes := 0
+	for _, peer := range ring.Successors(fp, ring.Len()) {
+		if peer.ID == w.cfg.Self.ID {
+			continue
+		}
+		if probes++; probes > w.cfg.ProbeSiblings {
+			break
+		}
+		res, ok := w.probe(peer, fp)
+		if ok {
+			w.peerHits.Add(1)
+			w.cfg.Logf("fleet: peer-fill fp=%.12s from=%s", fp, peer.ID)
+			return res, true
+		}
+	}
+	w.simulated.Add(1)
+	return nil, false
+}
+
+// probe fetches one fingerprint from one sibling's cache endpoint.
+func (w *Worker) probe(peer core.WorkerRecord, fp string) (*core.Result, bool) {
+	resp, err := w.hc.Get(peer.URL + "/cache/" + fp)
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false
+	}
+	var res core.Result
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil || res.Fingerprint != fp {
+		return nil, false
+	}
+	return &res, true
+}
+
+// Metrics assembles the worker's fleet gauges for /metrics.
+func (w *Worker) Metrics() core.WorkerMetrics {
+	ackAge := int64(-1)
+	if ts := w.lastAck.Load(); ts > 0 {
+		ackAge = time.Since(time.Unix(0, ts)).Milliseconds()
+	}
+	return core.WorkerMetrics{
+		Role:         "worker",
+		ID:           w.cfg.Self.ID,
+		Coordinator:  w.cfg.Coordinator,
+		RingSize:     w.peers.Load().Len(),
+		PeerHits:     w.peerHits.Load(),
+		Simulated:    w.simulated.Load(),
+		LastAckAgeMs: ackAge,
+	}
+}
+
+// PeerHits returns how many jobs this worker resolved from ring siblings.
+func (w *Worker) PeerHits() uint64 { return w.peerHits.Load() }
+
+// Simulated returns how many jobs this worker executed locally.
+func (w *Worker) Simulated() uint64 { return w.simulated.Load() }
+
+// decodeView reads a FleetView response, consuming and closing the body.
+func decodeView(resp *http.Response) (core.FleetView, error) {
+	defer resp.Body.Close()
+	var view core.FleetView
+	if resp.StatusCode != http.StatusOK {
+		return view, fmt.Errorf("fleet: coordinator answered %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		return view, err
+	}
+	return view, nil
+}

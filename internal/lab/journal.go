@@ -55,6 +55,11 @@ type Journal struct {
 	order   []string // job IDs by submission order
 	maxSeq  int
 	torn    bool // replay dropped a truncated final record
+
+	// workers is the fleet membership table a coordinator journals
+	// alongside its jobs: worker ID → record for every worker currently
+	// believed up. Single-box daemons never touch it.
+	workers map[string]core.WorkerRecord
 }
 
 // journalSnapshot is the compacted on-disk form: every known job at its
@@ -65,6 +70,9 @@ type journalSnapshot struct {
 	Rec    int64            `json:"rec"`
 	Seq    int              `json:"seq"`
 	Jobs   []core.JobRecord `json:"jobs"`
+	// Workers is the coordinator's last-known fleet membership (absent for
+	// single-box journals and snapshots written before fleets existed).
+	Workers []core.WorkerRecord `json:"workers,omitempty"`
 }
 
 func (j *Journal) snapshotPath() string { return filepath.Join(j.dir, "snapshot.json") }
@@ -82,7 +90,11 @@ func OpenJournal(dir string) (*Journal, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("lab: journal: %w", err)
 	}
-	j := &Journal{dir: dir, CompactEvery: 4096, state: make(map[string]*core.JobRecord)}
+	j := &Journal{
+		dir: dir, CompactEvery: 4096,
+		state:   make(map[string]*core.JobRecord),
+		workers: make(map[string]core.WorkerRecord),
+	}
 
 	if err := j.loadSnapshot(); err != nil {
 		return nil, err
@@ -125,6 +137,12 @@ func (j *Journal) loadSnapshot() error {
 		}
 		j.state[r.JobID] = &r
 		j.order = append(j.order, r.JobID)
+	}
+	for _, w := range snap.Workers {
+		if w.ID == "" {
+			return fmt.Errorf("lab: journal snapshot %s corrupt: worker with no id", j.snapshotPath())
+		}
+		j.workers[w.ID] = w
 	}
 	return nil
 }
@@ -175,8 +193,12 @@ func (j *Journal) replayLog() error {
 	return nil
 }
 
-// applyReplay folds one replayed record into the in-memory job table.
+// applyReplay folds one replayed record into the in-memory job table (or,
+// for fleet events, the membership table).
 func (j *Journal) applyReplay(r core.JournalRecord) error {
+	if r.Event.FleetEvent() {
+		return j.applyWorker(r)
+	}
 	if r.Event == core.EventSubmitted {
 		if r.Spec == nil {
 			return fmt.Errorf("submitted record for %s has no spec", r.JobID)
@@ -199,6 +221,22 @@ func (j *Journal) applyReplay(r core.JournalRecord) error {
 		return fmt.Errorf("event %q for unknown job %s", r.Event, r.JobID)
 	}
 	return jr.Apply(r.Event, r.Error)
+}
+
+// applyWorker folds one fleet membership event. Deliberately idempotent —
+// a down for an unknown worker and an up for a known one are both fine,
+// because membership changes race the journal writes that record them.
+func (j *Journal) applyWorker(r core.JournalRecord) error {
+	if r.Worker == nil || r.Worker.ID == "" {
+		return fmt.Errorf("fleet event %q without a worker record", r.Event)
+	}
+	switch r.Event {
+	case core.EventWorkerUp:
+		j.workers[r.Worker.ID] = *r.Worker
+	case core.EventWorkerDown:
+		delete(j.workers, r.Worker.ID)
+	}
+	return nil
 }
 
 // Torn reports whether replay dropped a truncated final record.
@@ -243,7 +281,11 @@ func (j *Journal) append(r core.JournalRecord) error {
 	}
 	// Stage the state transition so an invalid record never reaches disk.
 	var staged *core.JobRecord
-	if r.Event == core.EventSubmitted {
+	if r.Event.FleetEvent() {
+		if r.Worker == nil || r.Worker.ID == "" {
+			return fmt.Errorf("lab: journal: fleet event %q without a worker record", r.Event)
+		}
+	} else if r.Event == core.EventSubmitted {
 		if r.Spec == nil {
 			return fmt.Errorf("lab: journal: submitted record for %s has no spec", r.JobID)
 		}
@@ -281,7 +323,11 @@ func (j *Journal) append(r core.JournalRecord) error {
 		_ = j.f.Sync()
 	}
 	j.rec = r.Rec
-	j.state[r.JobID] = staged
+	if r.Event.FleetEvent() {
+		_ = j.applyWorker(r) // validated above; idempotent by design
+	} else {
+		j.state[r.JobID] = staged
+	}
 	if r.Event == core.EventSubmitted {
 		j.order = append(j.order, r.JobID)
 		if r.Seq > j.maxSeq {
@@ -329,6 +375,31 @@ func (j *Journal) Interrupted(id string) error {
 	return j.append(core.JournalRecord{Event: core.EventInterrupted, JobID: id})
 }
 
+// WorkerUp journals a fleet worker joining (or rejoining) the coordinator.
+func (j *Journal) WorkerUp(w core.WorkerRecord) error {
+	return j.append(core.JournalRecord{Event: core.EventWorkerUp, Worker: &w})
+}
+
+// WorkerDown journals a fleet worker leaving (missed heartbeats or an
+// explicit departure).
+func (j *Journal) WorkerDown(w core.WorkerRecord) error {
+	return j.append(core.JournalRecord{Event: core.EventWorkerDown, Worker: &w})
+}
+
+// Workers returns the last-known fleet membership, sorted by worker ID — a
+// restarted coordinator probes these before any worker happens to
+// heartbeat again.
+func (j *Journal) Workers() []core.WorkerRecord {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]core.WorkerRecord, 0, len(j.workers))
+	for _, w := range j.workers {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
 // compactLocked folds the full job table into snapshot.json (atomically, via
 // temp file + rename) and truncates the log. A crash between the two steps
 // is safe: the snapshot's record number makes the leftover log lines
@@ -338,6 +409,9 @@ func (j *Journal) compactLocked() error {
 	snap.Jobs = make([]core.JobRecord, 0, len(j.order))
 	for _, id := range j.order {
 		snap.Jobs = append(snap.Jobs, *j.state[id])
+	}
+	for _, id := range sortedWorkerIDs(j.workers) {
+		snap.Workers = append(snap.Workers, j.workers[id])
 	}
 	b, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
@@ -369,6 +443,16 @@ func (j *Journal) compactLocked() error {
 	j.f = f
 	j.appends = 0
 	return nil
+}
+
+// sortedWorkerIDs orders the membership table for deterministic snapshots.
+func sortedWorkerIDs(m map[string]core.WorkerRecord) []string {
+	ids := make([]string, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
 }
 
 // Close compacts one last time (a clean shutdown leaves only a snapshot)

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"butterfly/internal/core"
@@ -420,5 +421,193 @@ func TestSchedulerRecoveryGrowsQueueForBacklog(t *testing.T) {
 		if _, err := job.Wait(); err != nil {
 			t.Errorf("backlog job %s: %v", job.ID, err)
 		}
+	}
+}
+
+// TestJournalCompactionRacesAppends: compaction folding the table into the
+// snapshot while lifecycle records land from concurrent schedulers must
+// lose nothing. CompactEvery=3 forces a compaction mid-stream constantly;
+// under -race this also proves the locking.
+func TestJournalCompactionRacesAppends(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.CompactEvery = 3
+
+	const goroutines = 8
+	const jobsEach = 10
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < jobsEach; i++ {
+				id := fmt.Sprintf("j%02d%02d-race", g, i)
+				seq := g*jobsEach + i + 1
+				if err := j.Submitted(id, seq, specNuma(), fmt.Sprintf("fp-%s", id)); err != nil {
+					t.Errorf("submit %s: %v", id, err)
+					return
+				}
+				if err := j.Started(id); err != nil {
+					t.Errorf("start %s: %v", id, err)
+					return
+				}
+				if err := j.Finished(id, core.JobDone, ""); err != nil {
+					t.Errorf("finish %s: %v", id, err)
+					return
+				}
+			}
+		}(g)
+	}
+	// Fleet membership events race the job stream too, as they do on a live
+	// coordinator.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			w := core.WorkerRecord{ID: fmt.Sprintf("w%d", i%4), URL: "http://w"}
+			if err := j.WorkerUp(w); err != nil {
+				t.Errorf("worker up: %v", err)
+				return
+			}
+			if i%2 == 1 {
+				if err := j.WorkerDown(w); err != nil {
+					t.Errorf("worker down: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatalf("reopen after racing compactions: %v", err)
+	}
+	defer re.Close()
+	jobs := re.Jobs()
+	if len(jobs) != goroutines*jobsEach {
+		t.Fatalf("replayed %d jobs, want %d", len(jobs), goroutines*jobsEach)
+	}
+	for _, r := range jobs {
+		if r.State != core.JobDone {
+			t.Errorf("job %s replayed as %s, want done", r.JobID, r.State)
+		}
+	}
+	if re.MaxSeq() != goroutines*jobsEach {
+		t.Errorf("MaxSeq = %d, want %d", re.MaxSeq(), goroutines*jobsEach)
+	}
+}
+
+// TestJournalStaleLogAfterSnapshotRename: a crash between the snapshot
+// rename and the log truncation leaves the old log on disk. Its records
+// are already folded into the snapshot — replay must skip them (by record
+// number) and apply only the fresh tail.
+func TestJournalStaleLogAfterSnapshotRename(t *testing.T) {
+	dir := t.TempDir()
+	spec := specNuma()
+	snap := fmt.Sprintf(`{"schema":%q,"rec":3,"seq":1,"jobs":[{"job_id":"j0001-old","seq":1,"spec":{"experiment":"numa","quick":true},"fingerprint":"fp-old","state":"done"}]}`, journalSchema)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "snapshot.json"), []byte(snap), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Log: records 1-3 are the stale pre-compaction history of j0001-old
+	// (including its submission — a duplicate if wrongly replayed); 4-5 are
+	// the fresh tail for a new job.
+	content := jline(t, core.JournalRecord{Rec: 1, Event: core.EventSubmitted, JobID: "j0001-old", Seq: 1, Spec: &spec, Fingerprint: "fp-old"}) +
+		jline(t, core.JournalRecord{Rec: 2, Event: core.EventStarted, JobID: "j0001-old"}) +
+		jline(t, core.JournalRecord{Rec: 3, Event: core.EventCompleted, JobID: "j0001-old"}) +
+		jline(t, core.JournalRecord{Rec: 4, Event: core.EventSubmitted, JobID: "j0002-new", Seq: 2, Spec: &spec, Fingerprint: "fp-new"}) +
+		jline(t, core.JournalRecord{Rec: 5, Event: core.EventStarted, JobID: "j0002-new"})
+	writeLog(t, dir, content)
+
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatalf("stale-log replay must succeed, got: %v", err)
+	}
+	defer j.Close()
+	jobs := j.Jobs()
+	if len(jobs) != 2 {
+		t.Fatalf("replayed %d jobs, want 2", len(jobs))
+	}
+	if jobs[0].JobID != "j0001-old" || jobs[0].State != core.JobDone {
+		t.Errorf("snapshot job = %+v, want j0001-old done", jobs[0])
+	}
+	if jobs[1].JobID != "j0002-new" || jobs[1].State != core.JobRunning {
+		t.Errorf("tail job = %+v, want j0002-new running", jobs[1])
+	}
+}
+
+// TestJournalTornSnapshotTempIgnored: a crash mid-compaction leaves a
+// half-written .snapshot.* temp file behind. It was never renamed into
+// place, so the open must ignore it and replay the intact state.
+func TestJournalTornSnapshotTempIgnored(t *testing.T) {
+	dir := t.TempDir()
+	spec := specNuma()
+	writeLog(t, dir,
+		jline(t, core.JournalRecord{Rec: 1, Event: core.EventSubmitted, JobID: "j0001-a", Seq: 1, Spec: &spec, Fingerprint: "fp"}))
+	if err := os.WriteFile(filepath.Join(dir, ".snapshot.1234"), []byte(`{"schema":"butterfly-jo`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatalf("torn snapshot temp file broke the open: %v", err)
+	}
+	defer j.Close()
+	if jobs := j.Jobs(); len(jobs) != 1 || jobs[0].JobID != "j0001-a" {
+		t.Fatalf("jobs = %+v, want the one intact job", jobs)
+	}
+}
+
+// TestJournalWorkerMembershipRoundTrip: worker-up/worker-down records and
+// their snapshot form survive close/reopen, and are idempotent the way
+// live membership churn requires.
+func TestJournalWorkerMembershipRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wA := core.WorkerRecord{ID: "wA", URL: "http://a"}
+	wB := core.WorkerRecord{ID: "wB", URL: "http://b"}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(j.WorkerUp(wA))
+	must(j.WorkerUp(wA)) // re-join: idempotent
+	must(j.WorkerUp(wB))
+	must(j.WorkerDown(core.WorkerRecord{ID: "ghost", URL: "http://ghost"})) // unknown: fine
+	must(j.WorkerDown(wB))
+	// Jobs and fleet events interleave in one log.
+	must(j.Submitted("j0001-mix", 1, specNuma(), "fp"))
+	must(j.WorkerUp(core.WorkerRecord{ID: "wC", URL: "http://c"}))
+	must(j.Close())
+
+	re, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got := re.Workers()
+	if len(got) != 2 || got[0].ID != "wA" || got[1].ID != "wC" {
+		t.Fatalf("workers after reopen = %+v, want [wA wC]", got)
+	}
+	if jobs := re.Jobs(); len(jobs) != 1 || jobs[0].JobID != "j0001-mix" {
+		t.Errorf("fleet events disturbed the job table: %+v", jobs)
+	}
+
+	// A worker record with no ID must be rejected before reaching disk.
+	if err := re.WorkerUp(core.WorkerRecord{URL: "http://nameless"}); err == nil {
+		t.Error("worker-up without an ID was journaled")
 	}
 }

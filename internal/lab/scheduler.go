@@ -174,6 +174,20 @@ type Config struct {
 	// restoring terminal jobs (done jobs re-bind their cached results) and
 	// requeuing everything the previous process left mid-flight.
 	Journal *Journal
+	// Execute, when non-nil, replaces local simulation: workers call it
+	// instead of booting engines on their own OS threads. A fleet
+	// coordinator uses this to dispatch the job to a ring worker — the
+	// scheduler keeps owning the queue, the journal, the cache, and the
+	// job lifecycle, so recovery and admission behave identically in both
+	// modes. canceled is polled by the executor; a true return must
+	// surface as ErrCanceled.
+	Execute func(spec core.Spec, fingerprint string, canceled func() bool) (*core.Result, error)
+	// PeerFill, when non-nil, is consulted after a job leaves the queue
+	// and before it executes: a fleet worker asks its ring siblings for a
+	// cached result here, so a rebalanced or freshly-joined worker never
+	// re-simulates work the fleet has already done. The returned result
+	// must carry the job's fingerprint.
+	PeerFill func(fingerprint string) (*core.Result, bool)
 }
 
 // RecoveryStats summarizes what NewScheduler replayed from the journal.
@@ -361,8 +375,25 @@ func (s *Scheduler) runJob(j *Job) {
 	j.mu.Unlock()
 
 	s.busy.Add(1)
-	res, err := runSpec(j.Spec, j.isCanceled, j.bindExec)
+	var res *core.Result
+	var err error
+	if s.cfg.PeerFill != nil {
+		if hit, ok := s.cfg.PeerFill(j.Fingerprint); ok && hit != nil && hit.Fingerprint == j.Fingerprint {
+			res = hit
+		}
+	}
+	if res == nil {
+		if s.cfg.Execute != nil {
+			res, err = s.cfg.Execute(j.Spec, j.Fingerprint, j.isCanceled)
+		} else {
+			res, err = runSpec(j.Spec, j.isCanceled, j.bindExec)
+		}
+	}
 	s.busy.Add(-1)
+
+	if err == nil && res == nil {
+		err = errors.New("lab: executor returned no result")
+	}
 
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -501,6 +532,10 @@ type Metrics struct {
 	UptimeMs     int64      `json:"uptime_ms"`
 	Cache        CacheStats `json:"cache"`
 	CacheHitRate float64    `json:"cache_hit_rate"`
+	// Fleet carries the role-specific fleet gauges (core.FleetMetrics on a
+	// coordinator, core.WorkerMetrics on a worker) when butterflyd runs as
+	// part of a fleet; absent on a single-box daemon.
+	Fleet any `json:"fleet,omitempty"`
 }
 
 // Metrics snapshots queue depth, worker utilization, throughput, and cache
@@ -528,22 +563,39 @@ func (s *Scheduler) Metrics() Metrics {
 	return m
 }
 
+// Retry-After clamp bounds: a turned-away client is never told to come
+// back in 0 seconds (a thundering herd) nor parked longer than 30.
+const (
+	retryAfterMin = time.Second
+	retryAfterMax = 30 * time.Second
+)
+
 // RetryAfterHint estimates how long a turned-away client should wait before
 // resubmitting: roughly the time for one queue slot to free at the pool's
-// observed completion rate, clamped to [1s, 30s]. Before any completion the
-// hint is a flat 2 seconds.
+// observed completion rate, clamped to [1s, 30s]. With zero observed
+// throughput — cold start, or the first job still running — there is no
+// rate to divide by, so the hint falls back to a flat 2 seconds instead of
+// dividing by zero or emitting a 0s (retry-immediately) header.
 func (s *Scheduler) RetryAfterHint() time.Duration {
-	hint := 2 * time.Second
-	if m := s.Metrics(); m.JobsPerSec > 0 {
-		hint = time.Duration(float64(time.Second) / m.JobsPerSec)
+	completed := s.completed.Load()
+	up := time.Since(s.began)
+	if completed == 0 || up <= 0 {
+		return clampRetryAfter(2 * time.Second)
 	}
-	if hint < time.Second {
-		hint = time.Second
+	return clampRetryAfter(up / time.Duration(completed))
+}
+
+// clampRetryAfter pins a per-slot estimate into [retryAfterMin,
+// retryAfterMax]. Zero and negative inputs (no throughput observed yet, or
+// a clock step) clamp to the minimum — never to "retry now".
+func clampRetryAfter(d time.Duration) time.Duration {
+	if d < retryAfterMin {
+		return retryAfterMin
 	}
-	if hint > 30*time.Second {
-		hint = 30 * time.Second
+	if d > retryAfterMax {
+		return retryAfterMax
 	}
-	return hint
+	return d
 }
 
 // Shutdown stops intake and drains: queued and in-flight jobs run to

@@ -55,6 +55,7 @@ type Server struct {
 	limiter  *rateLimiter
 	sched    atomic.Pointer[Scheduler]
 	draining atomic.Bool
+	fleet    atomic.Pointer[func() any]
 }
 
 // NewServer wires the handlers. The scheduler is attached separately (see
@@ -80,8 +81,45 @@ func NewServer(cfg ServerConfig) *Server {
 	srv.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	srv.mux.HandleFunc("GET /cache/{fp}", srv.cacheBlob)
 	srv.mux.HandleFunc("GET /readyz", srv.readyz)
 	return srv
+}
+
+// Handle mounts an extra handler on the server's mux — the hook the fleet
+// package uses to add its membership endpoints (/fleet/...) without the
+// lab layer knowing about fleets. Call before serving traffic.
+func (s *Server) Handle(pattern string, handler http.Handler) {
+	s.mux.Handle(pattern, handler)
+}
+
+// AugmentMetrics registers a callback whose value lands in the /metrics
+// document's "fleet" field — live workers, reassignments, peer-cache hits.
+func (s *Server) AugmentMetrics(fn func() any) { s.fleet.Store(&fn) }
+
+// cacheBlob serves one content-addressed result straight from the local
+// cache — the peer-fill endpoint ring siblings probe before simulating.
+// A miss is 404: the sibling just runs the job itself.
+func (s *Server) cacheBlob(w http.ResponseWriter, r *http.Request) {
+	sched, ok := s.scheduler(w)
+	if !ok {
+		return
+	}
+	fp := r.PathValue("fp")
+	if sched.Cache() == nil {
+		writeError(w, http.StatusNotFound, errors.New("cache disabled"))
+		return
+	}
+	if len(fp) < 8 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad fingerprint %q", fp))
+		return
+	}
+	res, hit := sched.Cache().Get(fp)
+	if !hit {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no cached result for %s", fp))
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
 }
 
 // NewServerFor returns a server already attached to sched — the one-step
@@ -389,5 +427,9 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, sched.Metrics())
+	m := sched.Metrics()
+	if fn := s.fleet.Load(); fn != nil {
+		m.Fleet = (*fn)()
+	}
+	writeJSON(w, http.StatusOK, m)
 }
