@@ -13,6 +13,7 @@ import (
 	"butterfly/internal/core"
 	"butterfly/internal/machine"
 	"butterfly/internal/sim"
+	"butterfly/internal/switchnet"
 )
 
 // benchExperiment runs one registered experiment per iteration at quick
@@ -126,5 +127,40 @@ func BenchmarkSweep(b *testing.B) {
 	b.ResetTimer()
 	if err := m.E.Run(); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// BenchmarkButterflyRouting measures the switch-network fast path alone: one
+// full routed-and-reserved transit per iteration on a 256-node butterfly
+// (the incremental one-digit-swap router plus four calendar reservations).
+func BenchmarkButterflyRouting(b *testing.B) {
+	b.ReportAllocs()
+	n := switchnet.New(switchnet.DefaultConfig(256))
+	var t int64
+	for i := 0; i < b.N; i++ {
+		src := i % 256
+		t = n.Transit(t, src, (src*37+11)%256, 4)
+		if i%1024 == 0 {
+			n.Prune(t)
+		}
+	}
+}
+
+// BenchmarkTopologyTransit measures the same routed transit on each of the
+// other interconnect families.
+func BenchmarkTopologyTransit(b *testing.B) {
+	for _, topo := range switchnet.Topologies() {
+		b.Run(string(topo), func(b *testing.B) {
+			b.ReportAllocs()
+			n := switchnet.Build(topo, switchnet.DefaultConfig(256))
+			var t int64
+			for i := 0; i < b.N; i++ {
+				src := i % 256
+				t = n.Transit(t, src, (src*37+11)%256, 4)
+				if i%1024 == 0 {
+					n.Prune(t)
+				}
+			}
+		})
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"butterfly/internal/core"
 	"butterfly/internal/machine"
 	"butterfly/internal/sim"
+	"butterfly/internal/switchnet"
 	"butterfly/internal/workload"
 )
 
@@ -76,6 +77,12 @@ type benchDoc struct {
 	Repetitions int             `json:"repetitions"`
 	Results     []benchEntry    `json:"results"`
 	Workloads   []workloadBench `json:"workloads"`
+	// Topologies is the STREAM triad bandwidth of every interconnect family
+	// at every data placement, and Combining the hot-spot fetch-and-add
+	// latency/contention with combining switches off and on — both pure
+	// virtual-time figures, host-independent and deterministic.
+	Topologies []core.StreamRow  `json:"topologies"`
+	Combining  []core.CombineRow `json:"combining"`
 }
 
 // runBenchOut measures every partitionable experiment at 1, 2, 4, and 8
@@ -134,6 +141,21 @@ func runBenchOut(path string, quick bool) error {
 	for _, b := range wl {
 		fmt.Printf("%-16s %12.0f %14.0f %10.3f %10.3f\n",
 			b.Service, b.OfferedPerSec, b.CompletedPerSec, float64(b.P50Ns)/1e6, float64(b.P99Ns)/1e6)
+	}
+
+	topo, comb, err := benchTopologies(quick)
+	if err != nil {
+		return fmt.Errorf("topology baselines: %w", err)
+	}
+	doc.Topologies, doc.Combining = topo, comb
+	fmt.Printf("\n%-10s %-8s %12s %12s\n", "topology", "placed", "MB/s", "us/word")
+	for _, r := range topo {
+		fmt.Printf("%-10s %-8s %12.1f %12.3f\n", r.Topology, r.Placement, r.MBps, float64(r.WordNs)/1000)
+	}
+	fmt.Printf("\n%6s %9s %12s %12s %16s\n", "nodes", "combining", "mean (us)", "p99 (us)", "contention (ms)")
+	for _, r := range comb {
+		fmt.Printf("%6d %9v %12.2f %12.2f %16.3f\n",
+			r.Nodes, r.Combining, float64(r.MeanNs)/1000, float64(r.P99Ns)/1000, float64(r.ContentionNs)/1e6)
 	}
 
 	f, err := os.Create(path)
@@ -261,4 +283,35 @@ func benchCell(e core.Experiment, parts int, quick bool) (benchEntry, []byte, er
 	}
 	cell.EventsPerSec = float64(cell.Events) / (float64(cell.WallNs) / 1e9)
 	return cell, table, nil
+}
+
+// benchTopologies measures the topology subsystem's two baselines: triad
+// bandwidth per interconnect family and placement, and the hot-spot
+// fetch-and-add with combining off and on.
+func benchTopologies(quick bool) ([]core.StreamRow, []core.CombineRow, error) {
+	nodes, workers, items := 64, 16, 2048
+	counts := []int{512, 2048}
+	if quick {
+		nodes, workers, items = 16, 8, 256
+		counts = []int{64, 128}
+	}
+	var topo []core.StreamRow
+	for _, t := range switchnet.Topologies() {
+		rows, err := core.StreamNUMA(t, nodes, workers, items)
+		if err != nil {
+			return nil, nil, err
+		}
+		topo = append(topo, rows...)
+	}
+	var comb []core.CombineRow
+	for _, n := range counts {
+		for _, on := range []bool{false, true} {
+			row, err := core.CombineHotspot(n, on)
+			if err != nil {
+				return nil, nil, err
+			}
+			comb = append(comb, row)
+		}
+	}
+	return topo, comb, nil
 }

@@ -50,6 +50,7 @@ import (
 	"butterfly/internal/machine"
 	"butterfly/internal/probe"
 	"butterfly/internal/sim"
+	"butterfly/internal/switchnet"
 	"butterfly/internal/workload"
 )
 
@@ -73,6 +74,7 @@ func main() {
 		server     = flag.String("server", "", "run experiments on a remote butterflyd at this base URL instead of in-process")
 		partitions = flag.Int("partitions", 0, "run partitionable experiments on the parallel engine with this many partitions (results stay bit-identical)")
 		workloadFl = flag.String("workload", "", "workload directives for workload-driven experiments, e.g. 'pattern bursty; rate 6000; seed 7; duration 60ms'")
+		topology   = flag.String("topology", "", "interconnect family for every machine booted: butterfly (default), fattree, dragonfly, or mesh")
 		sloReport  = flag.Bool("slo-report", false, "print the full per-window SLO table for workload-driven experiments (sugar for the 'detail' workload directive)")
 		benchOut   = flag.String("bench-out", "", "run every partitionable experiment at 1/2/4/8 partitions, verify byte-identical tables, and write a JSON scaling report to this file")
 	)
@@ -81,6 +83,12 @@ func main() {
 	if *partitions < 0 {
 		fmt.Fprintln(os.Stderr, "butterflybench: -partitions must be >= 0")
 		os.Exit(1)
+	}
+	if *topology != "" {
+		if _, err := switchnet.ParseTopology(*topology); err != nil {
+			fmt.Fprintf(os.Stderr, "butterflybench: -topology: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	if *benchOut != "" {
 		if err := runBenchOut(*benchOut, *quick); err != nil {
@@ -221,6 +229,7 @@ func main() {
 			faultSeed:  ptrIf(seedSet, *faultSeed),
 			partitions: *partitions,
 			workload:   workloadStr,
+			topology:   *topology,
 			headers:    *all,
 		})
 		return
@@ -239,6 +248,7 @@ func main() {
 			faultSeed:  ptrIf(seedSet, *faultSeed),
 			partitions: *partitions,
 			workload:   workloadStr,
+			topology:   *topology,
 			headers:    *all, // -all prints the banner between experiments
 		})
 		return
@@ -264,6 +274,7 @@ func main() {
 		probe:      *probeOn || *traceOut != "",
 		traceOut:   *traceOut,
 		partitions: *partitions,
+		topology:   *topology,
 	}
 	if *expID != "" {
 		e := seeds[0]
@@ -305,6 +316,7 @@ type labOpts struct {
 	faultSeed  *uint64
 	partitions int
 	workload   string
+	topology   string
 	headers    bool
 }
 
@@ -324,6 +336,7 @@ func specFor(e core.Experiment, o labOpts) core.Spec {
 	if e.WorkloadDriven {
 		spec.Workload = o.workload
 	}
+	spec.Topology = o.topology
 	return spec
 }
 
@@ -488,6 +501,7 @@ type runOpts struct {
 	probe      bool
 	traceOut   string
 	partitions int
+	topology   string
 }
 
 // probedMachine pairs a machine with the probe attached to it (and, when a
@@ -508,12 +522,17 @@ func runOne(e core.Experiment, quick bool, opts runOpts) error {
 	// experiment boots — unless the experiment manages its own injectors.
 	injectFaults := fault.Ambient() != nil && fault.Ambient().Enabled() && !e.ManagesFaults
 	raiseParts := opts.partitions > 0 && e.Partitionable
-	if !opts.timing && !opts.probe && !injectFaults && !raiseParts {
+	reTopo := opts.topology != ""
+	if !opts.timing && !opts.probe && !injectFaults && !raiseParts && !reTopo {
 		return e.Run(os.Stdout, quick)
 	}
 	var transform func(machine.Config) machine.Config
-	if raiseParts {
-		transform = core.Spec{Partitions: opts.partitions}.ConfigTransform()
+	if raiseParts || reTopo {
+		sp := core.Spec{Topology: opts.topology}
+		if raiseParts {
+			sp.Partitions = opts.partitions
+		}
+		transform = sp.ConfigTransform()
 	}
 	var engines []*sim.Engine
 	var probed []probedMachine

@@ -42,7 +42,7 @@ func TestRegistryComplete(t *testing.T) {
 		"crowd", "alloc", "replay", "bridge", "connect", "speedups", "fig6",
 		"sarcache", "models", "vision", "rpc", "psyche", "search", "pedagogy",
 		"degrade", "service", "saturate", "calibrate", "brownout", "pgauss",
-		"phot",
+		"phot", "streamnuma", "combine",
 	}
 	for _, id := range want {
 		if _, ok := Lookup(id); !ok {

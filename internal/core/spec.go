@@ -52,6 +52,14 @@ type Spec struct {
 	// partition count (including 1, the sequential reference), so this axis
 	// trades wall-clock time, never physics. Incompatible with Faults.
 	Partitions int `json:"partitions,omitempty"`
+	// Topology, when non-empty, rebuilds every machine the experiment boots
+	// on the named interconnect family: "butterfly" (the default machine),
+	// "fattree", "dragonfly", or "mesh". The link calibration (hop latency,
+	// port bandwidth) carries over; only the wiring changes. It changes
+	// every remote-reference latency, so it participates in the lab cache
+	// fingerprint; the empty string canonicalizes identically to specs that
+	// predate the axis.
+	Topology string `json:"topology,omitempty"`
 	// Probe attaches observability probes to every machine; the contention
 	// report lands in Result.ProbeReport (never interleaved with other
 	// jobs' output).
@@ -128,6 +136,11 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("spec: workload: %w", err)
 		}
 	}
+	if s.Topology != "" {
+		if _, err := switchnet.ParseTopology(s.Topology); err != nil {
+			return fmt.Errorf("spec: %w", err)
+		}
+	}
 	if s.TimeoutMs < 0 {
 		return fmt.Errorf("spec: timeout_ms must be >= 0, got %d", s.TimeoutMs)
 	}
@@ -158,7 +171,7 @@ func (s Spec) FaultConfig() (*fault.Config, error) {
 // package's scoped construction hooks), or nil when the spec requests no
 // override.
 func (s Spec) ConfigTransform() func(machine.Config) machine.Config {
-	if s.Preset == "" && s.Nodes == 0 && s.Partitions == 0 {
+	if s.Preset == "" && s.Nodes == 0 && s.Partitions == 0 && s.Topology == "" {
 		return nil
 	}
 	return func(c machine.Config) machine.Config {
@@ -186,6 +199,12 @@ func (s Spec) ConfigTransform() func(machine.Config) machine.Config {
 		// program.
 		if s.Partitions > 0 && out.Partitions > 0 {
 			out.Partitions = s.Partitions
+		}
+		if s.Topology != "" {
+			// ParseTopology canonicalizes "" and "butterfly" to the same
+			// family, and Validate has already rejected unknown names.
+			t, _ := switchnet.ParseTopology(s.Topology)
+			out.Topology = t
 		}
 		return out
 	}

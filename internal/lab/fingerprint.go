@@ -50,6 +50,11 @@ type canonicalSpec struct {
 	// of the same workload are merely a cache miss, never a wrong hit.
 	// omitempty keeps every pre-workload fingerprint stable.
 	Workload string `json:"workload,omitempty"`
+	// Topology changes every remote-reference latency, so it addresses a
+	// distinct result. omitempty keeps every topology-less fingerprint
+	// stable; an explicit "butterfly" is merely a cache miss against the
+	// default spelling, never a wrong hit.
+	Topology string `json:"topology,omitempty"`
 	Probe    bool   `json:"probe"`
 }
 
@@ -107,6 +112,7 @@ func Fingerprint(spec core.Spec) string {
 		Nodes:      spec.Nodes,
 		Faults:     cfg,
 		Workload:   spec.Workload,
+		Topology:   spec.Topology,
 		Probe:      spec.Probe,
 	}
 	b, err := json.Marshal(c)

@@ -18,7 +18,7 @@ import (
 //	                                  P sweeps)
 type Axis struct {
 	// Field is the spec field to vary: "experiment", "quick", "preset",
-	// "nodes", or "fault_seed".
+	// "nodes", "topology", or "fault_seed".
 	Field string `json:"field"`
 	// Values are the points along this axis, in order.
 	Values []string `json:"values"`
@@ -57,6 +57,10 @@ var sweepFields = map[string]func(*core.Spec, string) error{
 			return fmt.Errorf("nodes value %q: %w", v, err)
 		}
 		s.Nodes = n
+		return nil
+	},
+	"topology": func(s *core.Spec, v string) error {
+		s.Topology = v
 		return nil
 	},
 	"fault_seed": func(s *core.Spec, v string) error {
@@ -222,6 +226,9 @@ func describeSpec(sp core.Spec) string {
 	}
 	if sp.Nodes > 0 {
 		parts = append(parts, fmt.Sprintf("nodes=%d", sp.Nodes))
+	}
+	if sp.Topology != "" {
+		parts = append(parts, "topology="+sp.Topology)
 	}
 	if sp.FaultSeed != nil {
 		parts = append(parts, fmt.Sprintf("fault_seed=%d", *sp.FaultSeed))

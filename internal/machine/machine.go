@@ -43,8 +43,22 @@ type Config struct {
 	// the MC68881 daughter-board upgrade of 1986.
 	FlopNs int64
 	// Net configures the switching network; if zero-valued it is derived
-	// from Nodes with switchnet.DefaultConfig.
+	// from Nodes with switchnet.DefaultConfig. HopLatency and
+	// BytesPerSecond describe the link technology; the selected Topology
+	// derives its own geometry and per-hop timing from them.
 	Net switchnet.Config
+	// Topology selects the interconnect family (butterfly, fattree,
+	// dragonfly, mesh). The zero value is the Butterfly's own multistage
+	// network, so existing configurations are bit-for-bit unchanged.
+	Topology switchnet.Topology
+	// Combining equips the interconnect with combining fetch-and-add
+	// switches (the NYU Ultracomputer design): concurrent Atomic
+	// operations on the same word merge at shared switch links instead of
+	// convoying into the destination memory module. Atomic traffic is
+	// then always routed through the full link-reservation model — even
+	// under NoSwitchContention, which keeps its shortcut for ordinary
+	// references — because the combine decision lives in the switches.
+	Combining bool
 	// NoSwitchContention replaces per-packet switch-port reservation with
 	// the fixed uncontended path latency. Experiment E6 (and Rettberg &
 	// Thomas) established that switch contention is almost negligible, so
@@ -100,9 +114,13 @@ type Node struct {
 // Machine is the assembled Butterfly.
 type Machine struct {
 	E     *sim.Engine
-	Net   *switchnet.Network
+	Net   switchnet.Interconnect
 	Nodes []*Node
 	Cfg   Config
+
+	// comb, when non-nil, is the combining fetch-and-add layer over Net's
+	// link calendars; Atomic traffic routes through it (Config.Combining).
+	comb *switchnet.Combining
 
 	stats     Stats
 	lastPrune int64
@@ -268,10 +286,16 @@ func New(cfg Config) *Machine {
 	if cfg.Partitions > cfg.Nodes {
 		cfg.Partitions = cfg.Nodes
 	}
+	if _, err := switchnet.ParseTopology(string(cfg.Topology)); err != nil {
+		panic("machine: " + err.Error())
+	}
 	m := &Machine{
 		E:   sim.New(),
-		Net: switchnet.New(cfg.Net),
+		Net: switchnet.Build(cfg.Topology, cfg.Net),
 		Cfg: cfg,
+	}
+	if cfg.Combining {
+		m.comb = switchnet.NewCombining(m.Net, switchnet.DefaultCombiningConfig())
 	}
 	if p := cfg.Partitions; p > 0 {
 		// Contiguous node blocks: node n belongs to partition n*p/Nodes.
@@ -371,9 +395,10 @@ func (m *Machine) transit(t int64, src, dst, bytes int) int64 {
 	return m.Net.Transit(t, src, dst, bytes)
 }
 
-// fixedTransitNs is the uncontended end-to-end network time for a packet.
+// fixedTransitNs is the uncontended end-to-end network time for a packet
+// (the topology's idle diameter path).
 func (m *Machine) fixedTransitNs(bytes int) int64 {
-	return int64(m.Net.Stages())*m.Cfg.Net.HopLatency + int64(bytes)*1_000_000_000/m.Cfg.Net.BytesPerSecond
+	return m.Net.UncontendedNs(bytes)
 }
 
 // maybePrune periodically discards stale server reservations (calendar
@@ -395,6 +420,9 @@ func (m *Machine) maybePrune() {
 	}
 	m.lastPrune = m.E.Now()
 	m.Net.Prune(m.lastPrune)
+	if m.comb != nil {
+		m.comb.Prune(m.lastPrune)
+	}
 	for _, n := range m.Nodes {
 		n.Mem.Prune(m.lastPrune)
 	}
@@ -411,6 +439,9 @@ func (m *Machine) pruneAtBarrier(windowStart int64) {
 	}
 	m.lastPrune = windowStart
 	m.Net.Prune(windowStart)
+	if m.comb != nil {
+		m.comb.Prune(windowStart)
+	}
 	for _, n := range m.Nodes {
 		n.Mem.Prune(windowStart)
 	}
@@ -563,8 +594,17 @@ func (m *Machine) BlockCopy(p *sim.Proc, src, dst, words int) {
 // fetch-and-add, atomic-ior...) on a word in the given node's memory, and
 // returns nothing: the caller performs the actual operation on its own data,
 // which is safe because the engine runs one process at a time. An atomic op
-// occupies the module for two cycles (read + write).
+// occupies the module for two cycles (read + write). On a combining machine
+// the word identity matters (only operations on the same word merge), so
+// callers that distinguish words use AtomicWord; Atomic is word 0.
 func (m *Machine) Atomic(p *sim.Proc, node int) {
+	m.AtomicWord(p, node, 0)
+}
+
+// AtomicWord is Atomic on an identified word of the node's memory. The word
+// index only influences the combining layer's merge decision; without
+// Config.Combining it is ignored and the charge is identical to Atomic's.
+func (m *Machine) AtomicWord(p *sim.Proc, node, word int) {
 	p.Sync()
 	m.maybePrune()
 	faulty := m.faults != nil
@@ -584,11 +624,23 @@ func (m *Machine) Atomic(p *sim.Proc, node int) {
 		return
 	}
 	if m.parts > 0 {
-		m.exchangeAtomic(p, n)
+		m.exchangeAtomic(p, n, word)
 		return
 	}
 	m.stats.AtomicOps++
 	now := m.E.Now()
+	if m.comb != nil {
+		done := m.comb.FetchAdd(now+m.Cfg.PNCOverheadNs, p.Node, node, word, func(arrive int64) int64 {
+			_, d := n.Mem.Service(arrive, 2, false)
+			return d
+		})
+		if faulty {
+			m.chargeFaulty(p, node, true, done-now)
+			return
+		}
+		p.Charge(done - now)
+		return
+	}
 	t := now + m.Cfg.PNCOverheadNs
 	t = m.transit(t, p.Node, node, wordBytes)
 	_, t = n.Mem.Service(t, 2, false)
@@ -599,6 +651,18 @@ func (m *Machine) Atomic(p *sim.Proc, node int) {
 	}
 	p.Charge(t - now)
 }
+
+// CombineStats returns the combining layer's counters (zero without
+// Config.Combining).
+func (m *Machine) CombineStats() switchnet.CombineStats {
+	if m.comb == nil {
+		return switchnet.CombineStats{}
+	}
+	return m.comb.Stats()
+}
+
+// Topology reports the interconnect family the machine was built with.
+func (m *Machine) Topology() switchnet.Topology { return m.Net.Name() }
 
 // Ref describes one shared-memory reference stream of a Sweep element.
 type Ref struct {
@@ -783,9 +847,8 @@ func (m *Machine) LocalReadNs() int64 {
 }
 
 // RemoteReadNs returns the uncontended cost of a one-word remote read
-// between two distinct nodes.
+// between two maximally distant nodes (on the butterfly, every distinct
+// pair; on direct networks, a diameter pair).
 func (m *Machine) RemoteReadNs() int64 {
-	hops := int64(m.Net.Stages())
-	transit := hops*m.Cfg.Net.HopLatency + int64(wordBytes)*1_000_000_000/m.Cfg.Net.BytesPerSecond
-	return m.Cfg.PNCOverheadNs + 2*transit + m.Cfg.MemCycleNs
+	return m.Cfg.PNCOverheadNs + 2*m.Net.UncontendedNs(wordBytes) + m.Cfg.MemCycleNs
 }

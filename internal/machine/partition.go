@@ -80,10 +80,19 @@ func (m *Machine) exchangeBlockCopy(p *sim.Proc, sn, dn *Node, words int) {
 // exchangeAtomic services an off-node atomic read-modify-write at the
 // window barrier. The returned-value contract of Atomic is unchanged: the
 // caller performs the data operation itself, which stays safe because all
-// processes referencing the word serialize through the coordinator.
-func (m *Machine) exchangeAtomic(p *sim.Proc, n *Node) {
+// processes referencing the word serialize through the coordinator. On a
+// combining machine the barrier services exchanges in deterministic
+// (issue time, process) order, so the combining layer sees the same request
+// sequence at every partition count.
+func (m *Machine) exchangeAtomic(p *sim.Proc, n *Node, word int) {
 	p.Exchange(func(now int64) int64 {
 		m.stats.AtomicOps++
+		if m.comb != nil {
+			return m.comb.FetchAdd(now+m.Cfg.PNCOverheadNs, p.Node, n.ID, word, func(arrive int64) int64 {
+				_, d := n.Mem.Service(arrive, 2, false)
+				return d
+			})
+		}
 		t := now + m.Cfg.PNCOverheadNs
 		t = m.transit(t, p.Node, n.ID, wordBytes)
 		_, t = n.Mem.Service(t, 2, false)

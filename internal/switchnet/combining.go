@@ -1,0 +1,169 @@
+package switchnet
+
+// In-network combining of fetch-and-add, the NYU Ultracomputer's answer to
+// the hot-spot problem the paper's E5 experiment measures. Each switch keeps
+// a wait buffer: when a fetch-and-add request passes through an output link
+// toward memory, the switch remembers it until the matching reply returns.
+// A later fetch-and-add for the same word that reaches that link inside the
+// window is merged — it stops climbing, and when the parent's reply passes
+// back through the switch it is decombined and descends to its own
+// requester. The memory module then sees one request per network round trip
+// no matter how many processors hammer the word, which is exactly the
+// collapse in port contention and module queueing the combine experiment
+// charts.
+//
+// Determinism: the combine decision is a pure function of the wait-buffer
+// state, which is itself a pure function of the (deterministic) sequence of
+// FetchAdd calls — the simulator computes each parent's full round trip
+// synchronously, so the reply timeline a later request combines against is
+// already booked. No randomness, no wall-clock, no map-order dependence
+// (records are only read under an exact (stage, link) key).
+
+// faaBytes is the size of a fetch-and-add packet: one 32-bit word.
+const faaBytes = 4
+
+// CombiningConfig tunes the combining switches.
+type CombiningConfig struct {
+	// MergeNs is the ALU cost of merging a request into a wait-buffer
+	// entry and of decombining the reply on its way back.
+	MergeNs int64
+}
+
+// DefaultCombiningConfig: the combine/decombine ALU pass costs a fraction
+// of a switch hop (the Ultracomputer design performed it at wire speed).
+func DefaultCombiningConfig() CombiningConfig {
+	return CombiningConfig{MergeNs: 60}
+}
+
+// CombineStats counts combining activity.
+type CombineStats struct {
+	// Requests is the number of fetch-and-adds that entered the network.
+	Requests uint64
+	// Combined is how many of them merged into an earlier request at a
+	// switch instead of travelling to the memory module.
+	Combined uint64
+	// SavedHops is the number of link reservations combining avoided —
+	// the direct measure of hot-spot traffic removed from the network.
+	SavedHops uint64
+}
+
+// faaRec is one wait-buffer entry: a parent fetch-and-add remembered at one
+// (stage, link) while its reply is outstanding.
+type faaRec struct {
+	dst, word int
+	// start is when the parent's request reserved this link; a request
+	// arriving earlier cannot see the entry.
+	start int64
+	// replyPass is when the parent's reply passes back through this
+	// switch; the entry is combinable until then, and a combined
+	// request's result leaves the switch at this time.
+	replyPass int64
+}
+
+// Combining adds combining fetch-and-add switches to an interconnect. It
+// shares the underlying topology's link calendars — ordinary packets and
+// fetch-and-add packets contend for the same links — and adds only the wait
+// buffers. Build one with NewCombining; the machine layer routes Atomic
+// traffic through FetchAdd and everything else through the topology as
+// usual.
+type Combining struct {
+	inner linkReserver
+	cfg   CombiningConfig
+	// pending is the union of all switches' wait buffers, keyed by the
+	// (stage, link) a parent request occupies. One entry per link: a new
+	// parent through the same link replaces the previous entry (its
+	// window has necessarily closed or its traffic has moved on).
+	pending map[[2]int]faaRec
+	stats   CombineStats
+	scratch [][2]int
+	starts  []int64
+}
+
+// NewCombining wraps an interconnect built by this package with combining
+// switches.
+func NewCombining(in Interconnect, cfg CombiningConfig) *Combining {
+	lr, ok := in.(linkReserver)
+	if !ok {
+		panic("switchnet: interconnect does not support combining")
+	}
+	return &Combining{inner: lr, cfg: cfg, pending: make(map[[2]int]faaRec)}
+}
+
+// Stats returns a copy of the combining counters.
+func (c *Combining) Stats() CombineStats { return c.stats }
+
+// FetchAdd performs the network round trip of one fetch-and-add from src to
+// the word-th word of dst's memory, and returns its completion time at src.
+// service books the memory module's read-modify-write cycle given the
+// request's arrival time and returns when it completes; it is only invoked
+// when the request actually reaches the module (a combined request never
+// does — that is the point).
+func (c *Combining) FetchAdd(now int64, src, dst, word int, service func(arrive int64) int64) int64 {
+	if src == dst {
+		return service(now)
+	}
+	c.stats.Requests++
+	c.inner.notePacket()
+	path := c.inner.pathAppend(src, dst, c.scratch[:0])
+	c.scratch = path
+	svc := c.inner.serviceNs(faaBytes)
+	if cap(c.starts) < len(path) {
+		c.starts = make([]int64, len(path))
+	}
+	starts := c.starts[:len(path)]
+	t := now
+	var back int64 // latency to descend the hops already climbed
+	for i, hp := range path {
+		key := [2]int{hp[0], hp[1]}
+		if rec, ok := c.pending[key]; ok &&
+			rec.dst == dst && rec.word == word && t >= rec.start && t < rec.replyPass {
+			// Merge into the wait-buffer entry: the request goes no
+			// further; its result rides the parent's reply, is
+			// decombined here, and streams back down the links it
+			// climbed (charged at idle-path latency — the descent
+			// retraces links the request just proved passable).
+			c.stats.Combined++
+			c.stats.SavedHops += uint64(len(path) - i)
+			// Combining is pairwise at every switch: this request now has
+			// a reply timeline of its own, so it deposits wait-buffer
+			// entries on the links it climbed. A later request from its
+			// subtree merges at their first shared switch instead of
+			// climbing all the way to the original parent's path — that
+			// recursive tree is what collapses hot-spot contention.
+			pass := rec.replyPass + c.cfg.MergeNs
+			for j := i - 1; j >= 0; j-- {
+				hj := path[j]
+				pass += c.inner.hopLatencyNs(hj[0])
+				c.pending[[2]int{hj[0], hj[1]}] = faaRec{dst: dst, word: word, start: starts[j], replyPass: pass}
+			}
+			return rec.replyPass + c.cfg.MergeNs + back + svc
+		}
+		start := c.inner.reserveHop(hp[0], hp[1], t, svc)
+		starts[i] = start
+		lat := c.inner.hopLatencyNs(hp[0])
+		t = start + lat
+		back += lat
+	}
+	arrive := t + svc
+	// The parent reaches memory; its reply makes the normal contended trip
+	// home while the wait buffers hold its record.
+	moduleDone := service(arrive)
+	reply := c.inner.Transit(moduleDone, dst, src, faaBytes)
+	pass := moduleDone
+	for i := len(path) - 1; i >= 0; i-- {
+		hp := path[i]
+		pass += c.inner.hopLatencyNs(hp[0])
+		c.pending[[2]int{hp[0], hp[1]}] = faaRec{dst: dst, word: word, start: starts[i], replyPass: pass}
+	}
+	return reply
+}
+
+// Prune evicts wait-buffer entries whose windows closed before now. The
+// underlying topology's calendars are pruned by the machine separately.
+func (c *Combining) Prune(now int64) {
+	for k, rec := range c.pending {
+		if rec.replyPass <= now {
+			delete(c.pending, k)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package switchnet
+
+import "testing"
+
+// faaService returns a module-service stub that counts invocations: each
+// request the module actually sees costs cycleNs.
+func faaService(count *int, cycleNs int64) func(int64) int64 {
+	return func(arrive int64) int64 {
+		*count++
+		return arrive + cycleNs
+	}
+}
+
+func TestCombiningMergesConcurrentRequests(t *testing.T) {
+	c := NewCombining(New(DefaultConfig(64)), DefaultCombiningConfig())
+	mod := 0
+	parent := c.FetchAdd(0, 5, 0, 0, faaService(&mod, 2000))
+	child := c.FetchAdd(100, 9, 0, 0, faaService(&mod, 2000))
+	if mod != 1 {
+		t.Fatalf("module saw %d requests, want 1 (second combined in-network)", mod)
+	}
+	st := c.Stats()
+	if st.Requests != 2 || st.Combined != 1 || st.SavedHops == 0 {
+		t.Errorf("stats = %+v, want 2 requests, 1 combined, hops saved", st)
+	}
+	if child <= 100 || parent <= 0 {
+		t.Errorf("non-causal completion times: parent %d, child %d", parent, child)
+	}
+}
+
+func TestCombiningWindowCloses(t *testing.T) {
+	c := NewCombining(New(DefaultConfig(64)), DefaultCombiningConfig())
+	mod := 0
+	c.FetchAdd(0, 5, 0, 0, faaService(&mod, 2000))
+	// Far outside every wait-buffer window: must travel to the module.
+	c.FetchAdd(1_000_000, 9, 0, 0, faaService(&mod, 2000))
+	if mod != 2 {
+		t.Fatalf("module saw %d requests, want 2 (window closed)", mod)
+	}
+	if st := c.Stats(); st.Combined != 0 {
+		t.Errorf("combined %d requests across a closed window", st.Combined)
+	}
+}
+
+func TestCombiningDistinguishesWords(t *testing.T) {
+	c := NewCombining(New(DefaultConfig(64)), DefaultCombiningConfig())
+	mod := 0
+	c.FetchAdd(0, 5, 0, 0, faaService(&mod, 2000))
+	c.FetchAdd(100, 9, 0, 1, faaService(&mod, 2000)) // same module, other word
+	if mod != 2 {
+		t.Fatalf("module saw %d requests, want 2 (different words never merge)", mod)
+	}
+}
+
+func TestCombiningLocalBypassesNetwork(t *testing.T) {
+	c := NewCombining(New(DefaultConfig(64)), DefaultCombiningConfig())
+	mod := 0
+	if got := c.FetchAdd(500, 7, 7, 0, faaService(&mod, 2000)); got != 2500 {
+		t.Errorf("local fetch-and-add completed at %d, want 2500", got)
+	}
+	if st := c.Stats(); st.Requests != 0 {
+		t.Errorf("local op entered the network: %+v", st)
+	}
+}
+
+// TestCombiningTransitive: a combined request deposits its own wait-buffer
+// entries, so a third request from its subtree merges against it rather than
+// climbing to the original parent's path — combining is a tree, not a chain.
+func TestCombiningTransitive(t *testing.T) {
+	c := NewCombining(New(DefaultConfig(256)), DefaultCombiningConfig())
+	mod := 0
+	c.FetchAdd(0, 1, 0, 0, faaService(&mod, 2000))
+	// 64 and 65 share early stages with each other but join node 1's path
+	// only near the destination.
+	c.FetchAdd(50, 64, 0, 0, faaService(&mod, 2000))
+	before := c.Stats().SavedHops
+	c.FetchAdd(120, 65, 0, 0, faaService(&mod, 2000))
+	st := c.Stats()
+	if mod != 1 || st.Combined != 2 {
+		t.Fatalf("module=%d combined=%d, want 1 and 2", mod, st.Combined)
+	}
+	if st.SavedHops <= before {
+		t.Errorf("third request saved no hops (SavedHops %d -> %d)", before, st.SavedHops)
+	}
+}
+
+// TestCombiningAllTopologies: the combining layer is generic over every
+// family that exposes link reservations.
+func TestCombiningAllTopologies(t *testing.T) {
+	for _, topo := range Topologies() {
+		c := NewCombining(Build(topo, DefaultConfig(64)), DefaultCombiningConfig())
+		mod := 0
+		c.FetchAdd(0, 33, 0, 0, faaService(&mod, 2000))
+		c.FetchAdd(100, 37, 0, 0, faaService(&mod, 2000))
+		if mod != 1 {
+			t.Errorf("%s: module saw %d requests, want 1", topo, mod)
+		}
+	}
+}
+
+func TestCombiningDeterministicReplay(t *testing.T) {
+	run := func() ([]int64, CombineStats) {
+		c := NewCombining(New(DefaultConfig(256)), DefaultCombiningConfig())
+		mod := 0
+		var out []int64
+		for i := 0; i < 200; i++ {
+			src := 1 + (i*37)%255
+			out = append(out, c.FetchAdd(int64(i)*150, src, 0, 0, faaService(&mod, 2000)))
+		}
+		return out, c.Stats()
+	}
+	a, sa := run()
+	b, sb := run()
+	if sa != sb {
+		t.Fatalf("stats diverged: %+v vs %+v", sa, sb)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d diverged: %d vs %d", i, a[i], b[i])
+		}
+	}
+	if sa.Combined == 0 {
+		t.Error("storm traffic never combined")
+	}
+}
+
+func TestCombiningPrune(t *testing.T) {
+	c := NewCombining(New(DefaultConfig(64)), DefaultCombiningConfig())
+	mod := 0
+	c.FetchAdd(0, 5, 0, 0, faaService(&mod, 2000))
+	if len(c.pending) == 0 {
+		t.Fatal("parent deposited no wait-buffer entries")
+	}
+	c.Prune(1 << 40)
+	if len(c.pending) != 0 {
+		t.Errorf("%d wait-buffer entries survived a far-future prune", len(c.pending))
+	}
+}

@@ -1,0 +1,280 @@
+package switchnet
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildAll returns one instance of every topology family at the given node
+// count, on the shared default calibration.
+func buildAll(nodes int) []Interconnect {
+	out := make([]Interconnect, 0, len(Topologies()))
+	for _, t := range Topologies() {
+		out = append(out, Build(t, DefaultConfig(nodes)))
+	}
+	return out
+}
+
+func TestParseTopology(t *testing.T) {
+	if tp, err := ParseTopology(""); err != nil || tp != Butterfly {
+		t.Errorf("empty string: got (%q, %v), want butterfly", tp, err)
+	}
+	for _, name := range Topologies() {
+		tp, err := ParseTopology(string(name))
+		if err != nil || tp != name {
+			t.Errorf("ParseTopology(%q) = (%q, %v)", name, tp, err)
+		}
+	}
+	if _, err := ParseTopology("hypercube"); err == nil {
+		t.Error("unknown topology accepted")
+	}
+}
+
+func TestBuildDispatch(t *testing.T) {
+	for _, want := range Topologies() {
+		in := Build(want, DefaultConfig(64))
+		if in.Name() != want {
+			t.Errorf("Build(%q).Name() = %q", want, in.Name())
+		}
+		if in.Nodes() != 64 {
+			t.Errorf("%s: Nodes() = %d, want 64", want, in.Nodes())
+		}
+	}
+	if _, ok := Build(Butterfly, DefaultConfig(16)).(*Network); !ok {
+		t.Error("Build(butterfly) did not return the butterfly Network")
+	}
+}
+
+// TestLocalTransitFreeAllTopologies: a src == dst transfer costs nothing and
+// reserves nothing, on every family.
+func TestLocalTransitFreeAllTopologies(t *testing.T) {
+	for _, in := range buildAll(64) {
+		for _, n := range []int{0, 17, 63} {
+			if got := in.Transit(1000, n, n, 64); got != 1000 {
+				t.Errorf("%s: local transit returned %d, want 1000", in.Name(), got)
+			}
+			if ports := in.PathPorts(n, n); len(ports) != 0 {
+				t.Errorf("%s: local path occupies %d ports", in.Name(), len(ports))
+			}
+		}
+		if s := in.Stats(); s.ContentionNs != 0 || s.TotalHops != 0 {
+			t.Errorf("%s: local transfers touched the network: %+v", in.Name(), s)
+		}
+	}
+}
+
+// TestIdleTransitBounds: on an idle network every transit completes within
+// the diameter latency, and the butterfly — whose every path crosses all
+// stages — lands exactly on it.
+func TestIdleTransitBounds(t *testing.T) {
+	const bytes = 4
+	for _, topo := range Topologies() {
+		rng := rand.New(rand.NewSource(42))
+		for trial := 0; trial < 40; trial++ {
+			nodes := []int{16, 64, 256}[trial%3]
+			src, dst := rng.Intn(nodes), rng.Intn(nodes)
+			if src == dst {
+				continue
+			}
+			in := Build(topo, DefaultConfig(nodes)) // fresh: no prior traffic
+			got := in.Transit(0, src, dst, bytes)
+			max := in.UncontendedNs(bytes)
+			if got <= 0 || got > max {
+				t.Fatalf("%s n=%d %d->%d: idle transit %d outside (0, %d]",
+					topo, nodes, src, dst, got, max)
+			}
+			if topo == Butterfly && got != max {
+				t.Fatalf("butterfly n=%d %d->%d: idle transit %d != uncontended %d",
+					nodes, src, dst, got, max)
+			}
+		}
+	}
+}
+
+// TestPathPortsMatchTransit: PathPorts must name the links Transit reserves.
+// Two identical packets launched at the same instant share every hop, so the
+// second must be strictly delayed — and the delay must show up in the stats.
+func TestPathPortsMatchTransit(t *testing.T) {
+	for _, in := range buildAll(64) {
+		ports := in.PathPorts(3, 44)
+		if len(ports) == 0 {
+			t.Fatalf("%s: empty path for 3->44", in.Name())
+		}
+		for i := 1; i < len(ports); i++ {
+			if ports[i] == ports[i-1] {
+				t.Fatalf("%s: path repeats port %v", in.Name(), ports[i])
+			}
+		}
+		first := in.Transit(0, 3, 44, 4)
+		second := in.Transit(0, 3, 44, 4)
+		if second <= first {
+			t.Errorf("%s: second identical packet finished at %d, not after the first (%d)",
+				in.Name(), second, first)
+		}
+		if in.Stats().ContentionNs <= 0 {
+			t.Errorf("%s: full path overlap produced no recorded contention", in.Name())
+		}
+	}
+}
+
+// disjoint reports whether two paths share no (stage, link) pair.
+func disjoint(a, b [][2]int) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestDisjointPathsNoContentionAllTopologies: packets on port-disjoint paths
+// never delay each other, whatever the family.
+func TestDisjointPathsNoContentionAllTopologies(t *testing.T) {
+	for _, in := range buildAll(64) {
+		// Scan deterministically for two pairs with disjoint paths.
+		type pair struct{ s, d int }
+		var a, b pair
+		found := false
+	scan:
+		for s1 := 0; s1 < 16 && !found; s1++ {
+			for s2 := s1 + 1; s2 < 32; s2++ {
+				d1, d2 := (s1+21)%64, (s2+43)%64
+				if s1 == d1 || s2 == d2 || d1 == d2 {
+					continue
+				}
+				if disjoint(in.PathPorts(s1, d1), in.PathPorts(s2, d2)) {
+					a, b = pair{s1, d1}, pair{s2, d2}
+					found = true
+					break scan
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("%s: no disjoint pair found", in.Name())
+		}
+		in.Transit(0, a.s, a.d, 16)
+		in.Transit(0, b.s, b.d, 16)
+		if c := in.Stats().ContentionNs; c != 0 {
+			t.Errorf("%s: disjoint paths %v and %v contended for %d ns", in.Name(), a, b, c)
+		}
+	}
+}
+
+// TestFatTreeShiftPermutationContentionFree: d-mod routing on a full-
+// bisection fat-tree carries any shift permutation (src -> src+k) with zero
+// internal contention — the property that separates it from the butterfly,
+// where shifts collide (TestSharedPortContention).
+func TestFatTreeShiftPermutationContentionFree(t *testing.T) {
+	const nodes = 64
+	for _, k := range []int{1, 3, 5, 16, 21, 63} {
+		f := NewFatTree(DefaultConfig(nodes))
+		for src := 0; src < nodes; src++ {
+			f.Transit(0, src, (src+k)%nodes, 4)
+		}
+		if c := f.Stats().ContentionNs; c != 0 {
+			t.Errorf("shift by %d: contention %d ns, want 0", k, c)
+		}
+	}
+}
+
+// TestHotSpotConvergesOnTerminalLink: on the indirect families every path to
+// one node funnels through a single final link — the physical basis of the
+// hot-spot experiments (the mesh's last hop direction varies, so it is
+// exempt).
+func TestHotSpotConvergesOnTerminalLink(t *testing.T) {
+	for _, topo := range []Topology{Butterfly, FatTree, Dragonfly} {
+		in := Build(topo, DefaultConfig(64))
+		var last [2]int
+		for src := 1; src < 64; src++ {
+			ports := in.PathPorts(src, 0)
+			got := ports[len(ports)-1]
+			if src == 1 {
+				last = got
+			} else if got != last {
+				t.Fatalf("%s: path %d->0 ends at %v, others at %v", topo, src, got, last)
+			}
+		}
+	}
+}
+
+// TestTopologyDeterministicReplay: identical traffic on a fresh instance
+// reproduces identical timings and statistics, for every family.
+func TestTopologyDeterministicReplay(t *testing.T) {
+	run := func(topo Topology) (int64, Stats) {
+		in := Build(topo, DefaultConfig(256))
+		rng := rand.New(rand.NewSource(7))
+		var sum int64
+		for i := 0; i < 500; i++ {
+			src, dst := rng.Intn(256), rng.Intn(256)
+			sum += in.Transit(int64(i)*200, src, dst, 4+rng.Intn(60))
+		}
+		return sum, in.Stats()
+	}
+	for _, topo := range Topologies() {
+		s1, st1 := run(topo)
+		s2, st2 := run(topo)
+		if s1 != s2 || st1 != st2 {
+			t.Errorf("%s: replay diverged: %d/%+v vs %d/%+v", topo, s1, st1, s2, st2)
+		}
+	}
+}
+
+// FuzzButterflyRouting cross-checks the incremental one-digit-swap router
+// against the digit-arithmetic reference model portAtRef.
+func FuzzButterflyRouting(f *testing.F) {
+	f.Add(uint16(0), uint16(255), uint8(255))
+	f.Add(uint16(3), uint16(44), uint8(64))
+	f.Add(uint16(1), uint16(2), uint8(5))
+	f.Fuzz(func(t *testing.T, a, b uint16, n uint8) {
+		nodes := int(n)
+		if nodes < 2 {
+			nodes = 2
+		}
+		net := New(DefaultConfig(nodes))
+		size := net.Ports()
+		src, dst := int(a)%size, int(b)%size
+		var got [maxStages]int
+		net.route(src, dst, &got)
+		for s := 0; s < net.Stages(); s++ {
+			if want := net.portAtRef(src, dst, s); got[s] != want {
+				t.Fatalf("nodes=%d %d->%d stage %d: route %d, reference %d",
+					nodes, src, dst, s, got[s], want)
+			}
+		}
+		if got[net.Stages()-1] != dst {
+			t.Fatalf("nodes=%d %d->%d: final port %d is not the destination",
+				nodes, src, dst, got[net.Stages()-1])
+		}
+	})
+}
+
+// TestGeometryValidation pins the documented rounding contract of S-curve
+// construction: the port space rounds up to the next power of 4, invalid
+// node counts panic instead of silently misrouting.
+func TestGeometryValidation(t *testing.T) {
+	cases := []struct{ nodes, stages, ports int }{
+		{1, 1, 4}, {4, 1, 4}, {5, 2, 16}, {16, 2, 16}, {17, 3, 64}, {64, 3, 64},
+	}
+	for _, c := range cases {
+		s, p := Geometry(c.nodes)
+		if s != c.stages || p != c.ports {
+			t.Errorf("Geometry(%d) = (%d, %d), want (%d, %d)", c.nodes, s, p, c.stages, c.ports)
+		}
+	}
+	n := New(DefaultConfig(5))
+	if n.Ports() != 16 || n.Nodes() != 5 {
+		t.Errorf("New(5): Ports=%d Nodes=%d, want 16 and 5", n.Ports(), n.Nodes())
+	}
+	for _, bad := range []int{0, -3, maxNodes + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Geometry(%d) did not panic", bad)
+				}
+			}()
+			Geometry(bad)
+		}()
+	}
+}
