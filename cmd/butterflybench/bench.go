@@ -4,11 +4,15 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"time"
 
 	"butterfly/internal/core"
+	"butterfly/internal/lab"
+	"butterfly/internal/lab/fleet"
 	"butterfly/internal/machine"
 	"butterfly/internal/sim"
 	"butterfly/internal/switchnet"
@@ -66,6 +70,28 @@ type workloadBench struct {
 	WallNs          int64   `json:"wall_ns"`
 }
 
+// failoverBench measures the fleet's robustness costs: how long a standby
+// takes to notice a dead primary and promote itself (dominated by the
+// configured silence threshold), and the coordinator-side throughput of a
+// large tracked sweep with results spooled to disk — the scale the
+// replicated-journal failover has to keep up with.
+type failoverBench struct {
+	// DeadAfterNs is the silence threshold the takeover latency includes:
+	// detection cannot be faster than the window that defines "dead".
+	DeadAfterNs int64 `json:"dead_after_ns"`
+	// TakeoverNs is the best-of-N wall time from the primary's listener
+	// vanishing to the standby's promotion callback (epoch already fenced).
+	TakeoverNs int64 `json:"takeover_ns"`
+	// FenceEpoch is the epoch the promoted standby fenced (primary held 1).
+	FenceEpoch uint64 `json:"fence_epoch"`
+	// SweepJobs / SweepWallNs / SweepJobsPerSec: a tracked sweep of this
+	// many distinct jobs through a journaled, spooling scheduler — submit
+	// to last completion.
+	SweepJobs       int     `json:"sweep_jobs"`
+	SweepWallNs     int64   `json:"sweep_wall_ns"`
+	SweepJobsPerSec float64 `json:"sweep_jobs_per_sec"`
+}
+
 // benchDoc is the JSON document -bench-out writes. The host block exists so
 // a checked-in report is interpretable later: wall-clock numbers mean
 // nothing without the machine that produced them.
@@ -83,6 +109,9 @@ type benchDoc struct {
 	// virtual-time figures, host-independent and deterministic.
 	Topologies []core.StreamRow  `json:"topologies"`
 	Combining  []core.CombineRow `json:"combining"`
+	// Failover is the coordinator-failover cost row: takeover latency and
+	// spooled 10k-job sweep throughput (1k under -quick).
+	Failover failoverBench `json:"failover"`
 }
 
 // runBenchOut measures every partitionable experiment at 1, 2, 4, and 8
@@ -157,6 +186,18 @@ func runBenchOut(path string, quick bool) error {
 		fmt.Printf("%6d %9v %12.2f %12.2f %16.3f\n",
 			r.Nodes, r.Combining, float64(r.MeanNs)/1000, float64(r.P99Ns)/1000, float64(r.ContentionNs)/1e6)
 	}
+
+	fo, err := benchFailover(quick)
+	if err != nil {
+		return fmt.Errorf("failover baseline: %w", err)
+	}
+	doc.Failover = fo
+	fmt.Printf("\n%-20s %14s %14s %14s\n", "failover", "dead-after", "takeover", "jobs/sec")
+	fmt.Printf("%-20s %14s %14s %14.0f  (%d jobs in %s)\n",
+		fmt.Sprintf("epoch %d", fo.FenceEpoch),
+		time.Duration(fo.DeadAfterNs).Round(time.Millisecond),
+		time.Duration(fo.TakeoverNs).Round(time.Millisecond),
+		fo.SweepJobsPerSec, fo.SweepJobs, time.Duration(fo.SweepWallNs).Round(time.Millisecond))
 
 	f, err := os.Create(path)
 	if err != nil {
@@ -283,6 +324,143 @@ func benchCell(e core.Experiment, parts int, quick bool) (benchEntry, []byte, er
 	}
 	cell.EventsPerSec = float64(cell.Events) / (float64(cell.WallNs) / 1e9)
 	return cell, table, nil
+}
+
+// benchFailover measures the replicated-journal failover path end to end,
+// in-process but over real HTTP: a primary journal streams to a standby's
+// follower loop; the primary's listener is torn down and the time to the
+// standby's promotion callback recorded (best of benchRepetitions, fresh
+// journals each time). Then a 10k-job tracked sweep (1k under -quick) runs
+// through a journaled, spooling scheduler to measure the coordinator-side
+// throughput robustness has to keep up with.
+func benchFailover(quick bool) (failoverBench, error) {
+	deadAfter := 250 * time.Millisecond
+	out := failoverBench{DeadAfterNs: deadAfter.Nanoseconds()}
+
+	for rep := 0; rep < benchRepetitions; rep++ {
+		latency, epoch, err := takeoverOnce(deadAfter)
+		if err != nil {
+			return out, err
+		}
+		if rep == 0 || latency < out.TakeoverNs {
+			out.TakeoverNs = latency
+		}
+		out.FenceEpoch = epoch
+	}
+
+	jobs := 10000
+	if quick {
+		jobs = 1000
+	}
+	dir, err := os.MkdirTemp("", "butterfly-bench-sweep-*")
+	if err != nil {
+		return out, err
+	}
+	defer os.RemoveAll(dir)
+	j, err := lab.OpenJournal(dir + "/journal")
+	if err != nil {
+		return out, err
+	}
+	defer j.Close()
+	sched := lab.NewScheduler(lab.Config{
+		Cache:        lab.OpenCache(dir + "/cache"),
+		Journal:      j,
+		QueueDepth:   jobs,
+		SpoolResults: true,
+	})
+	sw := lab.Sweep{
+		Base: core.Spec{Experiment: "numa", Quick: true},
+		// numa probes node 15, so counts start at 16: 16..16+jobs-1.
+		Axes: []lab.Axis{{Field: "nodes", Values: []string{fmt.Sprintf("16..%d:+1", 15+jobs)}}},
+	}
+	start := time.Now()
+	_, submitted, err := sched.SubmitSweepTracked(sw)
+	if err != nil {
+		return out, err
+	}
+	if len(submitted) != jobs {
+		return out, fmt.Errorf("sweep expanded to %d jobs, want %d", len(submitted), jobs)
+	}
+	for _, job := range submitted {
+		if _, err := job.Wait(); err != nil {
+			return out, err
+		}
+	}
+	out.SweepJobs = jobs
+	out.SweepWallNs = time.Since(start).Nanoseconds()
+	out.SweepJobsPerSec = float64(jobs) / (float64(out.SweepWallNs) / 1e9)
+	return out, nil
+}
+
+// takeoverOnce runs one primary-death drill: sync a follower over HTTP,
+// tear the primary's listener down, and time the distance to promotion.
+func takeoverOnce(deadAfter time.Duration) (int64, uint64, error) {
+	dir, err := os.MkdirTemp("", "butterfly-bench-failover-*")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer os.RemoveAll(dir)
+
+	prim, err := lab.OpenJournal(dir + "/primary")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer prim.Close()
+	if _, err := prim.BumpEpoch(); err != nil {
+		return 0, 0, err
+	}
+	for i := 0; i < 100; i++ {
+		id := fmt.Sprintf("j%04d-bench", i+1)
+		spec := core.Spec{Experiment: "numa", Quick: true, Nodes: 16 + i}
+		if err := prim.Submitted(id, i+1, spec, "fp-"+id); err != nil {
+			return 0, 0, err
+		}
+	}
+
+	rep := fleet.NewReplicator(prim)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /replica/pull", rep.HandlePull)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, 0, err
+	}
+	hs := &http.Server{Handler: mux}
+	go hs.Serve(l)
+
+	sb, err := lab.OpenJournal(dir + "/standby")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer sb.Close()
+	promoted := make(chan uint64, 1)
+	fol := fleet.NewFollower(fleet.FollowerConfig{
+		Self:         core.WorkerRecord{ID: "bench-standby"},
+		Primary:      "http://" + l.Addr().String(),
+		Journal:      sb,
+		PullInterval: 5 * time.Millisecond,
+		DeadAfter:    deadAfter,
+		OnTakeover:   func(epoch uint64) { promoted <- epoch },
+	})
+	fol.Start()
+	defer fol.Stop()
+
+	deadline := time.Now().Add(30 * time.Second)
+	for sb.Rec() != prim.Rec() {
+		if time.Now().After(deadline) {
+			return 0, 0, fmt.Errorf("standby never caught up (rec %d vs %d)", sb.Rec(), prim.Rec())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	killed := time.Now()
+	hs.Close()
+	l.Close()
+	select {
+	case epoch := <-promoted:
+		return time.Since(killed).Nanoseconds(), epoch, nil
+	case <-time.After(30 * time.Second):
+		return 0, 0, fmt.Errorf("standby never promoted")
+	}
 }
 
 // benchTopologies measures the topology subsystem's two baselines: triad

@@ -59,6 +59,26 @@
 // membership through its write-ahead journal, so a SIGKILLed coordinator
 // restarts, replays, re-probes the last-known workers, and resumes the
 // sweep under the original job IDs.
+//
+// # Coordinator failover
+//
+// A standby replicates the coordinator's journal over HTTP — no shared
+// disk — and promotes itself when the primary goes silent:
+//
+//	butterflyd -role coordinator -addr :7788
+//	butterflyd -role standby -addr :7789 -follow http://127.0.0.1:7788
+//
+// The standby pulls journal records (job lifecycle, fleet membership,
+// sweep identities) into its own journal on its own disk. When the primary
+// stops answering at the connection level for -dead-after, the standby
+// durably fences a new epoch, replays its replicated journal, re-probes
+// the last-known workers, and resumes the sweep under the original job
+// IDs — reassembled byte-identical to a single-node run. Workers learn the
+// standby's URL from heartbeat acks and fail over to it; their epoch gates
+// answer 412 to any dispatch from the deposed primary, which steps down
+// the moment it sees one. Replication lag, epoch, and takeover count are
+// on /metrics (and GET /replica/status on a standby that has not yet
+// promoted).
 package main
 
 import (
@@ -72,6 +92,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -95,25 +116,55 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "how long shutdown waits for queued and in-flight jobs")
 		pprofOn      = flag.Bool("pprof", false, "expose Go profiling endpoints under /debug/pprof/ (off by default; do not enable on untrusted networks)")
 
-		role      = flag.String("role", "single", `fleet role: "single" (default), "coordinator" (place jobs on workers), or "worker" (execute jobs for a coordinator)`)
+		role      = flag.String("role", "single", `fleet role: "single" (default), "coordinator" (place jobs on workers), "worker" (execute jobs for a coordinator), or "standby" (replicate a coordinator's journal; promote on its death)`)
 		joinURL   = flag.String("join", "", "worker: coordinator base URL to join (required with -role worker)")
-		advertise = flag.String("advertise", "", "worker: base URL peers reach this daemon on (default derived from -addr on loopback)")
+		followURL = flag.String("follow", "", "standby: primary coordinator base URL to replicate (required with -role standby)")
+		advertise = flag.String("advertise", "", "worker/standby: base URL peers reach this daemon on (default derived from -addr on loopback)")
 		workerID  = flag.String("worker-id", "", "worker: stable ring identity (default: the advertise host:port)")
 		heartbeat = flag.Duration("heartbeat", time.Second, "worker: heartbeat interval")
-		deadAfter = flag.Duration("dead-after", 5*time.Second, "coordinator: reassign a worker's jobs after this long without a heartbeat")
+		deadAfter = flag.Duration("dead-after", 5*time.Second, "coordinator: reassign a worker's jobs after this long without a heartbeat; standby: take over after this long of primary silence")
 		dispatch  = flag.Int("dispatch", 16, "coordinator: concurrent remote dispatches (used when -workers is 0)")
+		pullEvery = flag.Duration("pull-interval", 200*time.Millisecond, "standby: journal replication pull interval")
 	)
 	flag.Parse()
 	log.SetPrefix("butterflyd: ")
 	log.SetFlags(log.LstdFlags)
 
 	switch *role {
-	case "single", "coordinator", "worker":
+	case "single", "coordinator", "worker", "standby":
 	default:
-		log.Fatalf("-role must be single, coordinator, or worker (got %q)", *role)
+		log.Fatalf("-role must be single, coordinator, worker, or standby (got %q)", *role)
 	}
 	if *role == "worker" && *joinURL == "" {
 		log.Fatalf("-role worker requires -join <coordinator URL>")
+	}
+	if *role == "standby" {
+		if *followURL == "" {
+			log.Fatalf("-role standby requires -follow <primary coordinator URL>")
+		}
+		if *noJournal {
+			log.Fatalf("-role standby is pointless without a journal: the replicated journal IS the standby")
+		}
+	}
+
+	// A worker's fleet runtime exists before the listener so its epoch gate
+	// can wrap the whole HTTP surface: dispatches from a fenced (replaced)
+	// coordinator are rejected with 412 before they reach the job API.
+	var fworker *fleet.Worker
+	if *role == "worker" {
+		self := core.WorkerRecord{ID: *workerID, URL: *advertise}
+		if self.URL == "" {
+			self.URL = advertiseFromAddr(*addr)
+		}
+		if self.ID == "" {
+			self.ID = idFromURL(self.URL)
+		}
+		fworker = fleet.NewWorker(fleet.WorkerConfig{
+			Self:           self,
+			Coordinator:    *joinURL,
+			HeartbeatEvery: *heartbeat,
+			Logf:           log.Printf,
+		})
 	}
 
 	// Listen before the journal replay so health probes get answers from
@@ -137,6 +188,11 @@ func main() {
 		mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
 		mux.Handle("/", srv)
 		handler = mux
+	}
+	if fworker != nil {
+		// Outermost: a stale-epoch dispatch is rejected before anything else
+		// sees it. Requests without an epoch header pass untouched.
+		handler = fworker.Gate().Middleware(handler)
 	}
 	httpSrv := &http.Server{
 		Addr:    *addr,
@@ -176,18 +232,29 @@ func main() {
 		Journal:    journal,
 	}
 
-	// Fleet wiring happens between journal replay and scheduler creation:
-	// a restarting coordinator must rediscover live workers BEFORE the
-	// scheduler requeues mid-flight jobs, so those jobs re-dispatch
-	// immediately instead of spinning on an empty ring.
-	var coord *fleet.Coordinator
-	var fworker *fleet.Worker
-	switch *role {
-	case "coordinator":
-		coord = fleet.NewCoordinator(fleet.CoordinatorConfig{
-			DeadAfter: *deadAfter,
-			Journal:   journal,
-			Logf:      log.Printf,
+	selfURL := *advertise
+	if selfURL == "" {
+		selfURL = advertiseFromAddr(*addr)
+	}
+
+	// buildCoordinator assembles a serving coordinator — used at startup by
+	// -role coordinator (takeovers=0) and at promotion time by a standby
+	// (takeovers=1, epoch freshly fenced). Returns the coordinator and the
+	// scheduler config it drives.
+	buildCoordinator := func(epoch, takeovers uint64) (*fleet.Coordinator, lab.Config) {
+		ccfg := cfg
+		var rep *fleet.Replicator
+		if journal != nil {
+			rep = fleet.NewReplicator(journal)
+		}
+		coord := fleet.NewCoordinator(fleet.CoordinatorConfig{
+			DeadAfter:  *deadAfter,
+			Journal:    journal,
+			Epoch:      epoch,
+			Takeovers:  takeovers,
+			SelfURL:    selfURL,
+			Replicator: rep,
+			Logf:       log.Printf,
 		})
 		if journal != nil {
 			if known := journal.Workers(); len(known) > 0 {
@@ -196,41 +263,93 @@ func main() {
 			}
 		}
 		coord.Mount(srv)
-		cfg.Execute = coord.Execute
-		if cfg.Workers == 0 {
+		ccfg.Execute = coord.Execute
+		if ccfg.Workers == 0 {
 			// Dispatch slots are parked on HTTP polls, not CPU; give the
 			// coordinator more of them than it has cores.
-			cfg.Workers = *dispatch
+			ccfg.Workers = *dispatch
 		}
-	case "worker":
-		self := core.WorkerRecord{ID: *workerID, URL: *advertise}
-		if self.URL == "" {
-			self.URL = advertiseFromAddr(*addr)
-		}
-		if self.ID == "" {
-			self.ID = idFromURL(self.URL)
-		}
-		fworker = fleet.NewWorker(fleet.WorkerConfig{
-			Self:           self,
-			Coordinator:    *joinURL,
-			HeartbeatEvery: *heartbeat,
-			Logf:           log.Printf,
-		})
-		cfg.PeerFill = fworker.PeerFill
-		srv.AugmentMetrics(func() any { return fworker.Metrics() })
+		// A coordinator's memory is bounded by its largest single result,
+		// not the sum of a sweep: finished tables spool to the cache and
+		// sweep reassembly streams them back one point at a time.
+		ccfg.SpoolResults = cache != nil
+		return coord, ccfg
 	}
 
-	sched := lab.NewScheduler(cfg)
-	srv.Attach(sched)
-	if rec := sched.Recovery(); rec.Replayed > 0 {
-		log.Printf("journal: replayed %d jobs (%d restored, %d requeued)",
-			rec.Replayed, rec.Restored, rec.Requeued)
+	// The serving scheduler and coordinator are atomic because a standby
+	// creates them on its replication goroutine at takeover time, while
+	// main sleeps on signals.
+	var schedPtr atomic.Pointer[lab.Scheduler]
+	var coordPtr atomic.Pointer[fleet.Coordinator]
+	var follower *fleet.Follower
+
+	attach := func(coord *fleet.Coordinator, ccfg lab.Config) {
+		sched := lab.NewScheduler(ccfg)
+		coordPtr.Store(coord)
+		schedPtr.Store(sched)
+		srv.Attach(sched)
+		if rec := sched.Recovery(); rec.Replayed > 0 {
+			log.Printf("journal: replayed %d jobs (%d restored, %d requeued)",
+				rec.Replayed, rec.Restored, rec.Requeued)
+		}
 	}
+
+	// Fleet wiring happens between journal replay and scheduler creation:
+	// a restarting coordinator must rediscover live workers BEFORE the
+	// scheduler requeues mid-flight jobs, so those jobs re-dispatch
+	// immediately instead of spinning on an empty ring.
+	switch *role {
+	case "single":
+		attach(nil, cfg)
+	case "coordinator":
+		// The first coordinator on a journal fences epoch 1; a restart
+		// inherits whatever epoch the journal last fenced.
+		epoch := uint64(0)
+		if journal != nil {
+			if journal.Epoch() == 0 {
+				if _, err := journal.BumpEpoch(); err != nil {
+					log.Fatalf("journal: fencing initial epoch: %v", err)
+				}
+			}
+			epoch = journal.Epoch()
+		}
+		attach(buildCoordinator(epoch, 0))
+	case "worker":
+		cfg.PeerFill = fworker.PeerFill
+		srv.AugmentMetrics(func() any { return fworker.Metrics() })
+		attach(nil, cfg)
+	case "standby":
+		// No scheduler yet: /readyz stays 503 until promotion. The follower
+		// replicates the primary's journal into ours; OnTakeover fences the
+		// epoch (already durable when it fires), replays the replicated
+		// journal, re-probes the fleet, and starts serving — the in-flight
+		// sweep resumes under its original job IDs.
+		follower = fleet.NewFollower(fleet.FollowerConfig{
+			Self:         core.WorkerRecord{ID: idFromURL(selfURL), URL: selfURL},
+			Primary:      *followURL,
+			Journal:      journal,
+			PullInterval: *pullEvery,
+			DeadAfter:    *deadAfter,
+			Logf:         log.Printf,
+			OnTakeover: func(epoch uint64) {
+				log.Printf("standby: promoting to coordinator (epoch %d)", epoch)
+				attach(buildCoordinator(epoch, 1))
+				log.Printf("standby: serving as coordinator on %s (epoch %d)", *addr, epoch)
+			},
+		})
+		follower.Mount(srv)
+		follower.Start()
+	}
+
 	if fworker != nil {
 		fworker.Start()
 	}
-	log.Printf("serving %d experiments on %s (role %s, %d workers, queue %d, cache %s, journal %s)",
-		len(core.Experiments()), *addr, *role, sched.Workers(), *queueDepth, cacheDesc(cache), journalDesc(journal))
+	if sched := schedPtr.Load(); sched != nil {
+		log.Printf("serving %d experiments on %s (role %s, %d workers, queue %d, cache %s, journal %s)",
+			len(core.Experiments()), *addr, *role, sched.Workers(), *queueDepth, cacheDesc(cache), journalDesc(journal))
+	} else {
+		log.Printf("standby on %s following %s (journal %s)", *addr, *followURL, journalDesc(journal))
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -243,20 +362,32 @@ func main() {
 
 	// Drain order matters: readiness flips first (load balancers stop
 	// routing; /healthz stays ok — the process is alive, just not taking
-	// work), then the job queue drains while the HTTP listener keeps
+	// work), then a worker announces its departure (so the coordinator
+	// stops placing new jobs here instead of later mistaking the silence
+	// for a death), then the job queue drains while the HTTP listener keeps
 	// serving status polls, then the listener closes and the journal
 	// compacts.
 	srv.BeginDrain()
+	if fworker != nil {
+		fworker.Leave()
+	}
+	if follower != nil {
+		follower.Stop()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	drainErr := sched.Shutdown(ctx)
+	sched := schedPtr.Load()
+	var drainErr error
+	if sched != nil {
+		drainErr = sched.Shutdown(ctx)
+	}
 	// A worker keeps heartbeating through its own drain — the coordinator
 	// must see it alive while it finishes dispatched jobs — and only goes
 	// quiet once the queue is empty.
 	if fworker != nil {
 		fworker.Stop()
 	}
-	if coord != nil {
+	if coord := coordPtr.Load(); coord != nil {
 		coord.Close()
 	}
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
@@ -270,6 +401,10 @@ func main() {
 	if drainErr != nil {
 		log.Printf("drain incomplete, jobs canceled: %v", drainErr)
 		os.Exit(1)
+	}
+	if sched == nil {
+		log.Printf("standby exiting (never promoted)")
+		return
 	}
 	m := sched.Metrics()
 	log.Printf("drained: %d completed, %d failed, %d canceled, cache hit rate %.0f%%",

@@ -37,18 +37,80 @@ type HeartbeatRequest struct {
 	Simulated uint64 `json:"simulated"`
 }
 
+// LeaveRequest is a worker's explicit deregistration on planned shutdown
+// (SIGTERM): the coordinator downs it immediately and quietly, instead of
+// reassigning its work when the heartbeat deadline expires.
+type LeaveRequest struct {
+	Worker WorkerRecord `json:"worker"`
+}
+
 // FleetView is the coordinator's answer to joins and heartbeats: the
 // current live membership, from which every worker derives the same ring
 // the coordinator places by.
 type FleetView struct {
 	Workers []WorkerRecord `json:"workers"`
+	// Epoch is the answering coordinator's generation. Workers adopt the
+	// highest epoch they have seen and reject dispatches below it.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Coordinators lists the coordinator endpoints a worker may heartbeat,
+	// the active primary first, then known standbys — how workers learn
+	// where to fail over before the primary dies.
+	Coordinators []string `json:"coordinators,omitempty"`
+}
+
+// ReplicaPullRequest is a standby asking the primary for journal records it
+// has not yet replicated. AfterRec doubles as the acknowledgement: the
+// primary knows everything up to and including AfterRec is durable on this
+// follower, which is what the replication-lag gauge measures.
+type ReplicaPullRequest struct {
+	FollowerID  string `json:"follower_id"`
+	FollowerURL string `json:"follower_url,omitempty"`
+	AfterRec    int64  `json:"after_rec"`
+	// FullState forces a snapshot transfer (set after a gap — e.g. the
+	// follower's log was torn and truncated below the primary's tail).
+	FullState bool `json:"full_state,omitempty"`
+}
+
+// ReplicaPullResponse carries either the next batch of journal records or,
+// when the follower is too far behind the primary's in-memory tail, a full
+// state snapshot to install before streaming resumes.
+type ReplicaPullResponse struct {
+	Epoch   uint64          `json:"epoch"`
+	LastRec int64           `json:"last_rec"`
+	Records []JournalRecord `json:"records,omitempty"`
+	State   *ReplicaState   `json:"state,omitempty"`
+}
+
+// ReplicaState is a full journal state snapshot on the wire — the same
+// shape the journal compacts to disk, used to bootstrap a follower that
+// joined (or fell) too far behind the record stream.
+type ReplicaState struct {
+	Schema  string         `json:"schema"`
+	Rec     int64          `json:"rec"`
+	Seq     int            `json:"seq"`
+	Epoch   uint64         `json:"epoch,omitempty"`
+	Jobs    []JobRecord    `json:"jobs"`
+	Workers []WorkerRecord `json:"workers,omitempty"`
+	Sweeps  []SweepRecord  `json:"sweeps,omitempty"`
+}
+
+// FollowerHealth is one standby's row in the primary's replication metrics.
+type FollowerHealth struct {
+	ID            string `json:"id"`
+	URL           string `json:"url,omitempty"`
+	AckedRec      int64  `json:"acked_rec"`
+	LagRecs       int64  `json:"lag_recs"`
+	LastPullAgeMs int64  `json:"last_pull_age_ms"`
 }
 
 // WorkerHealth is one worker's row in the coordinator's fleet metrics.
 type WorkerHealth struct {
-	ID             string `json:"id"`
-	URL            string `json:"url"`
-	Alive          bool   `json:"alive"`
+	ID    string `json:"id"`
+	URL   string `json:"url"`
+	Alive bool   `json:"alive"`
+	// Draining marks a planned departure in progress: alive for in-flight
+	// work, excluded from new placements.
+	Draining       bool   `json:"draining,omitempty"`
 	HeartbeatAgeMs int64  `json:"heartbeat_age_ms"`
 	PeerHits       uint64 `json:"peer_hits"`
 	Simulated      uint64 `json:"simulated"`
@@ -56,14 +118,33 @@ type WorkerHealth struct {
 
 // FleetMetrics is the fleet block of a coordinator's /metrics document.
 type FleetMetrics struct {
-	Role           string         `json:"role"`
-	LiveWorkers    int            `json:"live_workers"`
-	KnownWorkers   int            `json:"known_workers"`
-	ReassignedJobs uint64         `json:"reassigned_jobs"`
-	PeerHits       uint64         `json:"peer_hits"`
-	Simulated      uint64         `json:"simulated"`
-	MaxBeatAgeMs   int64          `json:"max_heartbeat_age_ms"`
-	Workers        []WorkerHealth `json:"workers,omitempty"`
+	Role           string `json:"role"`
+	Epoch          uint64 `json:"epoch"`
+	Takeovers      uint64 `json:"takeovers"`
+	LiveWorkers    int    `json:"live_workers"`
+	KnownWorkers   int    `json:"known_workers"`
+	ReassignedJobs uint64 `json:"reassigned_jobs"`
+	PeerHits       uint64 `json:"peer_hits"`
+	Simulated      uint64 `json:"simulated"`
+	MaxBeatAgeMs   int64  `json:"max_heartbeat_age_ms"`
+	// ReplicationLagRecs is the worst follower lag in journal records
+	// (primary's last record minus the follower's acked record).
+	ReplicationLagRecs int64            `json:"replication_lag_recs"`
+	Followers          []FollowerHealth `json:"followers,omitempty"`
+	Workers            []WorkerHealth   `json:"workers,omitempty"`
+}
+
+// StandbyMetrics is the fleet block of a not-yet-promoted standby's
+// /metrics (and /replica/status) document.
+type StandbyMetrics struct {
+	Role    string `json:"role"`
+	Primary string `json:"primary"`
+	Epoch   uint64 `json:"epoch"`
+	// AckedRec is the last journal record durably replicated here.
+	AckedRec int64 `json:"acked_rec"`
+	// LastSyncAgeMs is time since the last successful pull (-1 before the
+	// first).
+	LastSyncAgeMs int64 `json:"last_sync_age_ms"`
 }
 
 // WorkerMetrics is the fleet block of a worker's /metrics document.
@@ -71,9 +152,14 @@ type WorkerMetrics struct {
 	Role        string `json:"role"`
 	ID          string `json:"id"`
 	Coordinator string `json:"coordinator"`
-	RingSize    int    `json:"ring_size"`
-	PeerHits    uint64 `json:"peer_hits"`
-	Simulated   uint64 `json:"simulated"`
+	// Coordinators is the failover list learned from heartbeat acks.
+	Coordinators []string `json:"coordinators,omitempty"`
+	// Epoch is the highest coordinator generation this worker has seen;
+	// dispatches stamped below it are rejected.
+	Epoch     uint64 `json:"epoch"`
+	RingSize  int    `json:"ring_size"`
+	PeerHits  uint64 `json:"peer_hits"`
+	Simulated uint64 `json:"simulated"`
 	// LastAckAgeMs is how stale the worker's view of the fleet is: time
 	// since the coordinator last acknowledged a heartbeat (-1 before the
 	// first ack).

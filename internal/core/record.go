@@ -49,10 +49,27 @@ const (
 	EventWorkerDown JournalEvent = "worker-down"
 )
 
+// Coordination events. EventEpoch fences coordinator generations: each
+// takeover durably bumps a monotonically increasing epoch before the new
+// primary dispatches anything, and workers reject dispatches stamped with a
+// lower epoch. EventSweep records a sweep's identity — its grid-ordered job
+// IDs — so a failed-over coordinator can still reassemble the sweep it never
+// submitted itself.
+const (
+	EventEpoch JournalEvent = "epoch"
+	EventSweep JournalEvent = "sweep"
+)
+
 // FleetEvent reports whether the event mutates fleet membership rather
 // than a job's lifecycle.
 func (e JournalEvent) FleetEvent() bool {
 	return e == EventWorkerUp || e == EventWorkerDown
+}
+
+// ControlEvent reports whether the event carries coordination state (epoch
+// fencing, sweep identity) rather than a job or membership transition.
+func (e JournalEvent) ControlEvent() bool {
+	return e == EventEpoch || e == EventSweep
 }
 
 // Terminal reports whether the event ends a job's life (and therefore must
@@ -79,9 +96,22 @@ type JournalRecord struct {
 	// Worker travels only on fleet membership events (EventWorkerUp /
 	// EventWorkerDown), which carry no job.
 	Worker *WorkerRecord `json:"worker,omitempty"`
+	// Epoch travels only on EventEpoch: the coordinator generation this
+	// record fences in. Strictly increasing across takeovers.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Sweep travels only on EventSweep.
+	Sweep *SweepRecord `json:"sweep,omitempty"`
 	// UnixMs timestamps the record (wall clock; informational only — replay
 	// depends on order, never on time).
 	UnixMs int64 `json:"unix_ms,omitempty"`
+}
+
+// SweepRecord names one sweep durably: the journal keeps the grid-ordered
+// job IDs so the streaming reassembly endpoint survives coordinator
+// replacement — the standby can serve a sweep it never accepted.
+type SweepRecord struct {
+	SweepID string   `json:"sweep_id"`
+	JobIDs  []string `json:"job_ids"`
 }
 
 // JobRecord is the compacted per-job state a journal snapshot stores: the

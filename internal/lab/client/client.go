@@ -57,6 +57,10 @@ type Client struct {
 	// a single-daemon client prefers patient backoff across restarts; a
 	// fleet coordinator arms it so dead workers fail over fast.
 	Breaker *Breaker
+	// Headers, when non-nil, is called per attempt and its entries are set
+	// on the request — how a fleet coordinator stamps dispatches with its
+	// epoch so fenced (replaced) coordinators are rejected by workers.
+	Headers func() map[string]string
 
 	base string
 	hc   *http.Client
@@ -230,6 +234,11 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 		}
 		if body != nil {
 			req.Header.Set("Content-Type", "application/json")
+		}
+		if c.Headers != nil {
+			for k, v := range c.Headers() {
+				req.Header.Set(k, v)
+			}
 		}
 		retryAfter := time.Duration(0)
 		retryable := false

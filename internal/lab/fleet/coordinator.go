@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,6 +21,11 @@ import (
 // the job to the next ring node instead of failing it.
 var errWorkerLost = errors.New("fleet: worker lost")
 
+// ErrFenced marks a dispatch rejected by a worker's epoch gate: a newer
+// coordinator has taken over and this one must stop dispatching — its
+// journal is no longer the authority on anything.
+var ErrFenced = errors.New("fleet: fenced by a newer coordinator epoch")
+
 // CoordinatorConfig parameterizes a Coordinator.
 type CoordinatorConfig struct {
 	// DeadAfter is how long a worker may go without a heartbeat before
@@ -31,6 +37,21 @@ type CoordinatorConfig struct {
 	// Journal, when non-nil, receives worker-up/worker-down records so a
 	// restarted coordinator can probe the last-known fleet immediately.
 	Journal *lab.Journal
+	// Epoch is this coordinator's generation, stamped on every dispatch.
+	// The first coordinator on a journal fences epoch 1; a standby bumps
+	// the epoch durably before building its coordinator. Zero means the
+	// fleet predates fencing (dispatches go unstamped).
+	Epoch uint64
+	// Takeovers is how many failovers produced this coordinator (0 for a
+	// primary that started as one; surfaced on /metrics).
+	Takeovers uint64
+	// SelfURL is the base URL workers reach this coordinator on; it leads
+	// the coordinator list heartbeat acks advertise.
+	SelfURL string
+	// Replicator, when non-nil, streams this coordinator's journal to
+	// standbys (mounted at POST /replica/pull) and contributes the
+	// replication-lag gauges and the standby URLs workers fail over to.
+	Replicator *Replicator
 	// Logf receives the coordinator's structured log lines (default:
 	// discard). Reassignments always log through it — one key=value line
 	// per reassignment, so operators can reconstruct failure timelines.
@@ -52,6 +73,7 @@ type Coordinator struct {
 	urls    map[string]string         // worker ID → URL the client above targets
 
 	reassigned atomic.Uint64
+	fenced     atomic.Bool // a worker rejected our epoch: a successor runs
 	stop       chan struct{}
 	stopOnce   sync.Once
 	swept      sync.WaitGroup
@@ -155,6 +177,10 @@ func (c *Coordinator) clientFor(w core.WorkerRecord) *client.Client {
 	cl.BaseDelay = 50 * time.Millisecond
 	cl.MaxDelay = 500 * time.Millisecond
 	cl.Breaker = client.NewBreaker(3, c.cfg.DeadAfter)
+	if c.cfg.Epoch > 0 {
+		epoch := strconv.FormatUint(c.cfg.Epoch, 10)
+		cl.Headers = func() map[string]string { return map[string]string{EpochHeader: epoch} }
+	}
 	c.clients[w.ID] = cl
 	c.urls[w.ID] = w.URL
 	return cl
@@ -189,19 +215,42 @@ func (c *Coordinator) RecoverWorkers(known []core.WorkerRecord) {
 	wg.Wait()
 }
 
-// Execute is the lab.Config.Execute hook: place the job's fingerprint on
+// pickOwner walks the ring clockwise from the placement key and returns
+// the first member the directory still believes placeable. The ring is a
+// snapshot — between a death being recorded and the ring refresh landing,
+// Owner can name a worker that is already dead, and after two simultaneous
+// deaths the *successor* can be dead too. Checking each candidate against
+// the live directory closes that window: the job goes to the next live
+// member, however many corpses sit between.
+func (c *Coordinator) pickOwner(key string) (core.WorkerRecord, bool) {
+	ring := c.Ring()
+	for _, w := range ring.Successors(key, ring.Len()) {
+		if c.dir.Placeable(w.ID) {
+			return w, true
+		}
+	}
+	return core.WorkerRecord{}, false
+}
+
+// Execute is the lab.Config.Execute hook: place the job's locality key on
 // the ring, dispatch it to the owning worker, and wait — reassigning to
-// the next ring node whenever the worker dies mid-flight. Re-execution
-// after a reassignment is idempotent: the result is content-addressed,
-// and any worker that already holds it (its own cache or a ring
-// sibling's) serves it without simulating.
+// the next live ring node whenever the worker dies mid-flight.
+// Re-execution after a reassignment is idempotent: the result is
+// content-addressed, and any worker that already holds it (its own cache
+// or a ring sibling's) serves it without simulating. Placement hashes
+// PlacementKey(spec), not the fingerprint, so a sweep's axis-neighbors pin
+// to one worker and its cache serves the sweep's next refinement.
 func (c *Coordinator) Execute(spec core.Spec, fp string, canceled func() bool) (*core.Result, error) {
+	key := PlacementKey(spec)
 	var lastWorker string
 	for {
 		if canceled() {
 			return nil, lab.ErrCanceled
 		}
-		w, ok := c.Ring().Owner(fp)
+		if c.fenced.Load() {
+			return nil, ErrFenced
+		}
+		w, ok := c.pickOwner(key)
 		if !ok {
 			// No live workers. Hold the job rather than failing it — the
 			// fleet losing its last worker is exactly when an operator is
@@ -294,6 +343,15 @@ func (c *Coordinator) classify(w core.WorkerRecord, err error, op string) error 
 		switch ae.StatusCode {
 		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
 			return fmt.Errorf("%w: %s %s: %v", errWorkerBusy, w.ID, op, err)
+		case http.StatusPreconditionFailed:
+			// The worker's epoch gate rejected us: a newer coordinator has
+			// taken over. Step down loudly — every further dispatch from
+			// this process would be a split-brain write.
+			if !c.fenced.Swap(true) {
+				c.cfg.Logf("fleet: FENCED epoch=%d worker=%s op=%s — a newer coordinator has taken over, stepping down",
+					c.cfg.Epoch, w.ID, op)
+			}
+			return fmt.Errorf("%w: worker %s %s: %v", ErrFenced, w.ID, op, err)
 		}
 		return fmt.Errorf("fleet: worker %s %s: %w", w.ID, op, err)
 	}
@@ -324,11 +382,17 @@ func sleepUnlessCanceled(d time.Duration, canceled func() bool) bool {
 	return canceled == nil || !canceled()
 }
 
+// Fenced reports whether a worker has rejected this coordinator's epoch —
+// i.e. a successor has taken over and this process must not dispatch.
+func (c *Coordinator) Fenced() bool { return c.fenced.Load() }
+
 // Metrics assembles the coordinator's fleet gauges for /metrics.
 func (c *Coordinator) Metrics() core.FleetMetrics {
 	health := c.dir.Health()
 	m := core.FleetMetrics{
 		Role:           "coordinator",
+		Epoch:          c.cfg.Epoch,
+		Takeovers:      c.cfg.Takeovers,
 		KnownWorkers:   len(health),
 		ReassignedJobs: c.reassigned.Load(),
 		Workers:        health,
@@ -343,20 +407,48 @@ func (c *Coordinator) Metrics() core.FleetMetrics {
 		m.PeerHits += h.PeerHits
 		m.Simulated += h.Simulated
 	}
+	if c.cfg.Replicator != nil {
+		m.Followers = c.cfg.Replicator.Followers()
+		for _, f := range m.Followers {
+			if f.LagRecs > m.ReplicationLagRecs {
+				m.ReplicationLagRecs = f.LagRecs
+			}
+		}
+	}
 	return m
+}
+
+// view assembles the membership answer to joins and heartbeats, carrying
+// the epoch (so workers raise their fences without waiting for a dispatch)
+// and the coordinator failover list (self first, then pulling standbys).
+func (c *Coordinator) view() core.FleetView {
+	v := core.FleetView{Workers: c.dir.Live(), Epoch: c.cfg.Epoch}
+	if c.cfg.SelfURL != "" {
+		v.Coordinators = append(v.Coordinators, c.cfg.SelfURL)
+	}
+	if c.cfg.Replicator != nil {
+		v.Coordinators = append(v.Coordinators, c.cfg.Replicator.FollowerURLs()...)
+	}
+	return v
 }
 
 // Mount wires the coordinator's HTTP surface onto a lab server:
 //
 //	POST /fleet/join       worker announces itself (body: core.JoinRequest)
 //	POST /fleet/heartbeat  liveness + counters (body: core.HeartbeatRequest)
+//	POST /fleet/leave      worker's planned departure (body: core.LeaveRequest)
 //	GET  /fleet            fleet status document (core.FleetMetrics)
+//	POST /replica/pull     standby journal replication (with a Replicator)
 //
 // and registers the fleet block of /metrics.
 func (c *Coordinator) Mount(srv *lab.Server) {
 	srv.Handle("POST /fleet/join", http.HandlerFunc(c.handleJoin))
 	srv.Handle("POST /fleet/heartbeat", http.HandlerFunc(c.handleHeartbeat))
+	srv.Handle("POST /fleet/leave", http.HandlerFunc(c.handleLeave))
 	srv.Handle("GET /fleet", http.HandlerFunc(c.handleStatus))
+	if c.cfg.Replicator != nil {
+		srv.Handle("POST /replica/pull", http.HandlerFunc(c.cfg.Replicator.HandlePull))
+	}
 	srv.AugmentMetrics(func() any { return c.Metrics() })
 }
 
@@ -368,7 +460,26 @@ func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
 	if c.dir.Upsert(req.Worker) {
 		c.workerUp(req.Worker, "join")
 	}
-	writeFleetJSON(w, core.FleetView{Workers: c.dir.Live()})
+	writeFleetJSON(w, c.view())
+}
+
+// handleLeave is a worker's planned departure: journal it and drop it from
+// the placement set immediately, but keep it pollable for its in-flight
+// jobs — no reassignment churn, because nothing was abandoned.
+func (c *Coordinator) handleLeave(w http.ResponseWriter, r *http.Request) {
+	var req core.LeaveRequest
+	if !decodeFleetBody(w, r, &req) || !validWorker(w, req.Worker) {
+		return
+	}
+	if c.dir.Depart(req.Worker.ID) {
+		if c.cfg.Journal != nil {
+			_ = c.cfg.Journal.WorkerDown(req.Worker)
+		}
+		c.cfg.Logf("fleet: worker-leave id=%s url=%s reason=drain live=%d",
+			req.Worker.ID, req.Worker.URL, len(c.dir.Live()))
+		c.refreshRing()
+	}
+	writeFleetJSON(w, c.view())
 }
 
 func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
@@ -382,7 +493,7 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	if c.dir.Beat(req) {
 		c.workerUp(req.Worker, "heartbeat")
 	}
-	writeFleetJSON(w, core.FleetView{Workers: c.dir.Live()})
+	writeFleetJSON(w, c.view())
 }
 
 func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {

@@ -23,9 +23,14 @@ type Directory struct {
 }
 
 type member struct {
-	rec       core.WorkerRecord
-	lastBeat  time.Time
-	alive     bool
+	rec      core.WorkerRecord
+	lastBeat time.Time
+	alive    bool
+	// draining marks a planned departure (explicit leave): the worker gets
+	// no new placements but stays alive for in-flight polling until its
+	// heartbeats stop — at which point it is downed quietly, with no
+	// reassignment churn.
+	draining  bool
 	peerHits  uint64
 	simulated uint64
 }
@@ -52,24 +57,50 @@ func (d *Directory) Upsert(rec core.WorkerRecord) (changed bool) {
 		m = &member{}
 		d.members[rec.ID] = m
 	}
-	changed = !ok || !m.alive || m.rec.URL != rec.URL
+	changed = !ok || !m.alive || m.draining || m.rec.URL != rec.URL
 	m.rec = rec
 	m.lastBeat = d.now()
 	m.alive = true
+	// An explicit join is a deliberate (re)arrival: it cancels any pending
+	// drain. Heartbeats go through Beat, which preserves the drain.
+	m.draining = false
 	return changed
 }
 
 // Beat folds one heartbeat in: liveness plus the worker's reported
-// counters. Unknown and dead workers are revived via Upsert semantics.
+// counters. Unknown and dead workers are revived via Upsert semantics —
+// except that a draining worker's heartbeats keep it alive for in-flight
+// polling without making it placeable again.
 func (d *Directory) Beat(req core.HeartbeatRequest) (changed bool) {
-	changed = d.Upsert(req.Worker)
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if m, ok := d.members[req.Worker.ID]; ok {
-		m.peerHits = req.PeerHits
-		m.simulated = req.Simulated
+	m, ok := d.members[req.Worker.ID]
+	if !ok {
+		m = &member{}
+		d.members[req.Worker.ID] = m
 	}
+	changed = !ok || (!m.alive && !m.draining) || (!m.draining && m.rec.URL != req.Worker.URL)
+	m.rec = req.Worker
+	m.lastBeat = d.now()
+	m.alive = true
+	m.peerHits = req.PeerHits
+	m.simulated = req.Simulated
 	return changed
+}
+
+// Depart marks a planned departure (an explicit leave): the worker leaves
+// the placement set immediately but stays alive for in-flight polling.
+// Reports whether the worker was known and placeable (i.e. whether the
+// caller should journal and announce the departure).
+func (d *Directory) Depart(id string) (was bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	m, ok := d.members[id]
+	if !ok || !m.alive || m.draining {
+		return false
+	}
+	m.draining = true
+	return true
 }
 
 // MarkDead downs a worker immediately — the coordinator calls it when a
@@ -96,6 +127,11 @@ func (d *Directory) Sweep() []core.WorkerRecord {
 	for _, m := range d.members {
 		if m.alive && now.Sub(m.lastBeat) > d.deadAfter {
 			m.alive = false
+			if m.draining {
+				// A drained worker going silent is the plan succeeding, not
+				// a failure: finalize quietly, no reassignment.
+				continue
+			}
 			dead = append(dead, m.rec)
 		}
 	}
@@ -111,13 +147,24 @@ func (d *Directory) Alive(id string) bool {
 	return ok && m.alive
 }
 
-// Live returns the live membership sorted by ID — the input to NewRing.
+// Placeable reports whether the worker may receive new placements: alive
+// and not draining.
+func (d *Directory) Placeable(id string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	m, ok := d.members[id]
+	return ok && m.alive && !m.draining
+}
+
+// Live returns the placeable membership sorted by ID — the input to
+// NewRing. Draining workers are excluded: they finish what they hold but
+// receive nothing new.
 func (d *Directory) Live() []core.WorkerRecord {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	out := make([]core.WorkerRecord, 0, len(d.members))
 	for _, m := range d.members {
-		if m.alive {
+		if m.alive && !m.draining {
 			out = append(out, m.rec)
 		}
 	}
@@ -136,6 +183,7 @@ func (d *Directory) Health() []core.WorkerHealth {
 			ID:             m.rec.ID,
 			URL:            m.rec.URL,
 			Alive:          m.alive,
+			Draining:       m.draining,
 			HeartbeatAgeMs: now.Sub(m.lastBeat).Milliseconds(),
 			PeerHits:       m.peerHits,
 			Simulated:      m.simulated,

@@ -1,0 +1,64 @@
+package fleet
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+)
+
+// EpochHeader stamps coordinator-originated requests with the dispatching
+// coordinator's generation. Workers reject requests below the highest
+// epoch they have seen — the fence that keeps a deposed primary (alive but
+// already replaced) from racing the new one for the same jobs.
+const EpochHeader = "X-Butterfly-Epoch"
+
+// EpochGate is a worker's fence: a raise-only epoch register plus the HTTP
+// middleware that enforces it. Requests without an epoch header pass
+// untouched, so ordinary clients (curl, butterflybench -server) are never
+// fenced — only coordinators identify themselves.
+type EpochGate struct {
+	max atomic.Uint64
+}
+
+// Observe folds an epoch into the gate (raise-only) and reports whether it
+// raised the fence.
+func (g *EpochGate) Observe(e uint64) bool {
+	for {
+		cur := g.max.Load()
+		if e <= cur {
+			return false
+		}
+		if g.max.CompareAndSwap(cur, e) {
+			return true
+		}
+	}
+}
+
+// Current returns the highest epoch observed.
+func (g *EpochGate) Current() uint64 { return g.max.Load() }
+
+// Middleware wraps a handler with the fence: a request stamped with an
+// epoch below the gate's answers 412 Precondition Failed (a verdict, not
+// backpressure — the client must not retry it), and a higher stamp raises
+// the gate, so the first dispatch from a new primary fences the old one
+// even before a heartbeat ack announces the takeover.
+func (g *EpochGate) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if h := r.Header.Get(EpochHeader); h != "" {
+			e, err := strconv.ParseUint(h, 10, 64)
+			if err != nil {
+				http.Error(w, fmt.Sprintf(`{"error":"bad %s: %v"}`, EpochHeader, err), http.StatusBadRequest)
+				return
+			}
+			if cur := g.Current(); e < cur {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusPreconditionFailed)
+				fmt.Fprintf(w, `{"error":"stale coordinator epoch %d, fenced at %d"}`+"\n", e, cur)
+				return
+			}
+			g.Observe(e)
+		}
+		next.ServeHTTP(w, r)
+	})
+}

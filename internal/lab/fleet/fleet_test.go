@@ -227,6 +227,70 @@ func TestFleetPeerCacheFill(t *testing.T) {
 	}
 }
 
+// TestFleetGracefulLeaveDrainsWithoutReassignment: a worker that announces
+// its departure (SIGTERM path) leaves the placement set immediately — no
+// waiting out -dead-after, and crucially no reassignment churn, because
+// nothing was abandoned. New jobs land on the survivor; the leaver stays
+// alive (draining) for in-flight polling until its heartbeats stop.
+func TestFleetGracefulLeaveDrainsWithoutReassignment(t *testing.T) {
+	coord, sched, coordURL := startCoordinator(t, 5*time.Second)
+	a := startNode(t, "wA", coordURL, filepath.Join(t.TempDir(), "a"))
+	startNode(t, "wB", coordURL, filepath.Join(t.TempDir(), "b"))
+	waitFor(t, "2 workers on the ring", func() bool { return coord.Ring().Len() == 2 })
+
+	// wA announces a planned departure. It keeps heartbeating (its queue
+	// may still hold dispatched jobs) but must stop being placeable.
+	a.w.Leave()
+	waitFor(t, "ring to exclude the leaver", func() bool { return coord.Ring().Len() == 1 })
+	if !coord.Directory().Alive("wA") {
+		t.Fatal("draining worker went dead instead of draining")
+	}
+	if coord.Directory().Placeable("wA") {
+		t.Fatal("draining worker still placeable")
+	}
+	var drainingSeen bool
+	for _, h := range coord.Directory().Health() {
+		if h.ID == "wA" && h.Draining {
+			drainingSeen = true
+		}
+	}
+	if !drainingSeen {
+		t.Fatal("directory health does not show wA draining")
+	}
+
+	// Every post-leave job lands on wB, byte-identical, with zero
+	// reassignments — a drain is not a death.
+	for _, spec := range sweepSpecs(6) {
+		job, err := sched.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := job.Wait()
+		if err != nil {
+			t.Fatalf("nodes=%d: %v", spec.Nodes, err)
+		}
+		clean, err := lab.RunSpec(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Table != clean.Table {
+			t.Errorf("nodes=%d: post-drain run diverges from sequential driver", spec.Nodes)
+		}
+	}
+	if n := coord.Reassigned(); n != 0 {
+		t.Errorf("graceful leave caused %d reassignments, want 0", n)
+	}
+	if got := a.w.Simulated(); got != 0 {
+		t.Errorf("draining worker simulated %d new jobs after leaving", got)
+	}
+
+	// A draining worker's heartbeats must not resurrect it onto the ring.
+	time.Sleep(150 * time.Millisecond) // a few heartbeat intervals
+	if coord.Ring().Len() != 1 {
+		t.Errorf("heartbeats resurrected the draining worker: ring=%d", coord.Ring().Len())
+	}
+}
+
 // TestFleetHoldsJobsWithNoWorkers: with every worker gone the coordinator
 // parks jobs rather than failing them, and releases them the moment a
 // worker appears.

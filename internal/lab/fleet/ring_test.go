@@ -3,6 +3,7 @@ package fleet
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"butterfly/internal/core"
 )
@@ -108,6 +109,51 @@ func TestRingSuccessors(t *testing.T) {
 	}
 	if got := r.Successors("fp", 0); got != nil {
 		t.Errorf("Successors(_, 0) = %v, want nil", got)
+	}
+}
+
+// TestPickOwnerSkipsTwoSimultaneousDeaths: the reassignment walk must not
+// hand a dead worker's jobs to a successor that is itself dead. The ring is
+// a snapshot — two deaths recorded in the directory but not yet folded into
+// a ring refresh leave both the owner and its successor on the ring — so
+// pickOwner must check every candidate against the live directory and land
+// on the first actually-placeable member, however many corpses in a row.
+func TestPickOwnerSkipsTwoSimultaneousDeaths(t *testing.T) {
+	c := NewCoordinator(CoordinatorConfig{DeadAfter: time.Hour, Logf: t.Logf})
+	defer c.Close()
+	for _, w := range members("w1", "w2", "w3") {
+		c.dir.Upsert(w)
+	}
+	c.refreshRing()
+
+	for _, key := range fps(50) {
+		seq := c.Ring().Successors(key, 3)
+		// Both the owner and its immediate successor die; the ring is NOT
+		// refreshed (that is the race under test).
+		c.dir.MarkDead(seq[0].ID)
+		c.dir.MarkDead(seq[1].ID)
+
+		got, ok := c.pickOwner(key)
+		if !ok {
+			t.Fatalf("pickOwner(%s) found no owner with one live worker left", key)
+		}
+		if got.ID != seq[2].ID {
+			t.Fatalf("pickOwner(%s) = %s, want the only live member %s (dead: %s, %s)",
+				key, got.ID, seq[2].ID, seq[0].ID, seq[1].ID)
+		}
+
+		// Revive for the next key (Upsert marks alive again).
+		c.dir.Upsert(seq[0])
+		c.dir.Upsert(seq[1])
+	}
+
+	// All three dead: no owner, and pickOwner says so instead of returning
+	// a corpse.
+	for _, w := range members("w1", "w2", "w3") {
+		c.dir.MarkDead(w.ID)
+	}
+	if _, ok := c.pickOwner("fp-anything"); ok {
+		t.Fatal("pickOwner returned an owner from an all-dead fleet")
 	}
 }
 

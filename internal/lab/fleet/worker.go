@@ -32,11 +32,22 @@ type WorkerConfig struct {
 // coordinator, heartbeats it (carrying peer-fill counters), keeps a local
 // copy of the ring from each heartbeat ack, and offers PeerFill — the
 // scheduler hook that resolves a job from a ring sibling's cache instead
-// of simulating it.
+// of simulating it. Heartbeat acks also carry the coordinator failover
+// list and epoch: when the primary stops answering, the worker walks the
+// list until a (possibly promoted) coordinator answers, and its EpochGate
+// rejects dispatches from any coordinator older than the newest it has
+// seen.
 type Worker struct {
 	cfg   WorkerConfig
 	hc    *http.Client // heartbeats and sibling cache probes
 	peers atomic.Pointer[Ring]
+	gate  EpochGate
+
+	// coords is the failover list (primary first) learned from acks;
+	// coordsMu guards it and cur, the index currently answering.
+	coordsMu sync.Mutex
+	coords   []string
+	cur      int
 
 	peerHits  atomic.Uint64
 	simulated atomic.Uint64
@@ -64,12 +75,63 @@ func NewWorker(cfg WorkerConfig) *Worker {
 	// coordinator is down, and the first successful beat after its restart
 	// re-joins this worker automatically.
 	w := &Worker{
-		cfg:  cfg,
-		hc:   &http.Client{Timeout: 2 * time.Second},
-		stop: make(chan struct{}),
+		cfg:    cfg,
+		hc:     &http.Client{Timeout: 2 * time.Second},
+		coords: []string{cfg.Coordinator},
+		stop:   make(chan struct{}),
 	}
 	w.peers.Store(NewRing(nil))
 	return w
+}
+
+// Gate returns the worker's epoch fence, for wrapping its job API (see
+// EpochGate.Middleware).
+func (w *Worker) Gate() *EpochGate { return &w.gate }
+
+// coordinator returns the coordinator URL currently believed to answer.
+func (w *Worker) coordinator() string {
+	w.coordsMu.Lock()
+	defer w.coordsMu.Unlock()
+	return w.coords[w.cur]
+}
+
+// coordinators snapshots the failover list.
+func (w *Worker) coordinators() []string {
+	w.coordsMu.Lock()
+	defer w.coordsMu.Unlock()
+	out := make([]string, len(w.coords))
+	copy(out, w.coords)
+	return out
+}
+
+// advanceCoordinator rotates to the next failover candidate after a failed
+// round-trip, returning the new target. With a single-entry list this is a
+// no-op (the next tick retries the same coordinator).
+func (w *Worker) advanceCoordinator() string {
+	w.coordsMu.Lock()
+	defer w.coordsMu.Unlock()
+	if len(w.coords) > 1 {
+		w.cur = (w.cur + 1) % len(w.coords)
+	}
+	return w.coords[w.cur]
+}
+
+// adoptCoordinators installs the failover list an ack carried, keeping the
+// URL that just answered as the current target.
+func (w *Worker) adoptCoordinators(answered string, list []string) {
+	if len(list) == 0 {
+		return
+	}
+	w.coordsMu.Lock()
+	defer w.coordsMu.Unlock()
+	w.coords = append(w.coords[:0], list...)
+	w.cur = 0
+	for i, u := range w.coords {
+		if u == answered {
+			w.cur = i
+			break
+		}
+	}
 }
 
 // Start joins the coordinator (retrying until it answers) and then
@@ -110,17 +172,19 @@ func (w *Worker) join() {
 			return
 		default:
 		}
-		resp, err := w.hc.Post(w.cfg.Coordinator+"/fleet/join", "application/json", bytes.NewReader(body))
+		coord := w.coordinator()
+		resp, err := w.hc.Post(coord+"/fleet/join", "application/json", bytes.NewReader(body))
 		if err == nil {
 			view, derr := decodeView(resp)
 			if derr == nil {
-				w.acceptView(view)
-				w.cfg.Logf("fleet: joined coordinator=%s ring=%d", w.cfg.Coordinator, len(view.Workers))
+				w.acceptView(coord, view)
+				w.cfg.Logf("fleet: joined coordinator=%s ring=%d epoch=%d", coord, len(view.Workers), view.Epoch)
 				return
 			}
 			err = derr
 		}
-		w.cfg.Logf("fleet: join pending coordinator=%s err=%v", w.cfg.Coordinator, err)
+		w.cfg.Logf("fleet: join pending coordinator=%s err=%v", coord, err)
+		w.advanceCoordinator()
 		select {
 		case <-w.stop:
 			return
@@ -130,30 +194,61 @@ func (w *Worker) join() {
 }
 
 // beat sends one heartbeat and folds the ack's membership into the local
-// ring. Failure is logged and forgotten: the next tick tries again, and
-// the first beat a restarted coordinator receives re-joins this worker.
+// ring. Failure rotates to the next coordinator on the failover list (a
+// standby that took over answers there) and is otherwise forgotten: the
+// next tick tries again, and the first beat a restarted — or newly
+// promoted — coordinator receives re-joins this worker.
 func (w *Worker) beat() {
 	body, _ := json.Marshal(core.HeartbeatRequest{
 		Worker:    w.cfg.Self,
 		PeerHits:  w.peerHits.Load(),
 		Simulated: w.simulated.Load(),
 	})
-	resp, err := w.hc.Post(w.cfg.Coordinator+"/fleet/heartbeat", "application/json", bytes.NewReader(body))
+	coord := w.coordinator()
+	resp, err := w.hc.Post(coord+"/fleet/heartbeat", "application/json", bytes.NewReader(body))
 	if err != nil {
-		w.cfg.Logf("fleet: heartbeat failed coordinator=%s err=%v", w.cfg.Coordinator, err)
+		next := w.advanceCoordinator()
+		if next != coord {
+			w.cfg.Logf("fleet: heartbeat failed coordinator=%s err=%v — failing over to %s", coord, err, next)
+		} else {
+			w.cfg.Logf("fleet: heartbeat failed coordinator=%s err=%v", coord, err)
+		}
 		return
 	}
 	view, err := decodeView(resp)
 	if err != nil {
-		w.cfg.Logf("fleet: heartbeat ack unreadable err=%v", err)
+		// An HTTP answer that is not a valid ack: the endpoint is alive but
+		// not (yet) a coordinator — a standby still waiting to promote.
+		// Rotate so the next tick tries another candidate.
+		w.advanceCoordinator()
+		w.cfg.Logf("fleet: heartbeat ack unreadable coordinator=%s err=%v", coord, err)
 		return
 	}
-	w.acceptView(view)
+	w.acceptView(coord, view)
 }
 
-// acceptView installs the coordinator's membership list as the local ring.
-func (w *Worker) acceptView(view core.FleetView) {
+// Leave announces a planned departure to the current coordinator — called
+// on SIGTERM, before the drain, so the fleet stops placing new jobs here
+// and never mistakes the shutdown for a death. Best-effort: an unreachable
+// coordinator means the heartbeat timeout will (noisily) get there anyway.
+func (w *Worker) Leave() {
+	body, _ := json.Marshal(core.LeaveRequest{Worker: w.cfg.Self})
+	coord := w.coordinator()
+	resp, err := w.hc.Post(coord+"/fleet/leave", "application/json", bytes.NewReader(body))
+	if err != nil {
+		w.cfg.Logf("fleet: leave failed coordinator=%s err=%v", coord, err)
+		return
+	}
+	resp.Body.Close()
+	w.cfg.Logf("fleet: left coordinator=%s", coord)
+}
+
+// acceptView installs the coordinator's membership list as the local ring
+// and adopts the ack's epoch and coordinator failover list.
+func (w *Worker) acceptView(answered string, view core.FleetView) {
 	w.peers.Store(NewRing(view.Workers))
+	w.gate.Observe(view.Epoch)
+	w.adoptCoordinators(answered, view.Coordinators)
 	w.lastAck.Store(time.Now().UnixNano())
 }
 
@@ -161,11 +256,14 @@ func (w *Worker) acceptView(view core.FleetView) {
 // ProbeSiblings ring neighbors whether they already hold the result. The
 // fleet has usually computed any given fingerprint exactly once — on this
 // job's previous owner — so a worker that just joined (or inherited an
-// arc in a reassignment) fills its cache instead of burning CPU.
-func (w *Worker) PeerFill(fp string) (*core.Result, bool) {
+// arc in a reassignment) fills its cache instead of burning CPU. Probing
+// walks the ring from the spec's placement key, the same walk the
+// coordinator places by, so the first sibling asked is the worker most
+// likely to have owned this job (or its axis-neighbors) before.
+func (w *Worker) PeerFill(spec core.Spec, fp string) (*core.Result, bool) {
 	ring := w.peers.Load()
 	probes := 0
-	for _, peer := range ring.Successors(fp, ring.Len()) {
+	for _, peer := range ring.Successors(PlacementKey(spec), ring.Len()) {
 		if peer.ID == w.cfg.Self.ID {
 			continue
 		}
@@ -209,7 +307,9 @@ func (w *Worker) Metrics() core.WorkerMetrics {
 	return core.WorkerMetrics{
 		Role:         "worker",
 		ID:           w.cfg.Self.ID,
-		Coordinator:  w.cfg.Coordinator,
+		Coordinator:  w.coordinator(),
+		Coordinators: w.coordinators(),
+		Epoch:        w.gate.Current(),
 		RingSize:     w.peers.Load().Len(),
 		PeerHits:     w.peerHits.Load(),
 		Simulated:    w.simulated.Load(),

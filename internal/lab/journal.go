@@ -25,6 +25,12 @@ const journalSchema = "butterfly-journal-v1"
 // ErrJournalClosed is returned by appends after Close.
 var ErrJournalClosed = errors.New("lab: journal closed")
 
+// ErrReplicaGap is returned by AppendReplica when the record does not
+// directly follow the journal's last record — the follower missed part of
+// the stream (e.g. its torn tail was truncated on restart) and must ask the
+// primary for a full state snapshot instead.
+var ErrReplicaGap = errors.New("lab: replica record gap")
+
 // Journal is the lab's durable job log: an append-only JSONL file of
 // lifecycle records plus a periodically compacted snapshot, both under one
 // directory. Opening a journal replays snapshot + tail into an in-memory
@@ -47,6 +53,12 @@ type Journal struct {
 	// (default 4096). Set it before handing the journal to a scheduler.
 	CompactEvery int
 
+	// TailMax bounds the in-memory record tail kept for replication
+	// (default 4096). The tail survives compaction — followers stream
+	// records even after the log file is truncated — and a follower whose
+	// ack falls off the tail gets a full state snapshot instead.
+	TailMax int
+
 	mu      sync.Mutex
 	f       *os.File
 	rec     int64 // last record number written (survives compaction)
@@ -56,10 +68,24 @@ type Journal struct {
 	maxSeq  int
 	torn    bool // replay dropped a truncated final record
 
+	// epoch is the highest coordinator generation fenced into this journal
+	// (EventEpoch); takeovers bump it durably before dispatching anything.
+	epoch uint64
+
+	// tail holds the most recent records (bounded by TailMax) for
+	// streaming to replication followers; tail[0].Rec is the oldest
+	// record still streamable.
+	tail []core.JournalRecord
+
 	// workers is the fleet membership table a coordinator journals
 	// alongside its jobs: worker ID → record for every worker currently
 	// believed up. Single-box daemons never touch it.
 	workers map[string]core.WorkerRecord
+
+	// sweeps maps sweep ID → grid-ordered job IDs (EventSweep), so a
+	// replacement coordinator can reassemble sweeps it never accepted.
+	sweeps     map[string]core.SweepRecord
+	sweepOrder []string
 }
 
 // journalSnapshot is the compacted on-disk form: every known job at its
@@ -73,6 +99,11 @@ type journalSnapshot struct {
 	// Workers is the coordinator's last-known fleet membership (absent for
 	// single-box journals and snapshots written before fleets existed).
 	Workers []core.WorkerRecord `json:"workers,omitempty"`
+	// Epoch is the highest coordinator generation fenced so far (absent
+	// before failover existed).
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Sweeps are the known sweep identities, in submission order.
+	Sweeps []core.SweepRecord `json:"sweeps,omitempty"`
 }
 
 func (j *Journal) snapshotPath() string { return filepath.Join(j.dir, "snapshot.json") }
@@ -91,9 +122,10 @@ func OpenJournal(dir string) (*Journal, error) {
 		return nil, fmt.Errorf("lab: journal: %w", err)
 	}
 	j := &Journal{
-		dir: dir, CompactEvery: 4096,
+		dir: dir, CompactEvery: 4096, TailMax: 4096,
 		state:   make(map[string]*core.JobRecord),
 		workers: make(map[string]core.WorkerRecord),
+		sweeps:  make(map[string]core.SweepRecord),
 	}
 
 	if err := j.loadSnapshot(); err != nil {
@@ -130,6 +162,14 @@ func (j *Journal) loadSnapshot() error {
 	}
 	j.rec = snap.Rec
 	j.maxSeq = snap.Seq
+	j.epoch = snap.Epoch
+	for _, sw := range snap.Sweeps {
+		if sw.SweepID == "" {
+			return fmt.Errorf("lab: journal snapshot %s corrupt: sweep with no id", j.snapshotPath())
+		}
+		j.sweeps[sw.SweepID] = sw
+		j.sweepOrder = append(j.sweepOrder, sw.SweepID)
+	}
 	for i := range snap.Jobs {
 		r := snap.Jobs[i]
 		if r.JobID == "" {
@@ -199,6 +239,9 @@ func (j *Journal) applyReplay(r core.JournalRecord) error {
 	if r.Event.FleetEvent() {
 		return j.applyWorker(r)
 	}
+	if r.Event.ControlEvent() {
+		return j.applyControl(r)
+	}
 	if r.Event == core.EventSubmitted {
 		if r.Spec == nil {
 			return fmt.Errorf("submitted record for %s has no spec", r.JobID)
@@ -235,6 +278,31 @@ func (j *Journal) applyWorker(r core.JournalRecord) error {
 		j.workers[r.Worker.ID] = *r.Worker
 	case core.EventWorkerDown:
 		delete(j.workers, r.Worker.ID)
+	}
+	return nil
+}
+
+// applyControl folds one coordination event: epoch fences only ever rise
+// (a stale epoch record is tolerated as a no-op — it can ride in a
+// replicated stream that predates the follower's own takeover), and sweep
+// records are idempotent by ID for the same reason membership events are.
+func (j *Journal) applyControl(r core.JournalRecord) error {
+	switch r.Event {
+	case core.EventEpoch:
+		if r.Epoch == 0 {
+			return fmt.Errorf("epoch event without an epoch")
+		}
+		if r.Epoch > j.epoch {
+			j.epoch = r.Epoch
+		}
+	case core.EventSweep:
+		if r.Sweep == nil || r.Sweep.SweepID == "" {
+			return fmt.Errorf("sweep event without a sweep record")
+		}
+		if _, dup := j.sweeps[r.Sweep.SweepID]; !dup {
+			j.sweepOrder = append(j.sweepOrder, r.Sweep.SweepID)
+		}
+		j.sweeps[r.Sweep.SweepID] = *r.Sweep
 	}
 	return nil
 }
@@ -285,6 +353,17 @@ func (j *Journal) append(r core.JournalRecord) error {
 		if r.Worker == nil || r.Worker.ID == "" {
 			return fmt.Errorf("lab: journal: fleet event %q without a worker record", r.Event)
 		}
+	} else if r.Event == core.EventEpoch {
+		if r.Epoch <= j.epoch {
+			return fmt.Errorf("lab: journal: epoch %d not above current %d", r.Epoch, j.epoch)
+		}
+	} else if r.Event == core.EventSweep {
+		if r.Sweep == nil || r.Sweep.SweepID == "" {
+			return fmt.Errorf("lab: journal: sweep event without a sweep record")
+		}
+		if _, dup := j.sweeps[r.Sweep.SweepID]; dup {
+			return fmt.Errorf("lab: journal: duplicate sweep %s", r.Sweep.SweepID)
+		}
 	} else if r.Event == core.EventSubmitted {
 		if r.Spec == nil {
 			return fmt.Errorf("lab: journal: submitted record for %s has no spec", r.JobID)
@@ -317,15 +396,20 @@ func (j *Journal) append(r core.JournalRecord) error {
 	if _, err := j.f.Write(append(line, '\n')); err != nil {
 		return fmt.Errorf("lab: journal append: %w", err)
 	}
-	if r.Event.Terminal() {
+	if r.Event.Terminal() || r.Event == core.EventEpoch {
 		// A job's outcome must survive a crash the instant it is
-		// acknowledged; transient records may ride the page cache.
+		// acknowledged, and an epoch fence must be durable before the new
+		// coordinator dispatches anything; transient records may ride the
+		// page cache.
 		_ = j.f.Sync()
 	}
 	j.rec = r.Rec
-	if r.Event.FleetEvent() {
+	switch {
+	case r.Event.FleetEvent():
 		_ = j.applyWorker(r) // validated above; idempotent by design
-	} else {
+	case r.Event.ControlEvent():
+		_ = j.applyControl(r) // validated above
+	default:
 		j.state[r.JobID] = staged
 	}
 	if r.Event == core.EventSubmitted {
@@ -334,6 +418,7 @@ func (j *Journal) append(r core.JournalRecord) error {
 			j.maxSeq = r.Seq
 		}
 	}
+	j.pushTail(r)
 	j.appends++
 	if j.CompactEvery > 0 && j.appends >= j.CompactEvery {
 		if err := j.compactLocked(); err != nil {
@@ -341,6 +426,22 @@ func (j *Journal) append(r core.JournalRecord) error {
 		}
 	}
 	return nil
+}
+
+// pushTail keeps the bounded in-memory record tail replication streams
+// from. Callers hold j.mu.
+func (j *Journal) pushTail(r core.JournalRecord) {
+	max := j.TailMax
+	if max <= 0 {
+		max = 1
+	}
+	j.tail = append(j.tail, r)
+	if len(j.tail) > max {
+		// Drop the oldest half in one copy so a hot journal is not
+		// memmoving the tail on every append.
+		keep := max/2 + 1
+		j.tail = append(j.tail[:0], j.tail[len(j.tail)-keep:]...)
+	}
 }
 
 // Submitted journals a new job, durably, before it is enqueued.
@@ -400,18 +501,200 @@ func (j *Journal) Workers() []core.WorkerRecord {
 	return out
 }
 
+// SweepSubmitted journals a sweep's identity: its ID and grid-ordered job
+// IDs, durably tied to the jobs it expanded to.
+func (j *Journal) SweepSubmitted(id string, jobIDs []string) error {
+	return j.append(core.JournalRecord{Event: core.EventSweep,
+		Sweep: &core.SweepRecord{SweepID: id, JobIDs: jobIDs}})
+}
+
+// Sweeps returns every known sweep identity in submission order.
+func (j *Journal) Sweeps() []core.SweepRecord {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]core.SweepRecord, 0, len(j.sweepOrder))
+	for _, id := range j.sweepOrder {
+		out = append(out, j.sweeps[id])
+	}
+	return out
+}
+
+// Epoch returns the highest coordinator generation fenced into the journal
+// (0 before any coordinator claimed it).
+func (j *Journal) Epoch() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.epoch
+}
+
+// BumpEpoch durably fences a new coordinator generation — current epoch
+// plus one, fsynced before it returns — and returns the new epoch. A
+// standby calls this exactly once at takeover, before dispatching anything,
+// so the old primary's later dispatches are recognizably stale.
+func (j *Journal) BumpEpoch() (uint64, error) {
+	j.mu.Lock()
+	next := j.epoch + 1
+	j.mu.Unlock()
+	if err := j.append(core.JournalRecord{Event: core.EventEpoch, Epoch: next}); err != nil {
+		return 0, err
+	}
+	return next, nil
+}
+
+// Rec returns the last record number written.
+func (j *Journal) Rec() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rec
+}
+
+// RecordsAfter returns up to max records with Rec > after, in order, for
+// streaming to a replication follower. ok is false when the tail no longer
+// reaches back to after+1 (the follower is too far behind — e.g. it just
+// started, or the tail was bounded past its ack) and the caller must send a
+// full state snapshot instead.
+func (j *Journal) RecordsAfter(after int64, max int) (recs []core.JournalRecord, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if after >= j.rec {
+		return nil, true
+	}
+	if len(j.tail) == 0 || j.tail[0].Rec > after+1 {
+		return nil, false
+	}
+	start := int(after + 1 - j.tail[0].Rec)
+	end := len(j.tail)
+	if max > 0 && end-start > max {
+		end = start + max
+	}
+	recs = make([]core.JournalRecord, end-start)
+	copy(recs, j.tail[start:end])
+	return recs, true
+}
+
+// ReplicaState captures the full journal state for a follower that cannot
+// be served from the record tail.
+func (j *Journal) ReplicaState() core.ReplicaState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := core.ReplicaState{Schema: journalSchema, Rec: j.rec, Seq: j.maxSeq, Epoch: j.epoch}
+	st.Jobs = make([]core.JobRecord, 0, len(j.order))
+	for _, id := range j.order {
+		st.Jobs = append(st.Jobs, *j.state[id])
+	}
+	for _, id := range sortedWorkerIDs(j.workers) {
+		st.Workers = append(st.Workers, j.workers[id])
+	}
+	for _, id := range j.sweepOrder {
+		st.Sweeps = append(st.Sweeps, j.sweeps[id])
+	}
+	return st
+}
+
+// InstallReplicaState replaces the journal's contents with a primary's
+// state snapshot and persists it — how a follower bootstraps (or recovers
+// from a gap) before streaming resumes. Refuses to move backwards: a
+// snapshot older than what is already replicated here means the "primary"
+// is stale, not this follower.
+func (j *Journal) InstallReplicaState(st core.ReplicaState) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return ErrJournalClosed
+	}
+	if st.Schema != journalSchema {
+		return fmt.Errorf("lab: replica state schema %q, want %q", st.Schema, journalSchema)
+	}
+	if st.Rec < j.rec {
+		return fmt.Errorf("lab: replica state at record %d behind local journal at %d", st.Rec, j.rec)
+	}
+	j.rec = st.Rec
+	j.maxSeq = st.Seq
+	if st.Epoch > j.epoch {
+		j.epoch = st.Epoch
+	}
+	j.state = make(map[string]*core.JobRecord, len(st.Jobs))
+	j.order = j.order[:0]
+	for i := range st.Jobs {
+		r := st.Jobs[i]
+		if r.JobID == "" {
+			return fmt.Errorf("lab: replica state job %d has no id", i)
+		}
+		j.state[r.JobID] = &r
+		j.order = append(j.order, r.JobID)
+	}
+	j.workers = make(map[string]core.WorkerRecord, len(st.Workers))
+	for _, w := range st.Workers {
+		j.workers[w.ID] = w
+	}
+	j.sweeps = make(map[string]core.SweepRecord, len(st.Sweeps))
+	j.sweepOrder = j.sweepOrder[:0]
+	for _, sw := range st.Sweeps {
+		j.sweeps[sw.SweepID] = sw
+		j.sweepOrder = append(j.sweepOrder, sw.SweepID)
+	}
+	j.tail = nil
+	return j.compactLocked()
+}
+
+// AppendReplica appends one record received from the replication stream,
+// preserving its original record number (the follower's journal is a
+// faithful copy of the primary's, so a promoted follower's own appends
+// continue the same numbering). Returns ErrReplicaGap when the record does
+// not directly follow the local journal.
+func (j *Journal) AppendReplica(r core.JournalRecord) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return ErrJournalClosed
+	}
+	if r.Rec <= j.rec {
+		return nil // duplicate delivery; already replicated
+	}
+	if r.Rec != j.rec+1 {
+		return fmt.Errorf("%w: record %d does not follow %d", ErrReplicaGap, r.Rec, j.rec)
+	}
+	line, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("lab: replica append: %w", err)
+	}
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("lab: replica append: %w", err)
+	}
+	if r.Event.Terminal() || r.Event == core.EventEpoch {
+		_ = j.f.Sync()
+	}
+	if err := j.applyReplay(r); err != nil {
+		// The stream was validated on the primary; an impossible
+		// transition here means the copies diverged.
+		return fmt.Errorf("lab: replica append: %w", err)
+	}
+	j.rec = r.Rec
+	j.pushTail(r)
+	j.appends++
+	if j.CompactEvery > 0 && j.appends >= j.CompactEvery {
+		if err := j.compactLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // compactLocked folds the full job table into snapshot.json (atomically, via
 // temp file + rename) and truncates the log. A crash between the two steps
 // is safe: the snapshot's record number makes the leftover log lines
 // no-ops on the next replay.
 func (j *Journal) compactLocked() error {
-	snap := journalSnapshot{Schema: journalSchema, Rec: j.rec, Seq: j.maxSeq}
+	snap := journalSnapshot{Schema: journalSchema, Rec: j.rec, Seq: j.maxSeq, Epoch: j.epoch}
 	snap.Jobs = make([]core.JobRecord, 0, len(j.order))
 	for _, id := range j.order {
 		snap.Jobs = append(snap.Jobs, *j.state[id])
 	}
 	for _, id := range sortedWorkerIDs(j.workers) {
 		snap.Workers = append(snap.Workers, j.workers[id])
+	}
+	for _, id := range j.sweepOrder {
+		snap.Sweeps = append(snap.Sweeps, j.sweeps[id])
 	}
 	b, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {

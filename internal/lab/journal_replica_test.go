@@ -1,0 +1,216 @@
+package lab
+
+import (
+	"errors"
+	"testing"
+
+	"butterfly/internal/core"
+)
+
+// TestJournalReplayMembershipEdgeCases: a raw log (as a standby's
+// replicated journal is — records written verbatim, not validated by this
+// process's append path) may carry duplicate worker-up records or a
+// worker-down for an ID never seen up. Replay must fold both idempotently,
+// because membership changes race the journal writes that record them.
+func TestJournalReplayMembershipEdgeCases(t *testing.T) {
+	wA := core.WorkerRecord{ID: "wA", URL: "http://a"}
+	dir := t.TempDir()
+	content := jline(t, core.JournalRecord{Rec: 1, Event: core.EventWorkerUp, Worker: &wA}) +
+		jline(t, core.JournalRecord{Rec: 2, Event: core.EventWorkerUp, Worker: &wA}) + // duplicate up
+		jline(t, core.JournalRecord{Rec: 3, Event: core.EventWorkerDown, Worker: &core.WorkerRecord{ID: "ghost", URL: "http://ghost"}}) + // down for unknown ID
+		jline(t, core.JournalRecord{Rec: 4, Event: core.EventWorkerUp, Worker: &core.WorkerRecord{ID: "wB", URL: "http://b"}}) +
+		jline(t, core.JournalRecord{Rec: 5, Event: core.EventWorkerDown, Worker: &core.WorkerRecord{ID: "wB", URL: "http://b"}})
+	writeLog(t, dir, content)
+
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatalf("membership edge cases must replay cleanly, got: %v", err)
+	}
+	defer j.Close()
+	got := j.Workers()
+	if len(got) != 1 || got[0].ID != "wA" {
+		t.Fatalf("workers after replay = %+v, want [wA]", got)
+	}
+	if j.Rec() != 5 {
+		t.Errorf("Rec = %d after replaying 5 records", j.Rec())
+	}
+}
+
+// TestReplicaAppendDuplicateAndGap: duplicate delivery from the stream is a
+// silent no-op (the record is already replicated); a record that skips
+// ahead is ErrReplicaGap, the signal to resync via snapshot.
+func TestReplicaAppendDuplicateAndGap(t *testing.T) {
+	j, err := OpenJournal(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+
+	spec := specNuma()
+	rec1 := core.JournalRecord{Rec: 1, Event: core.EventSubmitted, JobID: "j0001-a", Seq: 1, Spec: &spec, Fingerprint: "fp-a"}
+	if err := j.AppendReplica(rec1); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendReplica(rec1); err != nil {
+		t.Fatalf("duplicate delivery errored: %v", err)
+	}
+	if j.Rec() != 1 {
+		t.Fatalf("Rec = %d after duplicate, want 1", j.Rec())
+	}
+	gap := core.JournalRecord{Rec: 3, Event: core.EventStarted, JobID: "j0001-a"}
+	if err := j.AppendReplica(gap); !errors.Is(err, ErrReplicaGap) {
+		t.Fatalf("gap append error = %v, want ErrReplicaGap", err)
+	}
+	// The gap left no trace: record 2 still applies.
+	if err := j.AppendReplica(core.JournalRecord{Rec: 2, Event: core.EventStarted, JobID: "j0001-a"}); err != nil {
+		t.Fatalf("in-order append after a rejected gap: %v", err)
+	}
+}
+
+// TestReplicaTornTailTruncatesAndResyncs: the standby died mid-append to
+// its replicated log. On restart the torn final record is truncated (not a
+// refusal to start), the journal reports the last complete record, and the
+// stream resumes from there — re-delivery of the truncated record is just
+// the next in-order append.
+func TestReplicaTornTailTruncatesAndResyncs(t *testing.T) {
+	spec := specNuma()
+	dir := t.TempDir()
+	content := jline(t, core.JournalRecord{Rec: 1, Event: core.EventEpoch, Epoch: 1}) +
+		jline(t, core.JournalRecord{Rec: 2, Event: core.EventSubmitted, JobID: "j0001-a", Seq: 1, Spec: &spec, Fingerprint: "fp-a"}) +
+		`{"rec":3,"event":"start` // died replicating record 3
+	writeLog(t, dir, content)
+
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatalf("torn replicated log must truncate, not refuse startup: %v", err)
+	}
+	defer j.Close()
+	if !j.Torn() {
+		t.Error("Torn() = false after dropping the torn record")
+	}
+	if j.Rec() != 2 {
+		t.Fatalf("Rec = %d after truncation, want 2 (the last complete record)", j.Rec())
+	}
+	if j.Epoch() != 1 {
+		t.Errorf("Epoch = %d after replay, want 1", j.Epoch())
+	}
+
+	// Resync: the follower's next pull asks for records after 2, and the
+	// primary re-sends record 3 — which now applies in order.
+	if err := j.AppendReplica(core.JournalRecord{Rec: 3, Event: core.EventStarted, JobID: "j0001-a"}); err != nil {
+		t.Fatalf("resync append after truncation: %v", err)
+	}
+	jobs := j.Jobs()
+	if len(jobs) != 1 || jobs[0].State != core.JobRunning {
+		t.Fatalf("jobs after resync = %+v, want one running job", jobs)
+	}
+}
+
+// TestReplicaStateInstallGuards: a state snapshot with the wrong schema, or
+// one older than what is already replicated locally, must be refused — a
+// stale "primary" cannot rewind a follower.
+func TestReplicaStateInstallGuards(t *testing.T) {
+	j, err := OpenJournal(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	spec := specNuma()
+	for rec := int64(1); rec <= 3; rec++ {
+		r := core.JournalRecord{Rec: rec, Event: core.EventSubmitted,
+			JobID: string(rune('a'+rec)) + "-job", Seq: int(rec), Spec: &spec, Fingerprint: "fp"}
+		if err := j.AppendReplica(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := j.InstallReplicaState(core.ReplicaState{Schema: "other-schema-v9", Rec: 10}); err == nil {
+		t.Error("wrong-schema state installed")
+	}
+	if err := j.InstallReplicaState(core.ReplicaState{Schema: "butterfly-journal-v1", Rec: 1}); err == nil {
+		t.Error("backwards state installed")
+	}
+
+	st := core.ReplicaState{Schema: "butterfly-journal-v1", Rec: 7, Seq: 5, Epoch: 2,
+		Jobs: []core.JobRecord{{JobID: "j0009-x", Seq: 5, Spec: spec, Fingerprint: "fp-x", State: core.JobQueued}}}
+	if err := j.InstallReplicaState(st); err != nil {
+		t.Fatal(err)
+	}
+	if j.Rec() != 7 || j.Epoch() != 2 || j.MaxSeq() != 5 {
+		t.Errorf("after install: rec=%d epoch=%d seq=%d, want 7/2/5", j.Rec(), j.Epoch(), j.MaxSeq())
+	}
+	if jobs := j.Jobs(); len(jobs) != 1 || jobs[0].JobID != "j0009-x" {
+		t.Errorf("jobs after install = %+v", jobs)
+	}
+}
+
+// TestJournalEpochRules: epochs only rise through the validated append path
+// (BumpEpoch), survive reopen, and a stale epoch record arriving in a
+// replicated stream is tolerated as a no-op.
+func TestJournalEpochRules(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, err := j.BumpEpoch(); err != nil || e != 1 {
+		t.Fatalf("first BumpEpoch = (%d, %v), want (1, nil)", e, err)
+	}
+	if e, err := j.BumpEpoch(); err != nil || e != 2 {
+		t.Fatalf("second BumpEpoch = (%d, %v), want (2, nil)", e, err)
+	}
+	// A stale epoch in the replica stream (possible when the stream predates
+	// this follower's own takeover) is a no-op, not an error.
+	if err := j.AppendReplica(core.JournalRecord{Rec: j.Rec() + 1, Event: core.EventEpoch, Epoch: 1}); err != nil {
+		t.Fatalf("stale replicated epoch errored: %v", err)
+	}
+	if j.Epoch() != 2 {
+		t.Errorf("stale replicated epoch lowered the fence to %d", j.Epoch())
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Epoch() != 2 {
+		t.Errorf("epoch %d after reopen, want 2", re.Epoch())
+	}
+}
+
+// TestRecordsAfterTailSemantics: the bounded tail streams what it holds and
+// signals snapshot-needed when asked to reach further back.
+func TestRecordsAfterTailSemantics(t *testing.T) {
+	j, err := OpenJournal(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	j.TailMax = 4
+	spec := specNuma()
+	for i := 1; i <= 10; i++ {
+		id := string(rune('a'+i)) + "-job"
+		if err := j.Submitted(id, i, spec, "fp-"+id); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if recs, ok := j.RecordsAfter(10, 100); !ok || recs != nil {
+		t.Errorf("caught-up follower: recs=%v ok=%v, want nil/true", recs, ok)
+	}
+	if _, ok := j.RecordsAfter(0, 100); ok {
+		t.Error("tail claims to reach back to record 1 with TailMax=4")
+	}
+	recs, ok := j.RecordsAfter(8, 100)
+	if !ok || len(recs) != 2 || recs[0].Rec != 9 || recs[1].Rec != 10 {
+		t.Errorf("RecordsAfter(8) = %+v ok=%v, want records 9,10", recs, ok)
+	}
+	// max bounds the batch.
+	recs, ok = j.RecordsAfter(8, 1)
+	if !ok || len(recs) != 1 || recs[0].Rec != 9 {
+		t.Errorf("RecordsAfter(8, max=1) = %+v ok=%v, want just record 9", recs, ok)
+	}
+}

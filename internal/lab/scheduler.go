@@ -54,6 +54,9 @@ type Job struct {
 	err       error
 	exec      *execState
 	cancelled bool
+	// spooled marks a done job whose payload (table, probe report) was
+	// released to the cache; Wait/Result reload it from there.
+	spooled   bool
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
@@ -73,16 +76,35 @@ func (j *Job) Done() <-chan struct{} { return j.done }
 func (j *Job) Wait() (*core.Result, error) {
 	<-j.done
 	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.res, j.err
+	res, err, spooled := j.res, j.err, j.spooled
+	j.mu.Unlock()
+	if spooled {
+		return j.reload(res)
+	}
+	return res, err
 }
 
 // Result returns the job's result and error without blocking; both are nil
 // while the job is still queued or running.
 func (j *Job) Result() (*core.Result, error) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.res, j.err
+	res, err, spooled := j.res, j.err, j.spooled
+	j.mu.Unlock()
+	if spooled {
+		return j.reload(res)
+	}
+	return res, err
+}
+
+// reload rematerializes a spooled result from the cache (outside j.mu —
+// this is file IO). The blob was written before the payload was released,
+// so a miss means the cache directory was tampered with underneath us;
+// failing loudly beats serving a silently empty table.
+func (j *Job) reload(trimmed *core.Result) (*core.Result, error) {
+	if hit, ok := j.sched.cache.Get(j.Fingerprint); ok {
+		return hit, nil
+	}
+	return trimmed, fmt.Errorf("lab: spooled result %s lost from cache", j.Fingerprint)
 }
 
 // Cancel requests the job stop: a queued job finishes immediately as
@@ -185,9 +207,19 @@ type Config struct {
 	// PeerFill, when non-nil, is consulted after a job leaves the queue
 	// and before it executes: a fleet worker asks its ring siblings for a
 	// cached result here, so a rebalanced or freshly-joined worker never
-	// re-simulates work the fleet has already done. The returned result
-	// must carry the job's fingerprint.
-	PeerFill func(fingerprint string) (*core.Result, bool)
+	// re-simulates work the fleet has already done. The spec travels along
+	// so the probe can walk the ring by placement key, the same walk the
+	// coordinator placed by. The returned result must carry the job's
+	// fingerprint.
+	PeerFill func(spec core.Spec, fingerprint string) (*core.Result, bool)
+	// SpoolResults, when true (and a Cache is configured), releases each
+	// finished job's result payload from scheduler memory once the cache
+	// holds it durably; Wait and Result rematerialize it from the cache on
+	// demand. This bounds a coordinator's memory by its largest single
+	// result instead of the sum of a sweep — 10k-job sweeps reassemble by
+	// streaming results one at a time off disk, not by holding every table
+	// at once.
+	SpoolResults bool
 }
 
 // RecoveryStats summarizes what NewScheduler replayed from the journal.
@@ -229,6 +261,13 @@ type Scheduler struct {
 	order     []string
 	seq       int
 	quiescing bool
+
+	// Tracked sweeps: ID → grid-ordered job IDs, journaled so a restart —
+	// or a standby promoted from a replicated journal — can still serve
+	// GET /sweeps/{id}/result under the original identity.
+	sweeps     map[string]core.SweepRecord
+	sweepOrder []string
+	sweepSeq   int
 }
 
 // NewScheduler starts a scheduler with its worker pool running. With a
@@ -254,10 +293,12 @@ func NewScheduler(cfg Config) *Scheduler {
 		journal: cfg.Journal,
 		began:   time.Now(),
 		jobs:    make(map[string]*Job),
+		sweeps:  make(map[string]core.SweepRecord),
 	}
 	var requeue []*Job
 	if s.journal != nil {
 		requeue = s.replayJournal()
+		s.replaySweeps()
 	}
 	// The queue must at least hold every requeued job — recovery is never
 	// turned away by the admission bound it predates.
@@ -336,6 +377,20 @@ func (s *Scheduler) replayJournal() []*Job {
 	return requeue
 }
 
+// replaySweeps restores tracked-sweep identities from the journal and
+// re-derives the ID sequence so new sweeps never collide with replayed ones.
+// Runs single-threaded inside NewScheduler.
+func (s *Scheduler) replaySweeps() {
+	for _, rec := range s.journal.Sweeps() {
+		s.sweeps[rec.SweepID] = rec
+		s.sweepOrder = append(s.sweepOrder, rec.SweepID)
+		var n int
+		if _, err := fmt.Sscanf(rec.SweepID, "s%d", &n); err == nil && n > s.sweepSeq {
+			s.sweepSeq = n
+		}
+	}
+}
+
 // Recovery reports what the scheduler replayed from its journal at startup
 // (zero-valued without a journal).
 func (s *Scheduler) Recovery() RecoveryStats { return s.recov }
@@ -378,7 +433,7 @@ func (s *Scheduler) runJob(j *Job) {
 	var res *core.Result
 	var err error
 	if s.cfg.PeerFill != nil {
-		if hit, ok := s.cfg.PeerFill(j.Fingerprint); ok && hit != nil && hit.Fingerprint == j.Fingerprint {
+		if hit, ok := s.cfg.PeerFill(j.Spec, j.Fingerprint); ok && hit != nil && hit.Fingerprint == j.Fingerprint {
 			res = hit
 		}
 	}
@@ -400,10 +455,21 @@ func (s *Scheduler) runJob(j *Job) {
 	switch {
 	case err == nil:
 		res.Fingerprint = j.Fingerprint
+		cached := false
 		if s.cache != nil {
 			// A cache write failure degrades to cache-off behavior; the
 			// result itself is fine.
-			_ = s.cache.Put(res)
+			cached = s.cache.Put(res) == nil
+		}
+		if s.cfg.SpoolResults && cached {
+			// The payload is durable on disk; keep only the light header in
+			// memory and reload the rest on demand. Spooling is what lets a
+			// coordinator hold a 10k-job sweep without the sum of its tables.
+			trimmed := *res
+			trimmed.Table = ""
+			trimmed.ProbeReport = ""
+			res = &trimmed
+			j.spooled = true
 		}
 		j.finishLocked(StateDone, res, nil)
 	case errors.Is(err, ErrCanceled) || j.cancelled:

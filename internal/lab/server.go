@@ -76,6 +76,8 @@ func NewServer(cfg ServerConfig) *Server {
 	srv.mux.HandleFunc("DELETE /jobs/{id}", srv.cancelJob)
 	srv.mux.HandleFunc("GET /jobs/{id}/result", srv.jobResult)
 	srv.mux.HandleFunc("POST /sweeps", srv.submitSweep)
+	srv.mux.HandleFunc("GET /sweeps/{id}", srv.sweepStatus)
+	srv.mux.HandleFunc("GET /sweeps/{id}/result", srv.sweepResult)
 	srv.mux.HandleFunc("GET /experiments", srv.listExperiments)
 	srv.mux.HandleFunc("GET /metrics", srv.metrics)
 	srv.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -371,8 +373,12 @@ func (s *Server) jobResult(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, res.Table)
 }
 
-// sweepResponse is the wire form of a submitted sweep.
+// sweepResponse is the wire form of a submitted sweep. ID is empty for a
+// partial submission (and for a journal hiccup that lost only the sweep
+// grouping): the jobs run regardless, but the reassembled document is only
+// addressable when the full grid was admitted.
 type sweepResponse struct {
+	ID     string      `json:"id,omitempty"`
 	Points int         `json:"points"`
 	Jobs   []JobStatus `json:"jobs"`
 }
@@ -386,12 +392,12 @@ func (s *Server) submitSweep(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, "sweep", &sw) {
 		return
 	}
-	jobs, err := sched.SubmitSweep(sw)
+	id, jobs, err := sched.SubmitSweepTracked(sw)
 	if err != nil && len(jobs) == 0 {
 		writeSubmitError(w, sched, err)
 		return
 	}
-	resp := sweepResponse{Points: len(jobs)}
+	resp := sweepResponse{ID: id, Points: len(jobs)}
 	for _, j := range jobs {
 		resp.Jobs = append(resp.Jobs, statusView(sched, j))
 	}
@@ -403,6 +409,100 @@ func (s *Server) submitSweep(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", retryAfterValue(sched.RetryAfterHint()))
 	}
 	writeJSON(w, status, resp)
+}
+
+// sweepView summarizes a tracked sweep's progress.
+type sweepView struct {
+	ID     string `json:"id"`
+	Points int    `json:"points"`
+	Done   int    `json:"done"`
+	Failed int    `json:"failed"`
+	// Jobs are the grid-ordered job IDs — the identity that survives a
+	// coordinator failover via the replicated journal.
+	Jobs []string `json:"jobs"`
+}
+
+// sweepLookup resolves a sweep ID to its record and grid-ordered jobs.
+func sweepLookup(w http.ResponseWriter, sched *Scheduler, id string) (core.SweepRecord, []*Job, bool) {
+	rec, ok := sched.Sweep(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such sweep %q", id))
+		return rec, nil, false
+	}
+	jobs := make([]*Job, 0, len(rec.JobIDs))
+	for _, jid := range rec.JobIDs {
+		j, found := sched.Lookup(jid)
+		if !found {
+			// A sweep record naming an unknown job means the journal the
+			// sweep was replayed from predates the job — a corrupt pairing
+			// that should be surfaced, not papered over.
+			writeError(w, http.StatusInternalServerError,
+				fmt.Errorf("sweep %s names unknown job %s", id, jid))
+			return rec, nil, false
+		}
+		jobs = append(jobs, j)
+	}
+	return rec, jobs, true
+}
+
+func sweepViewOf(rec core.SweepRecord, jobs []*Job) sweepView {
+	v := sweepView{ID: rec.SweepID, Points: len(jobs), Jobs: rec.JobIDs}
+	for _, j := range jobs {
+		switch j.State() {
+		case StateDone:
+			v.Done++
+		case StateFailed, StateCanceled:
+			v.Failed++
+		}
+	}
+	return v
+}
+
+func (s *Server) sweepStatus(w http.ResponseWriter, r *http.Request) {
+	sched, ok := s.scheduler(w)
+	if !ok {
+		return
+	}
+	rec, jobs, ok := sweepLookup(w, sched, r.PathValue("id"))
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, sweepViewOf(rec, jobs))
+}
+
+// sweepResult streams the reassembled sweep document — byte-identical to
+// AssembleSweep's output — one point at a time, so a 10k-point sweep whose
+// results were spooled to the cache never needs them all in memory at once.
+// A sweep with unfinished or failed points answers 409 with the progress
+// summary; the client polls until done.
+func (s *Server) sweepResult(w http.ResponseWriter, r *http.Request) {
+	sched, ok := s.scheduler(w)
+	if !ok {
+		return
+	}
+	rec, jobs, ok := sweepLookup(w, sched, r.PathValue("id"))
+	if !ok {
+		return
+	}
+	view := sweepViewOf(rec, jobs)
+	if view.Done != view.Points {
+		writeJSON(w, http.StatusConflict, view)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for i, j := range jobs {
+		res, err := j.Result() // loads a spooled table from the cache, one point at a time
+		if err != nil || res == nil {
+			// Headers are out; all we can do is truncate loudly.
+			fmt.Fprintf(w, "--- sweep %s truncated at point %d/%d: %v ---\n", rec.SweepID, i+1, len(jobs), err)
+			return
+		}
+		fmt.Fprintf(w, "--- point %d/%d: %s ---\n", i+1, len(jobs), describeSpec(res.Spec))
+		fmt.Fprint(w, res.Table)
+		if len(res.Table) == 0 || res.Table[len(res.Table)-1] != '\n' {
+			fmt.Fprintln(w)
+		}
+	}
 }
 
 // ExperimentInfo is the wire form of a registry entry.

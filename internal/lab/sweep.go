@@ -195,6 +195,60 @@ func (s *Scheduler) SubmitSweep(sw Sweep) ([]*Job, error) {
 	return jobs, nil
 }
 
+// SubmitSweepTracked submits the sweep and records its identity — a sweep
+// ID bound to the grid-ordered job IDs — durably in the journal (when one
+// is configured). The identity is what lets GET /sweeps/{id}/result stream
+// the reassembled document later, from this process or from a standby that
+// replicated the journal and took over. Partial submissions (queue filled
+// mid-sweep) get no identity: the submitted prefix keeps running as plain
+// jobs and the client resubmits the sweep when admission reopens —
+// idempotent, since every point is content-addressed.
+func (s *Scheduler) SubmitSweepTracked(sw Sweep) (string, []*Job, error) {
+	jobs, err := s.SubmitSweep(sw)
+	if err != nil {
+		return "", jobs, err
+	}
+	ids := make([]string, len(jobs))
+	for i, j := range jobs {
+		ids[i] = j.ID
+	}
+	s.mu.Lock()
+	s.sweepSeq++
+	id := fmt.Sprintf("s%04d", s.sweepSeq)
+	rec := core.SweepRecord{SweepID: id, JobIDs: ids}
+	if s.journal != nil {
+		if jerr := s.journal.SweepSubmitted(id, ids); jerr != nil {
+			// The jobs are durable and running; only the sweep grouping was
+			// lost. Hand the jobs back without an ID rather than failing
+			// work that is already in flight.
+			s.sweepSeq--
+			s.mu.Unlock()
+			return "", jobs, nil
+		}
+	}
+	s.sweeps[id] = rec
+	s.sweepOrder = append(s.sweepOrder, id)
+	s.mu.Unlock()
+	return id, jobs, nil
+}
+
+// Sweep returns a tracked sweep's identity record.
+func (s *Scheduler) Sweep(id string) (core.SweepRecord, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.sweeps[id]
+	return rec, ok
+}
+
+// SweepIDs lists tracked sweeps in submission order.
+func (s *Scheduler) SweepIDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, len(s.sweepOrder))
+	copy(out, s.sweepOrder)
+	return out
+}
+
 // AssembleSweep waits for a sweep's jobs and reassembles their tables into
 // one document in grid order, each point introduced by a header naming the
 // varied fields. The per-point results carry their own structured data;
@@ -214,6 +268,11 @@ func AssembleSweep(jobs []*Job) (string, error) {
 	}
 	return b.String(), nil
 }
+
+// DescribeSpec renders the spec fields a sweep can vary, compactly — the
+// per-point header text both AssembleSweep and the streaming reassembly
+// endpoint emit, exported so tests can construct expected documents.
+func DescribeSpec(sp core.Spec) string { return describeSpec(sp) }
 
 // describeSpec renders the spec fields a sweep can vary, compactly.
 func describeSpec(sp core.Spec) string {
